@@ -1,0 +1,63 @@
+"""Extension — deployment-precision robustness curves.
+
+If quantization augmentation teaches precision-invariant features, a
+CQ-trained encoder should hold its accuracy across deployment bit-widths
+better than a SimCLR one.  This sweeps linear-probe accuracy over
+{2, 3, 4, 6, 8, 16} bits for both methods.
+"""
+
+import numpy as np
+
+from repro.eval import area_under_precision_curve, precision_sweep
+from repro.experiments import MethodSpec, format_table
+
+from .common import (
+    cached_pretrain,
+    cifar_like,
+    cifar_pretrain_config,
+    run_once,
+    scaled_set,
+)
+
+METHODS = [
+    MethodSpec("SimCLR"),
+    MethodSpec("CQ-C (6-16)", variant="C", precision_set=scaled_set("6-16")),
+]
+
+BITS = (2, 3, 4, 6, 8, 16)
+
+
+def test_ablation_precision_robustness(benchmark):
+    data = cifar_like()
+    config = cifar_pretrain_config("resnet18")
+
+    def run():
+        curves = {}
+        for method in METHODS:
+            outcome = cached_pretrain(method, "cifar", config)
+            encoder = outcome.make_encoder(quantized=True)
+            curves[method.name] = precision_sweep(
+                encoder, data.train, data.test, bit_widths=BITS,
+                epochs=15, rng=np.random.default_rng(0),
+            )
+        return curves
+
+    curves = run_once(benchmark, run)
+
+    rows = []
+    for name, curve in curves.items():
+        rows.append([name] + [curve[b] for b in BITS]
+                    + [area_under_precision_curve(curve)])
+    print()
+    print(format_table(
+        ["Method"] + [f"{b}-bit" for b in BITS] + ["mean"],
+        rows,
+        title="Extension: linear-probe accuracy vs deployment precision",
+    ))
+
+    simclr_auc = area_under_precision_curve(curves["SimCLR"])
+    cq_auc = area_under_precision_curve(curves["CQ-C (6-16)"])
+    assert cq_auc >= simclr_auc - 5.0, (
+        f"CQ should be at least as precision-robust: "
+        f"SimCLR {simclr_auc:.1f} vs CQ {cq_auc:.1f}"
+    )

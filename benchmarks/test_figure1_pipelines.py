@@ -1,0 +1,82 @@
+"""Figure 1 — the three Contrastive Quant design pipelines.
+
+The paper's Fig. 1 is a schematic; its checkable content is the loss-term
+assembly of each pipeline (Eqs. 5-9).  This bench verifies the assembly
+programmatically: per-variant forward-pass counts and loss-term
+inventories, timed over one full loss construction per variant.
+"""
+
+import numpy as np
+
+from repro.contrastive import ContrastiveQuantTrainer, CQVariant, SimCLRModel
+from repro.experiments import format_table
+from repro.models import resnet18
+from repro.nn.optim import Adam
+
+from .common import run_once
+
+EXPECTED_FORWARDS = {
+    CQVariant.A: 2,
+    CQVariant.B: 4,
+    CQVariant.C: 4,
+    CQVariant.QUANT: 2,
+}
+
+
+def _build_trainer(variant, seed=0):
+    rng = np.random.default_rng(seed)
+    encoder = resnet18(width_multiplier=0.0625, rng=rng)
+    model = SimCLRModel(encoder, projection_dim=8, rng=rng)
+    return ContrastiveQuantTrainer(
+        model, variant, "2-8", Adam(list(model.parameters()), lr=1e-3),
+        rng=np.random.default_rng(1),
+    )
+
+
+def test_figure1_pipeline_structure(benchmark):
+    rng = np.random.default_rng(3)
+    v1 = rng.normal(size=(8, 3, 12, 12)).astype(np.float32)
+    v2 = v1 + 0.05 * rng.normal(size=v1.shape).astype(np.float32)
+
+    def run():
+        report = {}
+        for variant in CQVariant:
+            trainer = _build_trainer(variant)
+            forwards = []
+            original = trainer._project
+
+            def spy(x, bits, _original=original, _forwards=forwards):
+                _forwards.append(bits)
+                return _original(x, bits)
+
+            trainer._project = spy
+            loss = trainer.compute_loss(v1, v2)
+            report[variant] = {
+                "terms": variant.loss_terms(),
+                "forwards": list(forwards),
+                "loss": float(loss.data),
+            }
+        return report
+
+    report = run_once(benchmark, run)
+
+    print()
+    print(format_table(
+        ["Pipeline", "Loss terms", "Encoder passes", "Example loss"],
+        [
+            [
+                variant.value,
+                " + ".join(info["terms"]),
+                len(info["forwards"]),
+                info["loss"],
+            ]
+            for variant, info in report.items()
+        ],
+        title="Figure 1: Contrastive Quant design pipelines",
+    ))
+
+    for variant, info in report.items():
+        assert len(info["forwards"]) == EXPECTED_FORWARDS[variant]
+        assert np.isfinite(info["loss"])
+        # Precisions used in the forward passes come from the sampled pair.
+        assert len(set(info["forwards"])) <= 2

@@ -1,0 +1,57 @@
+"""Table 2 — linear evaluation on the ImageNet-like dataset.
+
+Paper: SimCLR / CQ-C / CQ-A = 29.31 / 31.90 / 44.91 (ResNet-18)
+                              34.96 / 36.14 / 47.88 (ResNet-34)
+
+Shape under reproduction: CQ variants improve the frozen representation
+over SimCLR on the diverse dataset.
+"""
+
+import pytest
+
+from repro.experiments import MethodSpec, format_table, linear_eval_point
+
+from .common import (
+    cached_pretrain,
+    imagenet_like,
+    imagenet_protocol,
+    imagenet_pretrain_config,
+    run_once,
+    scaled_set,
+)
+
+METHODS = [
+    MethodSpec("SimCLR"),
+    MethodSpec("CQ-C (8-16)", variant="C", precision_set=scaled_set("8-16")),
+    MethodSpec("CQ-A (6-16)", variant="A", precision_set=scaled_set("6-16")),
+]
+
+
+@pytest.mark.parametrize("encoder", ["resnet18", "resnet34"])
+def test_table2_linear_eval(benchmark, encoder):
+    data = imagenet_like()
+    protocol = imagenet_protocol()
+    config = imagenet_pretrain_config(encoder)
+
+    def run():
+        return {
+            method.name: linear_eval_point(
+                cached_pretrain(method, "imagenet", config),
+                data.train, data.test, protocol,
+            )
+            for method in METHODS
+        }
+
+    scores = run_once(benchmark, run)
+
+    print()
+    print(format_table(
+        ["Method", "Linear eval acc (%)"],
+        [[name, value] for name, value in scores.items()],
+        title=f"Table 2 ({encoder}, ImageNet-like): linear evaluation",
+    ))
+
+    best_cq = max(scores["CQ-C (8-16)"], scores["CQ-A (6-16)"])
+    assert best_cq > scores["SimCLR"], (
+        f"expected a CQ variant to beat SimCLR under linear eval: {scores}"
+    )

@@ -1,0 +1,66 @@
+"""Table 5 — linear evaluation on six networks, CIFAR-like.
+
+Paper: CQ-C beats SimCLR on five of six networks (all but ResNet-18).
+
+Shape under reproduction: CQ-C's probe accuracy >= SimCLR's on the
+majority of networks.
+"""
+
+from repro.experiments import MethodSpec, format_table, linear_eval_point
+
+from .common import (
+    cached_pretrain,
+    cifar_like,
+    cifar_protocol,
+    cifar_pretrain_config,
+    run_once,
+    scaled_set,
+)
+
+NETWORKS = [
+    "resnet18", "resnet34", "resnet74", "resnet110", "resnet152",
+    "mobilenetv2",
+]
+
+METHODS = [
+    MethodSpec("SimCLR"),
+    MethodSpec("CQ-C (6-16)", variant="C", precision_set=scaled_set("6-16")),
+]
+
+
+def test_table5_cifar_linear(benchmark):
+    data = cifar_like()
+    protocol = cifar_protocol()
+
+    def run():
+        table = {}
+        for encoder in NETWORKS:
+            config = cifar_pretrain_config(encoder)
+            table[encoder] = {
+                method.name: linear_eval_point(
+                    cached_pretrain(method, "cifar", config),
+                    data.train, data.test, protocol,
+                )
+                for method in METHODS
+            }
+        return table
+
+    table = run_once(benchmark, run)
+
+    print()
+    print(format_table(
+        ["Network", "SimCLR", "CQ-C (6-16)"],
+        [
+            [net, scores["SimCLR"], scores["CQ-C (6-16)"]]
+            for net, scores in table.items()
+        ],
+        title="Table 5 (CIFAR-like): linear evaluation accuracy (%)",
+    ))
+
+    wins = sum(
+        scores["CQ-C (6-16)"] >= scores["SimCLR"]
+        for scores in table.values()
+    )
+    assert wins >= len(NETWORKS) // 2, (
+        f"CQ-C should win the linear probe on most networks: {table}"
+    )

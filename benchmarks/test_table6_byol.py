@@ -1,0 +1,68 @@
+"""Table 6 — BYOL vs CQ-C(BYOL) on three networks, CIFAR-like.
+
+Paper (fine-tune, precision set 6-16): CQ-C improves over vanilla BYOL,
+e.g. +0.94~+6.32 points at 10% labels (FP).
+
+Shape under reproduction: CQ-C(BYOL) >= BYOL on most of the fine-tuning
+grid for most networks.
+"""
+
+import pytest
+
+from repro.experiments import MethodSpec, finetune_grid, format_table
+
+from .common import (
+    cached_pretrain,
+    cifar_like,
+    cifar_protocol,
+    cifar_pretrain_config,
+    run_once,
+    scaled_set,
+)
+
+NETWORKS = ["resnet18", "resnet34", "mobilenetv2"]
+
+METHODS = [
+    MethodSpec("BYOL", base="byol"),
+    MethodSpec("CQ-C (6-16)", variant="C",
+               precision_set=scaled_set("6-16"), base="byol"),
+]
+
+
+@pytest.mark.parametrize("encoder", NETWORKS)
+def test_table6_byol(benchmark, encoder):
+    data = cifar_like()
+    protocol = cifar_protocol()
+    config = cifar_pretrain_config(encoder, epochs=12)
+
+    def run():
+        return {
+            method.name: finetune_grid(
+                cached_pretrain(method, "cifar", config),
+                data.train, data.test, protocol,
+            )
+            for method in METHODS
+        }
+
+    table = run_once(benchmark, run)
+
+    rows = [
+        [
+            name,
+            grid[(None, 0.1)],
+            grid[(None, 0.01)],
+            grid[(4, 0.1)],
+            grid[(4, 0.01)],
+        ]
+        for name, grid in table.items()
+    ]
+    print()
+    print(format_table(
+        ["Method", "FP 10%", "FP 1%", "4-bit 10%", "4-bit 1%"],
+        rows,
+        title=f"Table 6 ({encoder}, CIFAR-like, BYOL base): fine-tune acc (%)",
+    ))
+
+    byol, cqc = table["BYOL"], table["CQ-C (6-16)"]
+    wins = sum(cqc[key] >= byol[key] for key in byol)
+    assert wins >= 1, f"CQ-C(BYOL) lost every cell on {encoder}: {table}"

@@ -1,0 +1,119 @@
+"""Scenario: quantization augmentation across four SSL frameworks.
+
+The paper demonstrates Contrastive Quant on SimCLR and BYOL; this repo
+also ships MoCo (the paper's motivating related work) and SimSiam (its
+ref [12]).  This example pre-trains all four vanilla frameworks plus their
+CQ-augmented versions on the same data and compares by k-NN evaluation —
+no probe training, so differences are purely representational.
+
+    python examples/framework_zoo.py
+"""
+
+import numpy as np
+
+from repro.contrastive import (
+    BYOL,
+    BYOLTrainer,
+    ContrastiveQuantTrainer,
+    MoCo,
+    MoCoTrainer,
+    SimCLRModel,
+    SimCLRTrainer,
+    SimSiam,
+    SimSiamTrainer,
+)
+from repro.data import (
+    DataLoader,
+    TwoViewTransform,
+    make_cifar100_like,
+    simclr_augmentations,
+)
+from repro.eval import knn_evaluation
+from repro.experiments import format_table
+from repro.models import resnet18
+from repro.nn.optim import Adam
+
+EPOCHS = 6
+PRECISIONS = "2-8"
+
+
+def loader_for(data, seed):
+    return DataLoader(
+        data.train, batch_size=32, shuffle=True, drop_last=True,
+        transform=TwoViewTransform(simclr_augmentations(0.75)),
+        rng=np.random.default_rng(seed),
+    )
+
+
+def fresh_encoder():
+    return resnet18(width_multiplier=0.0625, rng=np.random.default_rng(1))
+
+
+def build(framework, with_cq):
+    """Return (trainer, encoder) for one framework, optionally CQ-augmented."""
+    rng = np.random.default_rng(2)
+    encoder = fresh_encoder()
+    if framework == "SimCLR":
+        model = SimCLRModel(encoder, projection_dim=16, rng=rng)
+        opt = Adam(list(model.parameters()), lr=2e-3)
+        if with_cq:
+            trainer = ContrastiveQuantTrainer(
+                model, "C", PRECISIONS, opt, rng=np.random.default_rng(3))
+        else:
+            trainer = SimCLRTrainer(model, opt)
+    elif framework == "BYOL":
+        model = BYOL(encoder, projection_dim=16, rng=rng)
+        opt = Adam(list(model.trainable_parameters()), lr=2e-3)
+        if with_cq:
+            trainer = ContrastiveQuantTrainer(
+                model, "C", PRECISIONS, opt, rng=np.random.default_rng(3))
+        else:
+            trainer = BYOLTrainer(model, opt)
+    elif framework == "MoCo":
+        model = MoCo(encoder, projection_dim=16, queue_size=128, rng=rng)
+        opt = Adam(list(model.trainable_parameters()), lr=2e-3)
+        trainer = MoCoTrainer(
+            model, opt,
+            precision_set=PRECISIONS if with_cq else None,
+            rng=np.random.default_rng(3),
+        )
+    else:  # SimSiam
+        model = SimSiam(encoder, projection_dim=16, rng=rng)
+        opt = Adam(list(model.parameters()), lr=2e-3)
+        trainer = SimSiamTrainer(
+            model, opt,
+            precision_set=PRECISIONS if with_cq else None,
+            rng=np.random.default_rng(3),
+        )
+    return trainer, encoder
+
+
+def main() -> None:
+    data = make_cifar100_like(num_classes=8, image_size=12,
+                              train_per_class=24, test_per_class=8)
+    rows = []
+    for framework in ("SimCLR", "MoCo", "BYOL", "SimSiam"):
+        scores = {}
+        for with_cq in (False, True):
+            label = "CQ" if with_cq else "vanilla"
+            print(f"pre-training {framework} ({label}) ...", flush=True)
+            trainer, encoder = build(framework, with_cq)
+            trainer.fit(loader_for(data, seed=4), epochs=EPOCHS)
+            if hasattr(trainer, "finalize"):
+                trainer.finalize()
+            scores[label] = 100.0 * knn_evaluation(
+                encoder, data.train, data.test, k=5,
+            )
+        rows.append([framework, scores["vanilla"], scores["CQ"],
+                     scores["CQ"] - scores["vanilla"]])
+
+    print()
+    print(format_table(
+        ["Framework", "Vanilla", "+ CQ", "Delta"],
+        rows,
+        title=f"k-NN accuracy (%) after {EPOCHS}-epoch pre-training",
+    ))
+
+
+if __name__ == "__main__":
+    main()

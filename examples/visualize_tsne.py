@@ -1,0 +1,57 @@
+"""Scenario: inspect learned representations with t-SNE (paper Fig. 2).
+
+Pre-trains SimCLR and CQ-C, embeds the test-set features with the
+from-scratch t-SNE implementation, prints an ASCII scatter of each
+embedding, and reports the linear-separability score.
+
+    python examples/visualize_tsne.py
+"""
+
+import numpy as np
+
+from repro.data import make_cifar100_like
+from repro.eval import extract_features, linear_separability, tsne
+from repro.experiments import MethodSpec, PretrainConfig, pretrain
+
+
+def ascii_scatter(embedding: np.ndarray, labels: np.ndarray,
+                  width: int = 60, height: int = 22) -> str:
+    """Render a 2-D embedding as character art, one glyph per class."""
+    glyphs = "ox+*#@%&$"
+    grid = [[" "] * width for _ in range(height)]
+    mins = embedding.min(axis=0)
+    spans = embedding.max(axis=0) - mins + 1e-9
+    for point, label in zip(embedding, labels):
+        col = int((point[0] - mins[0]) / spans[0] * (width - 1))
+        row = int((point[1] - mins[1]) / spans[1] * (height - 1))
+        grid[row][col] = glyphs[int(label) % len(glyphs)]
+    border = "+" + "-" * width + "+"
+    return "\n".join([border] + ["|" + "".join(r) + "|" for r in grid]
+                     + [border])
+
+
+def main() -> None:
+    data = make_cifar100_like(num_classes=5, image_size=12,
+                              train_per_class=32, test_per_class=14)
+    config = PretrainConfig(encoder="resnet34", width_multiplier=0.0625,
+                            epochs=10, batch_size=32,
+                            augmentation_strength=1.0)
+
+    for method in (
+        MethodSpec("SimCLR"),
+        MethodSpec("CQ-C", variant="C", precision_set="2-8"),
+    ):
+        print(f"\npre-training {method.name} ...")
+        outcome = pretrain(method, data.train, config)
+        encoder = outcome.make_encoder(quantized=False)
+        features, labels = extract_features(encoder, data.test)
+        embedding = tsne(features, perplexity=8.0, iterations=250,
+                         rng=np.random.default_rng(0))
+        score = 100.0 * linear_separability(embedding, labels)
+        print(f"{method.name}: t-SNE embedding "
+              f"(linear separability {score:.1f}%)")
+        print(ascii_scatter(embedding, labels))
+
+
+if __name__ == "__main__":
+    main()

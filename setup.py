@@ -1,0 +1,11 @@
+"""Setuptools entry point (kept for legacy editable installs offline)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

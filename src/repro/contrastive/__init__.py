@@ -1,0 +1,33 @@
+"""Contrastive learning: SimCLR, BYOL, and the Contrastive Quant framework.
+
+The paper's contribution lives in :mod:`repro.contrastive.cq`: quantization
+noise at randomly sampled precisions is treated as an augmentation of
+weights and activations, combined with input augmentations according to one
+of three pipelines (CQ-A, CQ-B, CQ-C) or used alone (CQ-Quant ablation).
+"""
+
+from .byol import BYOL, BYOLTrainer
+from .cq import CQVariant, ContrastiveQuantTrainer
+from .losses import byol_loss, info_nce, nt_xent
+from .moco import MoCo, MoCoTrainer
+from .perturb import GaussianWeightNoise, NoiseContrastiveTrainer
+from .simclr import SimCLRModel, SimCLRTrainer
+from .simsiam import SimSiam, SimSiamTrainer
+
+__all__ = [
+    "info_nce",
+    "nt_xent",
+    "byol_loss",
+    "SimCLRModel",
+    "SimCLRTrainer",
+    "BYOL",
+    "BYOLTrainer",
+    "MoCo",
+    "MoCoTrainer",
+    "SimSiam",
+    "SimSiamTrainer",
+    "CQVariant",
+    "ContrastiveQuantTrainer",
+    "GaussianWeightNoise",
+    "NoiseContrastiveTrainer",
+]

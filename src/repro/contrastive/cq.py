@@ -1,0 +1,276 @@
+"""Contrastive Quant: quantization as augmentation (the paper's core).
+
+Per training iteration, two precisions ``(q1, q2)`` are sampled from a
+:class:`~repro.quant.PrecisionSet` and the encoder's quantized modules are
+switched between them, producing differently-augmented weights/activations.
+The three pipelines of Fig. 1 combine this with input augmentations:
+
+``CQ-A`` (Eq. 5)
+    Sequential augmentation — each view is encoded at its own precision::
+
+        Loss = NCE(F_q1(Aug1(x)), F_q2(Aug2(x)))
+
+``CQ-B`` (Eqs. 6-8)
+    Per-precision view consistency only::
+
+        Loss = NCE(f1, f1+) + NCE(f2, f2+)
+
+``CQ-C`` (Eq. 9)
+    CQ-B plus explicit cross-precision consistency within each view::
+
+        Loss = NCE(f1, f1+) + NCE(f2, f2+) + NCE(f1, f2) + NCE(f1+, f2+)
+
+``CQ-Quant`` (Sec. 4.5 ablation)
+    Quantization is the *only* augmentation::
+
+        Loss = NCE(F_q1(x), F_q2(x))
+
+where ``f_i = F_qi(Aug1(x))`` and ``f_i+ = F_qi(Aug2(x))``.
+
+The same pipelines apply on top of BYOL with NCE replaced by BYOL's
+regression loss; view-consistency terms regress online predictions onto the
+(full-precision, stop-gradient) target projections, and the cross-precision
+terms regress the two online predictions onto each other with alternating
+stop-gradients (SimSiam-style) to preclude collapse.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..nn.optim import Optimizer
+from ..nn.tensor import Tensor
+from ..quant import PrecisionSet, count_quantized_modules, quantize_model, set_precision
+from .byol import BYOL
+from .losses import byol_loss, nt_xent
+from .simclr import SimCLRModel
+
+__all__ = ["CQVariant", "ContrastiveQuantTrainer"]
+
+
+class CQVariant(enum.Enum):
+    """The design pipelines of Fig. 1 (+ the quantization-only ablation)."""
+
+    A = "cq-a"
+    B = "cq-b"
+    C = "cq-c"
+    QUANT = "cq-quant"
+
+    @classmethod
+    def parse(cls, value: Union[str, "CQVariant"]) -> "CQVariant":
+        if isinstance(value, cls):
+            return value
+        normalized = value.lower().replace("_", "-")
+        for variant in cls:
+            if normalized in (variant.value, variant.name.lower()):
+                return variant
+        raise ValueError(
+            f"unknown CQ variant {value!r}; expected one of "
+            f"{[v.value for v in cls]}"
+        )
+
+    def loss_terms(self) -> List[str]:
+        """Human-readable inventory of the NCE terms (Fig. 1 / bench)."""
+        if self is CQVariant.A:
+            return ["NCE(F_q1(Aug1(x)), F_q2(Aug2(x)))"]
+        if self is CQVariant.B:
+            return ["NCE(f1, f1+)", "NCE(f2, f2+)"]
+        if self is CQVariant.C:
+            return [
+                "NCE(f1, f1+)",
+                "NCE(f2, f2+)",
+                "NCE(f1, f2)",
+                "NCE(f1+, f2+)",
+            ]
+        return ["NCE(F_q1(x), F_q2(x))"]
+
+
+class ContrastiveQuantTrainer:
+    """Contrastive Quant on top of SimCLR or BYOL.
+
+    Parameters
+    ----------
+    method:
+        A :class:`SimCLRModel` or :class:`BYOL` instance.  The encoder (the
+        online encoder for BYOL) is converted with
+        :func:`repro.quant.quantize_model` if it has no quantized modules
+        yet; projection/prediction heads stay full precision, matching the
+        paper's "encoder quantized to different precisions".
+    variant:
+        One of :class:`CQVariant` (or its string name).
+    precision_set:
+        The per-iteration sampling set, e.g. ``"6-16"``.
+    optimizer:
+        Optimizer over the method's trainable parameters.
+    rng:
+        Precision-sampling generator (kept separate from data shuffling so
+        runs stay reproducible).
+    max_grad_norm:
+        Optional global-norm gradient clipping — the paper observes CQ-B can
+        diverge with exploding gradients; clipping is off by default so the
+        phenomenon is observable, and benches may enable it.
+    """
+
+    def __init__(
+        self,
+        method: Union[SimCLRModel, BYOL],
+        variant: Union[str, CQVariant],
+        precision_set: Union[str, PrecisionSet],
+        optimizer: Optimizer,
+        rng: Optional[np.random.Generator] = None,
+        temperature: float = 0.5,
+        max_grad_norm: Optional[float] = None,
+        precision_sampler=None,
+    ) -> None:
+        if not isinstance(method, (SimCLRModel, BYOL)):
+            raise TypeError(
+                f"method must be SimCLRModel or BYOL, got {type(method).__name__}"
+            )
+        self.method = method
+        self.variant = CQVariant.parse(variant)
+        self.precision_set = PrecisionSet.parse(precision_set)
+        self.optimizer = optimizer
+        self.rng = rng or np.random.default_rng()
+        self.temperature = temperature
+        self.max_grad_norm = max_grad_norm
+        #: optional schedule object with ``next_pair() -> (q1, q2)``; when
+        #: None the paper's uniform per-iteration sampling is used (see
+        #: repro.quant.schedule for the CPT-style alternative).
+        self.precision_sampler = precision_sampler
+        self.history: List[float] = []
+        self.grad_norms: List[float] = []
+
+        encoder = self._encoder()
+        if count_quantized_modules(encoder) == 0:
+            quantize_model(encoder)
+
+    # -- plumbing ----------------------------------------------------------
+    @property
+    def is_byol(self) -> bool:
+        return isinstance(self.method, BYOL)
+
+    def _encoder(self):
+        return (
+            self.method.online_encoder if self.is_byol else self.method.encoder
+        )
+
+    def _project(self, x: Tensor, bits: int) -> Tensor:
+        """Forward at precision ``bits`` through the full (SimCLR) model."""
+        set_precision(self._encoder(), bits)
+        if self.is_byol:
+            return self.method.online_forward(x)
+        return self.method(x)
+
+    def _target(self, x: Tensor) -> Tensor:
+        """BYOL target projection at full precision, detached."""
+        target_encoder = self.method.target_encoder
+        if count_quantized_modules(target_encoder) > 0:
+            set_precision(target_encoder, None)
+        return self.method.target_forward(x)
+
+    def _pair_loss(self, a: Tensor, b: Tensor) -> Tensor:
+        """NT-Xent for SimCLR; symmetric detached regression for BYOL."""
+        if self.is_byol:
+            return 0.5 * (
+                byol_loss(a, b.detach()) + byol_loss(b, a.detach())
+            )
+        return nt_xent(a, b, self.temperature)
+
+    # -- loss assembly (Fig. 1) -------------------------------------------------
+    def compute_loss(self, view1: np.ndarray, view2: np.ndarray) -> Tensor:
+        if self.precision_sampler is not None:
+            q1, q2 = self.precision_sampler.next_pair()
+        else:
+            q1, q2 = self.precision_set.sample_pair(self.rng)
+        v1, v2 = Tensor(view1), Tensor(view2)
+
+        if self.variant is CQVariant.A:
+            return self._loss_a(v1, v2, q1, q2)
+        if self.variant is CQVariant.QUANT:
+            return self._loss_quant(v1, q1, q2)
+        return self._loss_bc(v1, v2, q1, q2)
+
+    def _loss_a(self, v1, v2, q1, q2) -> Tensor:
+        f = self._project(v1, q1)
+        f_pos = self._project(v2, q2)
+        if self.is_byol:
+            return 0.5 * (
+                byol_loss(f, self._target(v2)) + byol_loss(f_pos, self._target(v1))
+            )
+        return nt_xent(f, f_pos, self.temperature)
+
+    def _loss_quant(self, x, q1, q2) -> Tensor:
+        f1 = self._project(x, q1)
+        f2 = self._project(x, q2)
+        return self._pair_loss(f1, f2)
+
+    def _loss_bc(self, v1, v2, q1, q2) -> Tensor:
+        f1 = self._project(v1, q1)
+        f1_pos = self._project(v2, q1)
+        f2 = self._project(v1, q2)
+        f2_pos = self._project(v2, q2)
+
+        if self.is_byol:
+            t1, t2 = self._target(v1), self._target(v2)
+            loss = 0.25 * (
+                byol_loss(f1, t2) + byol_loss(f1_pos, t1)
+                + byol_loss(f2, t2) + byol_loss(f2_pos, t1)
+            )
+        else:
+            loss = nt_xent(f1, f1_pos, self.temperature) + nt_xent(
+                f2, f2_pos, self.temperature
+            )
+        if self.variant is CQVariant.C:
+            loss = loss + self._pair_loss(f1, f2) + self._pair_loss(
+                f1_pos, f2_pos
+            )
+        return loss
+
+    # -- training loop -------------------------------------------------------------
+    def _parameters(self):
+        if self.is_byol:
+            return list(self.method.trainable_parameters())
+        return list(self.method.parameters())
+
+    def train_step(self, view1: np.ndarray, view2: np.ndarray) -> float:
+        from ..nn.optim import clip_grad_norm, global_grad_norm
+
+        self.optimizer.zero_grad()
+        loss = self.compute_loss(view1, view2)
+        loss.backward()
+        params = self._parameters()
+        if self.max_grad_norm is not None:
+            norm = clip_grad_norm(params, self.max_grad_norm)
+        else:
+            norm = global_grad_norm(params)
+        self.grad_norms.append(norm)
+        self.optimizer.step()
+        if self.is_byol:
+            self.method.update_target()
+        return float(loss.data)
+
+    def train_epoch(self, loader) -> float:
+        self.method.train()
+        losses = [
+            self.train_step(view1, view2) for view1, view2, _ in loader
+        ]
+        epoch_loss = float(np.mean(losses)) if losses else float("nan")
+        self.history.append(epoch_loss)
+        return epoch_loss
+
+    def fit(self, loader, epochs: int, scheduler=None) -> Dict[str, List[float]]:
+        """Pre-train for ``epochs``; returns loss and grad-norm histories."""
+        for _ in range(epochs):
+            if scheduler is not None:
+                scheduler.step()
+            self.train_epoch(loader)
+        return {"loss": self.history, "grad_norm": self.grad_norms}
+
+    def finalize(self) -> None:
+        """Restore the encoder to full precision after pre-training."""
+        set_precision(self._encoder(), None)
+        if self.is_byol and count_quantized_modules(self.method.target_encoder):
+            set_precision(self.method.target_encoder, None)

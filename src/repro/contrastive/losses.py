@@ -1,0 +1,78 @@
+"""Contrastive loss functions.
+
+- :func:`info_nce` — the generic NCE objective of the paper's Eq. 2.
+- :func:`nt_xent` — SimCLR's normalized-temperature cross entropy; this is
+  what the paper substitutes for Eq. 2 when building on SimCLR (Sec. 3.4).
+- :func:`byol_loss` — BYOL's normalized MSE, equal to ``2 - 2 cos(p, z)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor, as_tensor
+
+__all__ = ["info_nce", "nt_xent", "byol_loss"]
+
+
+def info_nce(features: Tensor, positives: Tensor, temperature: float = 0.5):
+    """InfoNCE (Eq. 2): positives are row-aligned; negatives are the rest.
+
+    ``features`` and ``positives`` are (N, D); for row ``i`` the positive is
+    ``positives[i]`` and the negatives are ``positives[j != i]``.
+    """
+    _check_pair(features, positives)
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    f = F.normalize(features, axis=1)
+    fp = F.normalize(positives, axis=1)
+    logits = F.matmul(f, F.transpose(fp)) / temperature  # (N, N)
+    n = features.shape[0]
+    targets = np.arange(n)
+    log_probs = F.log_softmax(logits, axis=1)
+    return -F.mean(log_probs[targets, targets])
+
+
+def nt_xent(z1: Tensor, z2: Tensor, temperature: float = 0.5):
+    """SimCLR's NT-Xent over a batch of positive pairs.
+
+    Builds the 2N x 2N cosine-similarity matrix, masks the diagonal, and
+    treats ``(i, i+N)`` as the positive pair in both directions.
+    """
+    _check_pair(z1, z2)
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    n = z1.shape[0]
+    if n < 2:
+        raise ValueError("nt_xent needs a batch of at least 2 pairs")
+    z = F.normalize(F.concat([z1, z2], axis=0), axis=1)  # (2N, D)
+    sim = F.matmul(z, F.transpose(z)) / temperature
+    # Mask self-similarity with a large negative constant (additive mask
+    # keeps the op graph simple and the softmax numerically safe).
+    mask = Tensor(np.eye(2 * n, dtype=np.float32) * -1e9)
+    log_probs = F.log_softmax(sim + mask, axis=1)
+    targets = np.concatenate([np.arange(n, 2 * n), np.arange(0, n)])
+    picked = log_probs[np.arange(2 * n), targets]
+    return -F.mean(picked)
+
+
+def byol_loss(prediction: Tensor, target: Tensor):
+    """BYOL's regression loss: ``2 - 2 * cos(p, z)``, averaged over the batch.
+
+    ``target`` must already be detached (stop-gradient) by the caller — the
+    loss itself is symmetric machinery only.
+    """
+    _check_pair(prediction, target)
+    cos = F.cosine_similarity(prediction, target, axis=1)
+    return F.mean(2.0 - 2.0 * cos)
+
+
+def _check_pair(a: Tensor, b: Tensor) -> None:
+    a, b = as_tensor(a), as_tensor(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(
+            f"expected (N, D) feature matrices, got {a.shape} and {b.shape}"
+        )
+    if a.shape != b.shape:
+        raise ValueError(f"feature shapes differ: {a.shape} vs {b.shape}")

@@ -1,0 +1,117 @@
+"""SimSiam: siamese representation learning with stop-gradient only.
+
+SimSiam [Chen & He, 2020] is the paper's reference [12]: no negatives, no
+momentum encoder — one branch predicts the other's projection while the
+target side is detached.  ``precision_set`` optionally applies
+Contrastive Quant augmentation (CQ-C style cross-precision consistency)
+to the shared encoder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from .. import nn
+from ..models.heads import PredictionHead, ProjectionHead
+from ..nn.optim import Optimizer
+from ..nn.tensor import Tensor
+from ..quant import PrecisionSet, count_quantized_modules, quantize_model, set_precision
+from .losses import byol_loss
+
+__all__ = ["SimSiam", "SimSiamTrainer"]
+
+
+class SimSiam(nn.Module):
+    """Shared encoder + projector, with a predictor on the online path."""
+
+    def __init__(
+        self,
+        encoder: nn.Module,
+        projection_dim: int = 32,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.encoder = encoder
+        self.projector = ProjectionHead(
+            encoder.feature_dim, out_dim=projection_dim, rng=rng
+        )
+        self.predictor = PredictionHead(
+            projection_dim, projection_dim, projection_dim, rng=rng
+        )
+
+    def project(self, x) -> Tensor:
+        return self.projector(self.encoder(x))
+
+    def predict(self, z: Tensor) -> Tensor:
+        return self.predictor(z)
+
+
+class SimSiamTrainer:
+    """Symmetric stop-gradient loss: D(p1, z2)/2 + D(p2, z1)/2.
+
+    With ``precision_set``, each view's projection is computed at a
+    per-iteration sampled precision, and the symmetric loss enforces
+    cross-precision consistency — the CQ mechanism on a negative-free,
+    EMA-free base.
+    """
+
+    def __init__(
+        self,
+        model: SimSiam,
+        optimizer: Optimizer,
+        precision_set: Optional[Union[str, PrecisionSet]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.rng = rng or np.random.default_rng()
+        self.precision_set = (
+            PrecisionSet.parse(precision_set) if precision_set else None
+        )
+        if self.precision_set is not None:
+            if count_quantized_modules(model.encoder) == 0:
+                quantize_model(model.encoder)
+        self.history: List[float] = []
+
+    def _project(self, x: Tensor, bits: Optional[int]) -> Tensor:
+        if self.precision_set is not None:
+            set_precision(self.model.encoder, bits)
+        return self.model.project(x)
+
+    def compute_loss(self, view1: np.ndarray, view2: np.ndarray) -> Tensor:
+        if self.precision_set is not None:
+            q1, q2 = self.precision_set.sample_pair(self.rng)
+        else:
+            q1 = q2 = None
+        v1, v2 = Tensor(view1), Tensor(view2)
+        z1 = self._project(v1, q1)
+        z2 = self._project(v2, q2)
+        p1 = self.model.predict(z1)
+        p2 = self.model.predict(z2)
+        return 0.5 * (byol_loss(p1, z2.detach()) + byol_loss(p2, z1.detach()))
+
+    def train_step(self, view1: np.ndarray, view2: np.ndarray) -> float:
+        self.optimizer.zero_grad()
+        loss = self.compute_loss(view1, view2)
+        loss.backward()
+        self.optimizer.step()
+        return float(loss.data)
+
+    def train_epoch(self, loader) -> float:
+        self.model.train()
+        losses = [self.train_step(v1, v2) for v1, v2, _ in loader]
+        epoch_loss = float(np.mean(losses)) if losses else float("nan")
+        self.history.append(epoch_loss)
+        return epoch_loss
+
+    def fit(self, loader, epochs: int) -> Dict[str, List[float]]:
+        for _ in range(epochs):
+            self.train_epoch(loader)
+        return {"loss": self.history}
+
+    def finalize(self) -> None:
+        if self.precision_set is not None:
+            set_precision(self.model.encoder, None)

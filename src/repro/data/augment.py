@@ -1,0 +1,227 @@
+"""Input augmentations (numpy, CHW float images in [0, 1]).
+
+The pipeline mirrors SimCLR's recipe: random resized crop, horizontal flip,
+color jitter, random grayscale, Gaussian blur.  Every op is a callable
+``op(image, rng) -> image`` so the whole pipeline is deterministic given the
+loader's generator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "resize_bilinear",
+    "Compose",
+    "RandomResizedCrop",
+    "RandomHorizontalFlip",
+    "ColorJitter",
+    "RandomGrayscale",
+    "GaussianBlur",
+    "GaussianNoise",
+    "Cutout",
+    "TwoViewTransform",
+    "simclr_augmentations",
+]
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+def resize_bilinear(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Bilinear resize of a CHW image."""
+    c, h, w = image.shape
+    if (h, w) == (out_h, out_w):
+        return image.copy()
+    # Sample positions in source coordinates (align corners = False style).
+    ys = (np.arange(out_h) + 0.5) * h / out_h - 0.5
+    xs = (np.arange(out_w) + 0.5) * w / out_w - 0.5
+    ys = np.clip(ys, 0, h - 1)
+    xs = np.clip(xs, 0, w - 1)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0)[None, :, None]
+    wx = (xs - x0)[None, None, :]
+    top = image[:, y0][:, :, x0] * (1 - wx) + image[:, y0][:, :, x1] * wx
+    bottom = image[:, y1][:, :, x0] * (1 - wx) + image[:, y1][:, :, x1] * wx
+    return (top * (1 - wy) + bottom * wy).astype(image.dtype)
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Transform]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image, rng)
+        return image
+
+
+class RandomResizedCrop:
+    """Crop a random area/aspect patch and resize back to the input size."""
+
+    def __init__(
+        self,
+        scale: Tuple[float, float] = (0.4, 1.0),
+        ratio: Tuple[float, float] = (0.75, 1.333),
+    ) -> None:
+        if not 0 < scale[0] <= scale[1] <= 1.0:
+            raise ValueError(f"invalid scale range {scale}")
+        self.scale = scale
+        self.ratio = ratio
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        c, h, w = image.shape
+        area = h * w
+        for _ in range(10):
+            target_area = area * rng.uniform(*self.scale)
+            aspect = np.exp(rng.uniform(np.log(self.ratio[0]),
+                                        np.log(self.ratio[1])))
+            crop_w = int(round(np.sqrt(target_area * aspect)))
+            crop_h = int(round(np.sqrt(target_area / aspect)))
+            if 0 < crop_w <= w and 0 < crop_h <= h:
+                top = rng.integers(0, h - crop_h + 1)
+                left = rng.integers(0, w - crop_w + 1)
+                patch = image[:, top : top + crop_h, left : left + crop_w]
+                return resize_bilinear(patch, h, w)
+        return image.copy()  # fallback: degenerate geometry
+
+
+class RandomHorizontalFlip:
+    def __init__(self, p: float = 0.5) -> None:
+        self.p = p
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if rng.random() < self.p:
+            return image[:, :, ::-1].copy()
+        return image
+
+
+class ColorJitter:
+    """Random brightness / contrast / saturation perturbation."""
+
+    def __init__(
+        self,
+        brightness: float = 0.4,
+        contrast: float = 0.4,
+        saturation: float = 0.4,
+    ) -> None:
+        self.brightness = brightness
+        self.contrast = contrast
+        self.saturation = saturation
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = image.astype(np.float32)
+        if self.brightness:
+            out = out * (1.0 + rng.uniform(-self.brightness, self.brightness))
+        if self.contrast:
+            factor = 1.0 + rng.uniform(-self.contrast, self.contrast)
+            mean = out.mean()
+            out = (out - mean) * factor + mean
+        if self.saturation:
+            factor = 1.0 + rng.uniform(-self.saturation, self.saturation)
+            gray = out.mean(axis=0, keepdims=True)
+            out = gray + (out - gray) * factor
+        return np.clip(out, 0.0, 1.0)
+
+
+class RandomGrayscale:
+    def __init__(self, p: float = 0.2) -> None:
+        self.p = p
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if rng.random() < self.p:
+            gray = image.mean(axis=0, keepdims=True)
+            return np.repeat(gray, image.shape[0], axis=0)
+        return image
+
+
+class GaussianBlur:
+    """Separable Gaussian blur with randomly sampled sigma."""
+
+    def __init__(self, sigma: Tuple[float, float] = (0.1, 1.0), p: float = 0.5) -> None:
+        self.sigma = sigma
+        self.p = p
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if rng.random() >= self.p:
+            return image
+        sigma = rng.uniform(*self.sigma)
+        radius = max(1, int(2 * sigma))
+        offsets = np.arange(-radius, radius + 1)
+        kernel = np.exp(-(offsets**2) / (2 * sigma**2))
+        kernel /= kernel.sum()
+        padded = np.pad(image, ((0, 0), (radius, radius), (0, 0)), mode="edge")
+        out = np.zeros_like(image)
+        for i, k in enumerate(kernel):
+            out += k * padded[:, i : i + image.shape[1], :]
+        padded = np.pad(out, ((0, 0), (0, 0), (radius, radius)), mode="edge")
+        final = np.zeros_like(image)
+        for i, k in enumerate(kernel):
+            final += k * padded[:, :, i : i + image.shape[2]]
+        return final
+
+
+class GaussianNoise:
+    def __init__(self, std: float = 0.02) -> None:
+        if std < 0:
+            raise ValueError(f"std must be non-negative, got {std}")
+        self.std = std
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.std == 0:
+            return image
+        noisy = image + rng.normal(0, self.std, size=image.shape)
+        return np.clip(noisy, 0.0, 1.0).astype(np.float32)
+
+
+class Cutout:
+    """Zero a random square patch."""
+
+    def __init__(self, size_fraction: float = 0.25, p: float = 0.5) -> None:
+        self.size_fraction = size_fraction
+        self.p = p
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if rng.random() >= self.p:
+            return image
+        c, h, w = image.shape
+        ch = max(1, int(h * self.size_fraction))
+        cw = max(1, int(w * self.size_fraction))
+        top = rng.integers(0, h - ch + 1)
+        left = rng.integers(0, w - cw + 1)
+        out = image.copy()
+        out[:, top : top + ch, left : left + cw] = 0.0
+        return out
+
+
+class TwoViewTransform:
+    """Produce two independently augmented views (SimCLR positive pair)."""
+
+    def __init__(self, transform: Transform) -> None:
+        self.transform = transform
+
+    def __call__(
+        self, image: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return self.transform(image, rng), self.transform(image, rng)
+
+
+def simclr_augmentations(strength: float = 1.0) -> Compose:
+    """The SimCLR augmentation recipe, scaled by ``strength``."""
+    if strength < 0:
+        raise ValueError(f"strength must be non-negative, got {strength}")
+    return Compose(
+        [
+            RandomResizedCrop(scale=(max(0.2, 1.0 - 0.6 * strength), 1.0)),
+            RandomHorizontalFlip(),
+            ColorJitter(0.4 * strength, 0.4 * strength, 0.4 * strength),
+            RandomGrayscale(p=0.2 * strength),
+            GaussianBlur(p=0.3 * strength),
+        ]
+    )

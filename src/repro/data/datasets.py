@@ -1,0 +1,162 @@
+"""Dataset / DataLoader abstractions and semi-supervised label splits."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "Subset",
+    "DataLoader",
+    "stratified_label_fraction",
+]
+
+
+class Dataset:
+    """Minimal map-style dataset interface."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int):
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dataset over in-memory arrays: (images CHW float32, integer labels)."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray) -> None:
+        images = np.asarray(images, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(images) != len(labels):
+            raise ValueError(
+                f"{len(images)} images but {len(labels)} labels"
+            )
+        self.images = images
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+    def save(self, path: str) -> None:
+        """Persist images and labels to a compressed ``.npz`` file."""
+        np.savez_compressed(path, images=self.images, labels=self.labels)
+
+    @classmethod
+    def load(cls, path: str) -> "ArrayDataset":
+        """Load a dataset written by :meth:`save`."""
+        with np.load(path) as archive:
+            return cls(archive["images"], archive["labels"])
+
+
+class Subset(Dataset):
+    """View of a dataset restricted to ``indices``."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]) -> None:
+        self.dataset = dataset
+        self.indices = list(int(i) for i in indices)
+        n = len(dataset)
+        for i in self.indices:
+            if not 0 <= i < n:
+                raise IndexError(f"index {i} out of range for dataset of {n}")
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int):
+        return self.dataset[self.indices[index]]
+
+
+def stratified_label_fraction(
+    labels: np.ndarray,
+    fraction: float,
+    rng: np.random.Generator,
+    min_per_class: int = 1,
+) -> np.ndarray:
+    """Indices of a class-stratified ``fraction`` of the labels.
+
+    This implements the paper's semi-supervised protocol (fine-tuning with
+    10% or 1% labels): each class keeps ``max(min_per_class,
+    round(fraction * class_count))`` examples, sampled without replacement.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    labels = np.asarray(labels)
+    picked: List[np.ndarray] = []
+    for cls in np.unique(labels):
+        members = np.flatnonzero(labels == cls)
+        keep = max(min_per_class, int(round(fraction * len(members))))
+        keep = min(keep, len(members))
+        picked.append(rng.choice(members, size=keep, replace=False))
+    return np.sort(np.concatenate(picked))
+
+
+class DataLoader:
+    """Mini-batch iterator with shuffling and optional transform.
+
+    ``transform(image, rng) -> image-or-tuple`` is applied per sample; when
+    it returns a tuple (e.g. two augmented views), the loader yields one
+    stacked array per tuple slot, enabling the two-view contrastive batches.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        transform: Optional[Callable] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.transform = transform
+        self.rng = rng or np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return math.ceil(n / self.batch_size)
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, ...]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            chunk = order[start : start + self.batch_size]
+            if self.drop_last and len(chunk) < self.batch_size:
+                return
+            yield self._collate(chunk)
+
+    def _collate(self, indices: np.ndarray):
+        images, labels = [], []
+        for i in indices:
+            image, label = self.dataset[int(i)]
+            if self.transform is not None:
+                image = self.transform(image, self.rng)
+            images.append(image)
+            labels.append(label)
+        labels_arr = np.asarray(labels, dtype=np.int64)
+        if isinstance(images[0], tuple):
+            views = tuple(
+                np.stack([img[v] for img in images]).astype(np.float32)
+                for v in range(len(images[0]))
+            )
+            return (*views, labels_arr)
+        return np.stack(images).astype(np.float32), labels_arr

@@ -1,0 +1,145 @@
+"""Semi-supervised fine-tuning (the paper's primary evaluation protocol).
+
+A pretrained encoder receives a linear classification head and the whole
+network is fine-tuned on a stratified 10% or 1% label subset with SGD
+(momentum 0.9) and cosine learning-rate decay from 0.1 — the settings of
+Sec. 4.1.  Evaluation runs either at full precision or with the encoder
+fixed at 4-bit (``precision=4``), matching the paper's two deployment
+columns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..data.datasets import ArrayDataset, DataLoader, Subset, stratified_label_fraction
+from ..nn.optim import SGD, CosineAnnealingLR
+from ..nn.tensor import Tensor
+from ..quant import count_quantized_modules, set_precision
+from .metrics import accuracy
+
+__all__ = ["attach_classifier", "finetune", "FinetuneResult", "evaluate_classifier"]
+
+
+class ClassifierModel(nn.Module):
+    """Encoder + linear classification head."""
+
+    def __init__(self, encoder: nn.Module, num_classes: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.encoder = encoder
+        self.head = nn.Linear(encoder.feature_dim, num_classes, rng=rng)
+
+    def forward(self, x):
+        return self.head(self.encoder(x))
+
+
+def attach_classifier(
+    encoder: nn.Module,
+    num_classes: int,
+    rng: Optional[np.random.Generator] = None,
+) -> ClassifierModel:
+    """Attach a fresh linear head to a (pretrained) encoder."""
+    if num_classes < 2:
+        raise ValueError(f"need >= 2 classes, got {num_classes}")
+    return ClassifierModel(encoder, num_classes, rng=rng)
+
+
+@dataclasses.dataclass
+class FinetuneResult:
+    """Outcome of a fine-tuning run."""
+
+    test_accuracy: float
+    train_losses: List[float]
+    label_fraction: float
+    precision: Optional[int]
+
+    @property
+    def test_accuracy_percent(self) -> float:
+        return 100.0 * self.test_accuracy
+
+
+def evaluate_classifier(
+    model: nn.Module,
+    dataset: ArrayDataset,
+    batch_size: int = 64,
+    precision: Optional[int] = None,
+) -> float:
+    """Test accuracy of a classifier model over a dataset."""
+    model.eval()
+    if precision is not None:
+        set_precision(model.encoder, precision)
+    logits_all, labels_all = [], []
+    loader = DataLoader(dataset, batch_size=batch_size)
+    with nn.no_grad():
+        for images, labels in loader:
+            logits_all.append(model(Tensor(images)).data)
+            labels_all.append(labels)
+    return accuracy(np.concatenate(logits_all), np.concatenate(labels_all))
+
+
+def finetune(
+    encoder: nn.Module,
+    train: ArrayDataset,
+    test: ArrayDataset,
+    label_fraction: float = 0.1,
+    precision: Optional[int] = None,
+    epochs: int = 10,
+    batch_size: int = 32,
+    lr: float = 0.1,
+    momentum: float = 0.9,
+    rng: Optional[np.random.Generator] = None,
+) -> FinetuneResult:
+    """Fine-tune ``encoder`` + fresh head on a label fraction; report accuracy.
+
+    ``precision`` fixes the encoder's quantized modules to that bit-width
+    for both fine-tuning and evaluation (the paper's "4-bit" column keeps a
+    fixed precision to stabilise weight/activation distributions); ``None``
+    runs at full precision.  The encoder is modified in place — callers
+    reload state dicts between runs.
+    """
+    rng = rng or np.random.default_rng()
+    num_classes = train.num_classes
+    model = attach_classifier(encoder, num_classes, rng=rng)
+
+    if precision is not None:
+        if count_quantized_modules(encoder) == 0:
+            raise ValueError(
+                "fixed-precision fine-tuning requires a quantized encoder "
+                "(run repro.quant.quantize_model first)"
+            )
+        set_precision(encoder, precision)
+    elif count_quantized_modules(encoder) > 0:
+        set_precision(encoder, None)
+
+    indices = stratified_label_fraction(train.labels, label_fraction, rng)
+    subset = Subset(train, indices)
+    loader = DataLoader(subset, batch_size=batch_size, shuffle=True, rng=rng)
+
+    optimizer = SGD(model.parameters(), lr=lr, momentum=momentum)
+    scheduler = CosineAnnealingLR(optimizer, t_max=epochs)
+
+    train_losses: List[float] = []
+    for _ in range(epochs):
+        scheduler.step()
+        model.train()
+        batch_losses = []
+        for images, labels in loader:
+            optimizer.zero_grad()
+            loss = nn.losses.cross_entropy(model(Tensor(images)), labels)
+            loss.backward()
+            optimizer.step()
+            batch_losses.append(float(loss.data))
+        train_losses.append(float(np.mean(batch_losses)))
+
+    test_acc = evaluate_classifier(model, test, precision=precision)
+    return FinetuneResult(
+        test_accuracy=test_acc,
+        train_losses=train_losses,
+        label_fraction=label_fraction,
+        precision=precision,
+    )

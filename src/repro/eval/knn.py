@@ -1,0 +1,71 @@
+"""k-nearest-neighbour evaluation of frozen representations.
+
+A standard label-efficient SSL evaluation protocol (weighted k-NN on
+cosine similarity over encoder features): no training at all, so it
+isolates representation quality from probe optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..data.datasets import ArrayDataset
+from .linear_eval import extract_features
+
+__all__ = ["knn_classify", "knn_evaluation"]
+
+
+def knn_classify(
+    train_features: np.ndarray,
+    train_labels: np.ndarray,
+    test_features: np.ndarray,
+    k: int = 5,
+    temperature: float = 0.07,
+) -> np.ndarray:
+    """Weighted k-NN predictions on cosine similarity.
+
+    Each neighbour votes with weight ``exp(cos / temperature)`` (the
+    protocol of Wu et al.'s instance discrimination, also used to evaluate
+    MoCo-style models).
+    """
+    if k < 1 or k > len(train_features):
+        raise ValueError(
+            f"k must be in [1, {len(train_features)}], got {k}"
+        )
+    train_norm = train_features / (
+        np.linalg.norm(train_features, axis=1, keepdims=True) + 1e-8
+    )
+    test_norm = test_features / (
+        np.linalg.norm(test_features, axis=1, keepdims=True) + 1e-8
+    )
+    similarity = test_norm @ train_norm.T  # (n_test, n_train)
+    num_classes = int(train_labels.max()) + 1
+    neighbours = np.argpartition(-similarity, kth=k - 1, axis=1)[:, :k]
+    predictions = np.empty(len(test_features), dtype=np.int64)
+    for i, idx in enumerate(neighbours):
+        weights = np.exp(similarity[i, idx] / temperature)
+        votes = np.zeros(num_classes)
+        np.add.at(votes, train_labels[idx], weights)
+        predictions[i] = int(votes.argmax())
+    return predictions
+
+
+def knn_evaluation(
+    encoder: nn.Module,
+    train: ArrayDataset,
+    test: ArrayDataset,
+    k: int = 5,
+    temperature: float = 0.07,
+    precision: Optional[int] = None,
+) -> float:
+    """k-NN accuracy of a frozen encoder's features (no training)."""
+    train_features, train_labels = extract_features(encoder, train,
+                                                    precision=precision)
+    test_features, test_labels = extract_features(encoder, test,
+                                                  precision=precision)
+    predictions = knn_classify(train_features, train_labels,
+                               test_features, k=k, temperature=temperature)
+    return float((predictions == test_labels).mean())

@@ -1,0 +1,84 @@
+"""Linear evaluation: frozen encoder, trained linear probe.
+
+Features are extracted once with the encoder in eval mode, then a linear
+softmax classifier is trained on them — the standard protocol for judging
+representation quality (Tables 2 and 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..data.datasets import ArrayDataset, DataLoader
+from ..nn.optim import SGD, CosineAnnealingLR
+from ..nn.tensor import Tensor
+from ..quant import count_quantized_modules, set_precision
+from .metrics import accuracy
+
+__all__ = ["extract_features", "linear_evaluation"]
+
+
+def extract_features(
+    encoder: nn.Module,
+    dataset: ArrayDataset,
+    batch_size: int = 64,
+    precision: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run the frozen encoder over a dataset; returns (features, labels)."""
+    encoder.eval()
+    if precision is not None and count_quantized_modules(encoder) > 0:
+        set_precision(encoder, precision)
+    elif count_quantized_modules(encoder) > 0:
+        set_precision(encoder, None)
+    features, labels_all = [], []
+    with nn.no_grad():
+        for images, labels in DataLoader(dataset, batch_size=batch_size):
+            features.append(encoder(Tensor(images)).data)
+            labels_all.append(labels)
+    return np.concatenate(features), np.concatenate(labels_all)
+
+
+def linear_evaluation(
+    encoder: nn.Module,
+    train: ArrayDataset,
+    test: ArrayDataset,
+    epochs: int = 30,
+    lr: float = 0.1,
+    batch_size: int = 64,
+    precision: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Train a linear probe on frozen features; return test accuracy."""
+    rng = rng or np.random.default_rng()
+    x_train, y_train = extract_features(encoder, train, batch_size, precision)
+    x_test, y_test = extract_features(encoder, test, batch_size, precision)
+
+    # Standardise features — the usual probe conditioning step.
+    mean = x_train.mean(axis=0, keepdims=True)
+    std = x_train.std(axis=0, keepdims=True) + 1e-6
+    x_train = (x_train - mean) / std
+    x_test = (x_test - mean) / std
+
+    probe = nn.Linear(x_train.shape[1], int(y_train.max()) + 1, rng=rng)
+    optimizer = SGD(probe.parameters(), lr=lr, momentum=0.9)
+    scheduler = CosineAnnealingLR(optimizer, t_max=epochs)
+
+    n = len(x_train)
+    for _ in range(epochs):
+        scheduler.step()
+        order = rng.permutation(n)
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            optimizer.zero_grad()
+            loss = nn.losses.cross_entropy(
+                probe(Tensor(x_train[idx])), y_train[idx]
+            )
+            loss.backward()
+            optimizer.step()
+
+    with nn.no_grad():
+        logits = probe(Tensor(x_test)).data
+    return accuracy(logits, y_test)

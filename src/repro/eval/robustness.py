@@ -1,0 +1,59 @@
+"""Deployment-precision robustness: accuracy across a bit-width sweep.
+
+An extension experiment suggested by the paper's premise: if quantization
+augmentation teaches feature consistency across precisions, a CQ-trained
+encoder should degrade more gracefully when deployed at precisions it was
+never fine-tuned for.  :func:`precision_sweep` measures a linear-probe
+accuracy curve over bit-widths (see
+``benchmarks/test_ablation_robustness.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..data.datasets import ArrayDataset
+from ..quant import count_quantized_modules
+from .linear_eval import linear_evaluation
+
+__all__ = ["precision_sweep", "area_under_precision_curve"]
+
+
+def precision_sweep(
+    encoder: nn.Module,
+    train: ArrayDataset,
+    test: ArrayDataset,
+    bit_widths: Sequence[int] = (2, 3, 4, 6, 8, 16),
+    epochs: int = 15,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[int, float]:
+    """Linear-probe accuracy (%) at each deployment bit-width.
+
+    The encoder must already be quantized (``quantize_model``); the probe
+    is retrained per precision because feature scales shift with the
+    quantization level.
+    """
+    if count_quantized_modules(encoder) == 0:
+        raise ValueError(
+            "precision_sweep requires a quantized encoder "
+            "(run repro.quant.quantize_model first)"
+        )
+    rng = rng or np.random.default_rng()
+    curve: Dict[int, float] = {}
+    for bits in bit_widths:
+        seed = int(rng.integers(0, 2**31))
+        curve[int(bits)] = 100.0 * linear_evaluation(
+            encoder, train, test, epochs=epochs, precision=int(bits),
+            rng=np.random.default_rng(seed),
+        )
+    return curve
+
+
+def area_under_precision_curve(curve: Dict[int, float]) -> float:
+    """Mean accuracy over the sweep — a single robustness score."""
+    if not curve:
+        raise ValueError("empty precision curve")
+    return float(np.mean(list(curve.values())))

@@ -1,0 +1,148 @@
+"""From-scratch t-SNE (Fig. 2) and a quantitative separability score.
+
+Exact (non-approximated) t-SNE: Gaussian affinities with per-point
+perplexity calibration by binary search, symmetrised, then KL-divergence
+gradient descent with momentum and early exaggeration — the original
+van der Maaten & Hinton recipe.  Figure 2 is qualitative in the paper; we
+additionally report :func:`linear_separability` so "better linear
+separability" becomes a measurable claim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["tsne", "linear_separability"]
+
+
+def _pairwise_sq_dists(x: np.ndarray) -> np.ndarray:
+    norms = (x ** 2).sum(axis=1)
+    d2 = norms[:, None] + norms[None, :] - 2.0 * (x @ x.T)
+    np.fill_diagonal(d2, 0.0)
+    return np.maximum(d2, 0.0)
+
+
+def _calibrated_affinities(
+    d2: np.ndarray, perplexity: float, tol: float = 1e-4, max_iter: int = 50
+) -> np.ndarray:
+    """Row-stochastic affinities whose entropy matches log(perplexity)."""
+    n = d2.shape[0]
+    target_entropy = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        lo, hi = 1e-20, 1e20
+        beta = 1.0  # precision 1 / (2 sigma^2)
+        row = np.delete(d2[i], i)
+        for _ in range(max_iter):
+            logits = -beta * row
+            logits -= logits.max()
+            exp = np.exp(logits)
+            prob = exp / exp.sum()
+            entropy = -np.sum(prob * np.log(prob + 1e-12))
+            if abs(entropy - target_entropy) < tol:
+                break
+            if entropy > target_entropy:
+                lo = beta
+                beta = beta * 2 if hi >= 1e20 else (beta + hi) / 2
+            else:
+                hi = beta
+                beta = beta / 2 if lo <= 1e-20 else (beta + lo) / 2
+        p[i, np.arange(n) != i] = prob
+    return p
+
+
+def tsne(
+    features: np.ndarray,
+    n_components: int = 2,
+    perplexity: float = 10.0,
+    iterations: int = 300,
+    learning_rate: float = 100.0,
+    early_exaggeration: float = 4.0,
+    exaggeration_iters: int = 50,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Embed ``features`` (N, D) into ``n_components`` dimensions.
+
+    Returns the (N, n_components) embedding.  ``perplexity`` must satisfy
+    ``3 * perplexity < N`` (the usual sanity bound).
+    """
+    features = np.asarray(features, dtype=np.float64)
+    n = features.shape[0]
+    if n < 5:
+        raise ValueError(f"t-SNE needs at least 5 points, got {n}")
+    if 3 * perplexity >= n:
+        raise ValueError(
+            f"perplexity {perplexity} too large for {n} points"
+        )
+    rng = rng or np.random.default_rng(0)
+
+    p = _calibrated_affinities(_pairwise_sq_dists(features), perplexity)
+    p = (p + p.T) / (2.0 * n)
+    p = np.maximum(p, 1e-12)
+
+    y = 1e-4 * rng.normal(size=(n, n_components))
+    update = np.zeros_like(y)
+    gains = np.ones_like(y)
+
+    for iteration in range(iterations):
+        exaggeration = early_exaggeration if iteration < exaggeration_iters else 1.0
+        d2 = _pairwise_sq_dists(y)
+        q_num = 1.0 / (1.0 + d2)
+        np.fill_diagonal(q_num, 0.0)
+        q = np.maximum(q_num / q_num.sum(), 1e-12)
+
+        pq = (exaggeration * p - q) * q_num
+        grad = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+
+        momentum = 0.5 if iteration < 100 else 0.8
+        same_sign = np.sign(grad) == np.sign(update)
+        gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+        gains = np.maximum(gains, 0.01)
+        update = momentum * update - learning_rate * gains * grad
+        y = y + update
+        y = y - y.mean(axis=0, keepdims=True)
+    return y
+
+
+def kl_divergence(features: np.ndarray, embedding: np.ndarray,
+                  perplexity: float = 10.0) -> float:
+    """KL(P || Q) of a t-SNE embedding — lower means a more faithful map."""
+    n = features.shape[0]
+    p = _calibrated_affinities(_pairwise_sq_dists(
+        np.asarray(features, dtype=np.float64)), perplexity)
+    p = np.maximum((p + p.T) / (2.0 * n), 1e-12)
+    d2 = _pairwise_sq_dists(np.asarray(embedding, dtype=np.float64))
+    q_num = 1.0 / (1.0 + d2)
+    np.fill_diagonal(q_num, 0.0)
+    q = np.maximum(q_num / q_num.sum(), 1e-12)
+    return float(np.sum(p * np.log(p / q)))
+
+
+def linear_separability(
+    embedding: np.ndarray,
+    labels: np.ndarray,
+    l2: float = 1e-2,
+) -> float:
+    """Accuracy of a one-vs-rest ridge classifier on the embedding.
+
+    Quantifies Fig. 2's visual claim: higher means the classes are more
+    linearly separable in the embedded space.
+    """
+    embedding = np.asarray(embedding, dtype=np.float64)
+    labels = np.asarray(labels)
+    if len(embedding) != len(labels):
+        raise ValueError(
+            f"{len(embedding)} points vs {len(labels)} labels"
+        )
+    classes = np.unique(labels)
+    if len(classes) < 2:
+        raise ValueError("need at least two classes")
+    x = np.concatenate([embedding, np.ones((len(embedding), 1))], axis=1)
+    onehot = (labels[:, None] == classes[None, :]).astype(np.float64)
+    w = np.linalg.solve(
+        x.T @ x + l2 * np.eye(x.shape[1]), x.T @ onehot
+    )
+    predictions = classes[np.argmax(x @ w, axis=1)]
+    return float((predictions == labels).mean())

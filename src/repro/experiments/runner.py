@@ -1,0 +1,229 @@
+"""Pretrain -> evaluate orchestration used by every benchmark table."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..contrastive import (
+    BYOL,
+    BYOLTrainer,
+    ContrastiveQuantTrainer,
+    SimCLRModel,
+    SimCLRTrainer,
+)
+from ..data import DataLoader, TwoViewTransform, simclr_augmentations
+from ..data.datasets import ArrayDataset
+from ..data.synthetic import SyntheticImages
+from ..eval import finetune, linear_evaluation
+from ..models import create_encoder
+from ..nn.optim import Adam
+from ..quant import quantize_model
+from .config import EvalProtocol, MethodSpec, PretrainConfig
+
+__all__ = [
+    "PretrainOutcome",
+    "pretrain",
+    "finetune_grid",
+    "linear_eval_point",
+    "run_method_table",
+    "untrained_outcome",
+]
+
+GridKey = Tuple[Optional[int], float]  # (precision, label fraction)
+
+
+@dataclasses.dataclass
+class PretrainOutcome:
+    """A pre-trained encoder, stored as reproducible state.
+
+    Downstream evaluations mutate encoders (fine-tuning, precision fixing),
+    so each evaluation cell materialises a fresh encoder via
+    :meth:`make_encoder` instead of sharing one instance.
+    """
+
+    method: MethodSpec
+    config: PretrainConfig
+    state: Dict[str, np.ndarray]
+    history: Dict[str, List[float]]
+
+    def make_encoder(self, quantized: bool = True):
+        encoder = create_encoder(
+            self.config.encoder,
+            width_multiplier=self.config.width_multiplier,
+            stem=self.config.stem,
+            rng=np.random.default_rng(self.config.seed),
+        )
+        encoder.load_state_dict(self.state)
+        if quantized:
+            quantize_model(encoder)
+        return encoder
+
+
+def _two_view_loader(
+    train: ArrayDataset, config: PretrainConfig, rng: np.random.Generator,
+    identity_views: bool = False,
+) -> DataLoader:
+    if identity_views:
+        transform = lambda image, _rng: (image, image)  # noqa: E731
+    else:
+        transform = TwoViewTransform(
+            simclr_augmentations(config.augmentation_strength)
+        )
+    return DataLoader(
+        train,
+        batch_size=config.batch_size,
+        shuffle=True,
+        drop_last=True,
+        transform=transform,
+        rng=rng,
+    )
+
+
+def pretrain(
+    method: MethodSpec,
+    train: ArrayDataset,
+    config: PretrainConfig,
+) -> PretrainOutcome:
+    """Pre-train one method and capture the encoder state.
+
+    The CQ-Quant variant (Sec. 4.5) trains on identity views — quantization
+    is its only augmentation — while every other method uses the SimCLR
+    augmentation recipe.
+    """
+    rng = np.random.default_rng(config.seed)
+    encoder = create_encoder(
+        config.encoder,
+        width_multiplier=config.width_multiplier,
+        stem=config.stem,
+        rng=np.random.default_rng(config.seed),
+    )
+
+    if method.base == "byol":
+        model = BYOL(
+            encoder,
+            projection_dim=config.projection_dim,
+            momentum=config.byol_momentum,
+            rng=rng,
+        )
+        params = list(model.trainable_parameters())
+    else:
+        model = SimCLRModel(encoder, projection_dim=config.projection_dim,
+                            rng=rng)
+        params = list(model.parameters())
+    optimizer = Adam(params, lr=config.lr)
+
+    identity_views = False
+    if method.is_baseline:
+        if method.base == "byol":
+            trainer = BYOLTrainer(model, optimizer)
+        else:
+            trainer = SimCLRTrainer(model, optimizer,
+                                    temperature=config.temperature)
+    else:
+        trainer = ContrastiveQuantTrainer(
+            model,
+            method.variant,
+            method.precision_set,
+            optimizer,
+            rng=np.random.default_rng(config.seed + 7),
+            temperature=config.temperature,
+        )
+        identity_views = trainer.variant.name == "QUANT"
+
+    loader = _two_view_loader(train, config,
+                              np.random.default_rng(config.seed + 13),
+                              identity_views=identity_views)
+    history = trainer.fit(loader, epochs=config.epochs)
+    if isinstance(trainer, ContrastiveQuantTrainer):
+        trainer.finalize()
+
+    return PretrainOutcome(
+        method=method,
+        config=config,
+        state=encoder.state_dict(),
+        history=history,
+    )
+
+
+def untrained_outcome(method_name: str, config: PretrainConfig) -> PretrainOutcome:
+    """A "No SSL Training" baseline: freshly initialised encoder state."""
+    encoder = create_encoder(
+        config.encoder,
+        width_multiplier=config.width_multiplier,
+        stem=config.stem,
+        rng=np.random.default_rng(config.seed),
+    )
+    return PretrainOutcome(
+        method=MethodSpec(name=method_name),
+        config=config,
+        state=encoder.state_dict(),
+        history={"loss": []},
+    )
+
+
+def finetune_grid(
+    outcome: PretrainOutcome,
+    train: ArrayDataset,
+    test: ArrayDataset,
+    protocol: EvalProtocol,
+) -> Dict[GridKey, float]:
+    """Fine-tune over the (precision x label-fraction) grid; values in %."""
+    results: Dict[GridKey, float] = {}
+    for precision in protocol.precisions:
+        for fraction in protocol.label_fractions:
+            accuracies = []
+            for seed_offset in range(protocol.num_seeds):
+                encoder = outcome.make_encoder(quantized=True)
+                result = finetune(
+                    encoder,
+                    train,
+                    test,
+                    label_fraction=fraction,
+                    precision=precision,
+                    epochs=protocol.finetune_epochs,
+                    batch_size=protocol.batch_size,
+                    lr=protocol.finetune_lr,
+                    rng=np.random.default_rng(protocol.seed + seed_offset),
+                )
+                accuracies.append(result.test_accuracy_percent)
+            results[(precision, fraction)] = float(np.mean(accuracies))
+    return results
+
+
+def linear_eval_point(
+    outcome: PretrainOutcome,
+    train: ArrayDataset,
+    test: ArrayDataset,
+    protocol: EvalProtocol,
+    precision: Optional[int] = None,
+) -> float:
+    """Linear-evaluation accuracy (%) for one pre-trained encoder."""
+    encoder = outcome.make_encoder(quantized=precision is not None)
+    return 100.0 * linear_evaluation(
+        encoder,
+        train,
+        test,
+        epochs=protocol.linear_epochs,
+        batch_size=protocol.batch_size,
+        precision=precision,
+        rng=np.random.default_rng(protocol.seed),
+    )
+
+
+def run_method_table(
+    methods: List[MethodSpec],
+    data: SyntheticImages,
+    config: PretrainConfig,
+    protocol: EvalProtocol,
+) -> Dict[str, Dict[GridKey, float]]:
+    """Pretrain every method and fine-tune over the grid (one table)."""
+    table: Dict[str, Dict[GridKey, float]] = {}
+    for method in methods:
+        outcome = pretrain(method, data.train, config)
+        table[method.name] = finetune_grid(
+            outcome, data.train, data.test, protocol
+        )
+    return table

@@ -1,0 +1,68 @@
+"""Monospace table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "render_grid_rows"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table (the shape the paper's tables take)."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    divider = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(divider)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_grid_rows(
+    table: Dict[str, Dict[Tuple[Optional[int], float], float]],
+    precisions: Sequence[Optional[int]],
+    fractions: Sequence[float],
+    leading: Optional[Dict[str, Sequence[object]]] = None,
+) -> Tuple[List[str], List[List[object]]]:
+    """Convert a method -> grid mapping into (headers, rows) for display.
+
+    ``leading`` optionally maps method name to extra leading columns
+    (e.g. the network name).
+    """
+    headers: List[str] = ["Method"]
+    if leading:
+        lead_width = len(next(iter(leading.values())))
+        headers = [f"col{i}" for i in range(lead_width)] + headers
+    for precision in precisions:
+        tag = "FP" if precision is None else f"{precision}-bit"
+        for fraction in fractions:
+            headers.append(f"{tag} {int(round(fraction * 100))}%")
+    rows: List[List[object]] = []
+    for method, grid in table.items():
+        row: List[object] = []
+        if leading:
+            row.extend(leading[method])
+        row.append(method)
+        for precision in precisions:
+            for fraction in fractions:
+                row.append(grid[(precision, fraction)])
+        rows.append(row)
+    return headers, rows

@@ -1,0 +1,39 @@
+"""Encoder architectures used by the paper's experiments.
+
+- ResNet-18/34 (ImageNet-style stem) — Tables 1-3.
+- ResNet-18/34/74/110/152 (CIFAR-style stem, the 6n+2 family for the deep
+  variants) — Tables 4-8.
+- MobileNetV2 — Tables 4-7.
+- Projection / prediction MLP heads — SimCLR and BYOL.
+
+All constructors take ``width_multiplier`` so the benchmark harness can run
+faithfully-shaped but CPU-sized models, and an explicit ``rng`` for
+deterministic initialization.
+"""
+
+from .heads import PredictionHead, ProjectionHead
+from .mobilenetv2 import MobileNetV2, mobilenet_v2
+from .registry import available_encoders, create_encoder
+from .resnet import (
+    ResNet,
+    resnet18,
+    resnet34,
+    resnet74,
+    resnet110,
+    resnet152,
+)
+
+__all__ = [
+    "ResNet",
+    "resnet18",
+    "resnet34",
+    "resnet74",
+    "resnet110",
+    "resnet152",
+    "MobileNetV2",
+    "mobilenet_v2",
+    "ProjectionHead",
+    "PredictionHead",
+    "create_encoder",
+    "available_encoders",
+]

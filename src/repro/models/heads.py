@@ -1,0 +1,47 @@
+"""Projection and prediction heads for contrastive learning.
+
+SimCLR attaches a projection head (2-layer MLP) after the encoder; BYOL
+additionally attaches a prediction head on the online branch.  Both follow
+the Linear -> BN -> ReLU -> Linear shape of the reference implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+
+__all__ = ["ProjectionHead", "PredictionHead"]
+
+
+class ProjectionHead(nn.Module):
+    """2-layer MLP projection head (SimCLR's ``g(.)``)."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: Optional[int] = None,
+        out_dim: int = 64,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        hidden_dim = hidden_dim or in_dim
+        self.fc1 = nn.Linear(in_dim, hidden_dim, rng=rng)
+        self.bn = nn.BatchNorm1d(hidden_dim)
+        self.fc2 = nn.Linear(hidden_dim, out_dim, bias=False, rng=rng)
+        self.out_dim = out_dim
+
+    def forward(self, x):
+        return self.fc2(F.relu(self.bn(self.fc1(x))))
+
+
+class PredictionHead(ProjectionHead):
+    """BYOL's online-branch predictor ``q(.)`` — same MLP shape.
+
+    A distinct class keeps checkpoint names and intent explicit even though
+    the architecture matches the projection head.
+    """

@@ -1,0 +1,123 @@
+"""MobileNetV2 encoder (inverted residual bottlenecks, depthwise convs)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+
+__all__ = ["InvertedResidual", "MobileNetV2", "mobilenet_v2"]
+
+#: (expansion t, output channels c, repeats n, stride s) — Table 2 of the
+#: MobileNetV2 paper.
+_DEFAULT_CONFIG: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def _make_divisible(value: float, divisor: int = 4) -> int:
+    """Round channel counts to a multiple of ``divisor`` (min ``divisor``)."""
+    return max(divisor, int(value + divisor / 2) // divisor * divisor)
+
+
+class _ConvBNReLU(nn.Module):
+    def __init__(self, inp, outp, kernel, stride, groups, rng):
+        super().__init__()
+        self.conv = nn.Conv2d(
+            inp, outp, kernel, stride=stride, padding=kernel // 2,
+            groups=groups, bias=False, rng=rng,
+        )
+        self.bn = nn.BatchNorm2d(outp)
+
+    def forward(self, x):
+        return F.relu6(self.bn(self.conv(x)))
+
+
+class InvertedResidual(nn.Module):
+    """Expand (1x1) -> depthwise (3x3) -> project (1x1, linear)."""
+
+    def __init__(self, inp: int, outp: int, stride: int, expand_ratio: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        if stride not in (1, 2):
+            raise ValueError(f"stride must be 1 or 2, got {stride}")
+        hidden = int(round(inp * expand_ratio))
+        self.use_residual = stride == 1 and inp == outp
+
+        layers: List[nn.Module] = []
+        if expand_ratio != 1:
+            layers.append(_ConvBNReLU(inp, hidden, 1, 1, 1, rng))
+        layers.append(_ConvBNReLU(hidden, hidden, 3, stride, hidden, rng))
+        self.body = nn.Sequential(*layers)
+        self.project = nn.Conv2d(hidden, outp, 1, bias=False, rng=rng)
+        self.project_bn = nn.BatchNorm2d(outp)
+
+    def forward(self, x):
+        out = self.project_bn(self.project(self.body(x)))
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class MobileNetV2(nn.Module):
+    """MobileNetV2 feature extractor.
+
+    ``small_input=True`` (CIFAR-scale images) uses a stride-1 stem and
+    drops the first stage-stride, following common CIFAR adaptations.
+    """
+
+    def __init__(
+        self,
+        width_multiplier: float = 1.0,
+        config: Sequence[Tuple[int, int, int, int]] = _DEFAULT_CONFIG,
+        small_input: bool = True,
+        in_channels: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        stem_width = _make_divisible(32 * width_multiplier)
+        last_width = _make_divisible(1280 * min(1.0, width_multiplier * 4))
+
+        stem_stride = 1 if small_input else 2
+        self.stem = _ConvBNReLU(in_channels, stem_width, 3, stem_stride, 1, rng)
+
+        blocks: List[nn.Module] = []
+        current = stem_width
+        for i, (t, c, n, s) in enumerate(config):
+            outp = _make_divisible(c * width_multiplier)
+            for j in range(n):
+                stride = s if j == 0 else 1
+                if small_input and i == 1 and j == 0:
+                    stride = 1  # keep early resolution on small images
+                blocks.append(InvertedResidual(current, outp, stride, t, rng))
+                current = outp
+        self.blocks = nn.Sequential(*blocks)
+        self.head = _ConvBNReLU(current, last_width, 1, 1, 1, rng)
+        self.feature_dim = last_width
+
+    def forward(self, x):
+        return F.global_avg_pool2d(self.forward_spatial(x))
+
+    def forward_spatial(self, x):
+        """Feature map before pooling — used by the detection head."""
+        return self.head(self.blocks(self.stem(x)))
+
+
+def mobilenet_v2(
+    width_multiplier: float = 1.0,
+    small_input: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> MobileNetV2:
+    """Standard MobileNetV2 configuration."""
+    return MobileNetV2(width_multiplier=width_multiplier,
+                       small_input=small_input, rng=rng)

@@ -1,0 +1,51 @@
+"""Name-based encoder construction for experiment configs."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .mobilenetv2 import mobilenet_v2
+from .resnet import resnet18, resnet34, resnet74, resnet110, resnet152
+
+__all__ = ["create_encoder", "available_encoders"]
+
+_BUILDERS: Dict[str, Callable] = {
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+    "resnet74": resnet74,
+    "resnet110": resnet110,
+    "resnet152": resnet152,
+    "mobilenetv2": mobilenet_v2,
+}
+
+#: Encoders that accept a ``stem`` argument (ImageNet vs CIFAR stems).
+_HAS_STEM = {"resnet18", "resnet34"}
+
+
+def available_encoders():
+    """Names accepted by :func:`create_encoder`."""
+    return sorted(_BUILDERS)
+
+
+def create_encoder(
+    name: str,
+    width_multiplier: float = 1.0,
+    stem: str = "cifar",
+    rng: Optional[np.random.Generator] = None,
+):
+    """Build an encoder by name.
+
+    Returns a model exposing ``feature_dim`` and ``forward(x) -> (N, D)``.
+    ``stem`` only applies to resnet18/34 (others are inherently small-input).
+    """
+    key = name.lower().replace("-", "").replace("_", "")
+    if key not in _BUILDERS:
+        raise ValueError(
+            f"unknown encoder {name!r}; available: {available_encoders()}"
+        )
+    if key in _HAS_STEM:
+        return _BUILDERS[key](stem=stem, width_multiplier=width_multiplier,
+                              rng=rng)
+    return _BUILDERS[key](width_multiplier=width_multiplier, rng=rng)

@@ -1,0 +1,65 @@
+"""``repro.nn`` — a compact numpy-based deep-learning substrate.
+
+Provides reverse-mode autograd (:mod:`tensor`, :mod:`autograd`), layers,
+optimizers, schedulers, and losses.  It substitutes for PyTorch in this
+reproduction: the Contrastive Quant training pipelines only require
+differentiable encoders with fake quantization in the forward pass, which
+this package supplies end to end.
+"""
+
+from . import functional, init, losses, optim
+from .autograd import enable_grad, is_grad_enabled, no_grad
+from .layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    GlobalAvgPool2d,
+    GroupNorm,
+    Identity,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ModuleList,
+    ReLU,
+    ReLU6,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .module import Module, Parameter
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "Module",
+    "Parameter",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "functional",
+    "init",
+    "losses",
+    "optim",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "GroupNorm",
+    "LayerNorm",
+    "ReLU",
+    "ReLU6",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Dropout",
+    "Sequential",
+    "ModuleList",
+    "Identity",
+]

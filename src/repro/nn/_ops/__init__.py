@@ -1,0 +1,6 @@
+"""Internal differentiable-operation implementations.
+
+Each submodule defines :class:`~repro.nn.autograd.Function` subclasses for a
+family of operations.  The public entry points live in
+:mod:`repro.nn.functional`; client code should not import from here.
+"""

@@ -1,0 +1,127 @@
+"""2-D convolution via im2col, with stride, padding, and groups support.
+
+Groups are handled fully vectorised: the im2col buffer is laid out as
+``(N, groups, C_in/groups * kh * kw, OH * OW)`` and contracted against the
+weight viewed as ``(groups, C_out/groups, C_in/groups * kh * kw)`` with a
+single batched matmul.  Depthwise convolution (MobileNetV2) is therefore as
+fast as a grouped GEMM rather than a Python loop over channels.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..autograd import Function
+
+
+def conv2d_output_shape(
+    in_size: Tuple[int, int],
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[int, int]:
+    """Spatial output size of a conv/pool with the given geometry."""
+    oh = (in_size[0] + 2 * padding[0] - kernel_size[0]) // stride[0] + 1
+    ow = (in_size[1] + 2 * padding[1] - kernel_size[1]) // stride[1] + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"convolution output would be empty: input {in_size}, "
+            f"kernel {kernel_size}, stride {stride}, padding {padding}"
+        )
+    return oh, ow
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
+    """Return patches of shape (N, C, kh, kw, OH, OW) from padded input."""
+    windows = sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::sh, ::sw, :, :]  # (N, C, OH, OW, kh, kw)
+    return np.ascontiguousarray(windows.transpose(0, 1, 4, 5, 2, 3))
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, ...],
+    kh: int,
+    kw: int,
+    sh: int,
+    sw: int,
+) -> np.ndarray:
+    """Scatter-add patches (N, C, kh, kw, OH, OW) back to (N, C, H, W)."""
+    n, c, h, w = x_shape
+    out = np.zeros((n, c, h, w), dtype=cols.dtype)
+    oh, ow = cols.shape[4], cols.shape[5]
+    for i in range(kh):
+        h_end = i + sh * oh
+        for j in range(kw):
+            w_end = j + sw * ow
+            out[:, :, i:h_end:sh, j:w_end:sw] += cols[:, :, i, j]
+    return out
+
+
+class Conv2d(Function):
+    """Grouped 2-D cross-correlation (deep-learning ``conv``)."""
+
+    def forward(self, x, weight, bias=None, stride=(1, 1), padding=(0, 0), groups=1):
+        self.stride, self.padding, self.groups = stride, padding, groups
+        self.has_bias = bias is not None
+        self.x_shape = x.shape
+        n, c_in, h, w = x.shape
+        c_out, c_in_g, kh, kw = weight.shape
+        if c_in != c_in_g * groups:
+            raise ValueError(
+                f"input channels {c_in} incompatible with weight "
+                f"{weight.shape} and groups={groups}"
+            )
+        ph, pw = padding
+        if ph or pw:
+            x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+        self.padded_shape = x.shape
+        oh, ow = conv2d_output_shape((h, w), (kh, kw), stride, padding)
+
+        cols = _im2col(x, kh, kw, *stride)  # (N, C_in, kh, kw, OH, OW)
+        cols = cols.reshape(n, groups, c_in_g * kh * kw, oh * ow)
+        w_mat = weight.reshape(groups, c_out // groups, c_in_g * kh * kw)
+        # (N, g, C_out/g, OH*OW)
+        out = np.matmul(w_mat[None], cols)
+        out = out.reshape(n, c_out, oh, ow)
+        if bias is not None:
+            out = out + bias.reshape(1, c_out, 1, 1)
+        self.cols = cols
+        self.weight = weight
+        return out
+
+    def backward(self, grad):
+        n, c_out, oh, ow = grad.shape
+        groups = self.groups
+        c_out_g = c_out // groups
+        kh, kw = self.weight.shape[2], self.weight.shape[3]
+        c_in_g = self.weight.shape[1]
+        sh, sw = self.stride
+        ph, pw = self.padding
+
+        grad_mat = grad.reshape(n, groups, c_out_g, oh * ow)
+
+        # dL/dW: contract over batch and spatial positions.
+        grad_w = np.einsum("ngop,ngkp->gok", grad_mat, self.cols)
+        grad_w = grad_w.reshape(self.weight.shape)
+
+        # dL/dcols -> dL/dx via col2im.
+        w_mat = self.weight.reshape(groups, c_out_g, c_in_g * kh * kw)
+        grad_cols = np.matmul(np.swapaxes(w_mat, 1, 2)[None], grad_mat)
+        grad_cols = grad_cols.reshape(n, groups * c_in_g, kh, kw, oh, ow)
+        grad_x_padded = _col2im(
+            grad_cols, self.padded_shape, kh, kw, sh, sw
+        )
+        if ph or pw:
+            h, w = self.x_shape[2], self.x_shape[3]
+            grad_x = grad_x_padded[:, :, ph : ph + h, pw : pw + w]
+        else:
+            grad_x = grad_x_padded
+
+        grads = [grad_x, grad_w]
+        if self.has_bias:
+            grads.append(grad.sum(axis=(0, 2, 3)))
+        return tuple(grads[: len(self.parents)])

@@ -1,0 +1,84 @@
+"""2-D pooling operations (max and average)."""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..autograd import Function
+from .conv import conv2d_output_shape
+
+
+def _pooled_windows(x, kernel, stride):
+    """Return strided windows (N, C, OH, OW, kh, kw)."""
+    kh, kw = kernel
+    sh, sw = stride
+    windows = sliding_window_view(x, (kh, kw), axis=(2, 3))
+    return windows[:, :, ::sh, ::sw, :, :]
+
+
+class MaxPool2d(Function):
+    def forward(self, x, kernel_size=(2, 2), stride=None, padding=(0, 0)):
+        stride = stride or kernel_size
+        self.kernel, self.stride, self.padding = kernel_size, stride, padding
+        self.x_shape = x.shape
+        ph, pw = padding
+        if ph or pw:
+            x = np.pad(
+                x,
+                ((0, 0), (0, 0), (ph, ph), (pw, pw)),
+                mode="constant",
+                constant_values=-np.inf,
+            )
+        self.padded_shape = x.shape
+        windows = _pooled_windows(x, kernel_size, stride)
+        n, c, oh, ow, kh, kw = windows.shape
+        flat = windows.reshape(n, c, oh, ow, kh * kw)
+        self.argmax = flat.argmax(axis=-1)
+        return flat.max(axis=-1)
+
+    def backward(self, grad):
+        n, c, oh, ow = grad.shape
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.padding
+        out = np.zeros(self.padded_shape, dtype=grad.dtype)
+        # Scatter each pooled gradient to the argmax location of its window.
+        idx_h = self.argmax // kw
+        idx_w = self.argmax % kw
+        n_idx, c_idx, oh_idx, ow_idx = np.indices((n, c, oh, ow))
+        rows = oh_idx * sh + idx_h
+        cols = ow_idx * sw + idx_w
+        np.add.at(out, (n_idx, c_idx, rows, cols), grad)
+        if ph or pw:
+            h, w = self.x_shape[2], self.x_shape[3]
+            out = out[:, :, ph : ph + h, pw : pw + w]
+        return (out,)
+
+
+class AvgPool2d(Function):
+    def forward(self, x, kernel_size=(2, 2), stride=None, padding=(0, 0)):
+        stride = stride or kernel_size
+        self.kernel, self.stride, self.padding = kernel_size, stride, padding
+        self.x_shape = x.shape
+        ph, pw = padding
+        if ph or pw:
+            x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+        self.padded_shape = x.shape
+        windows = _pooled_windows(x, kernel_size, stride)
+        return windows.mean(axis=(-2, -1))
+
+    def backward(self, grad):
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.padding
+        oh, ow = grad.shape[2], grad.shape[3]
+        out = np.zeros(self.padded_shape, dtype=grad.dtype)
+        share = grad / (kh * kw)
+        for i in range(kh):
+            for j in range(kw):
+                out[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += share
+        if ph or pw:
+            h, w = self.x_shape[2], self.x_shape[3]
+            out = out[:, :, ph : ph + h, pw : pw + w]
+        return (out,)

@@ -1,0 +1,105 @@
+"""Weight-initialization schemes.
+
+All initializers take an explicit ``rng`` so model construction is fully
+deterministic given a seed — a requirement for reproducible experiments on
+this stack (there is no global framework seed).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "xavier_normal",
+    "normal",
+    "uniform",
+    "zeros",
+    "ones",
+    "compute_fans",
+]
+
+
+def compute_fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return (fan_in, fan_out) for dense or convolutional weight shapes."""
+    if len(shape) < 1:
+        raise ValueError("weight must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:  # (out, in)
+        return shape[1], shape[0]
+    receptive = int(np.prod(shape[2:]))  # (out, in, kh, kw)
+    return shape[1] * receptive, shape[0] * receptive
+
+
+def kaiming_normal(
+    shape: Tuple[int, ...],
+    rng: np.random.Generator,
+    nonlinearity: str = "relu",
+) -> np.ndarray:
+    """He-normal initialization, suited to ReLU-family networks."""
+    fan_in, _ = compute_fans(shape)
+    gain = math.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    std = gain / math.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...],
+    rng: np.random.Generator,
+    nonlinearity: str = "relu",
+) -> np.ndarray:
+    """He-uniform initialization (bound = gain * sqrt(3/fan_in))."""
+    fan_in, _ = compute_fans(shape)
+    gain = math.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform initialization over fan_in + fan_out."""
+    fan_in, fan_out = compute_fans(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot-normal initialization over fan_in + fan_out."""
+    fan_in, fan_out = compute_fans(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def normal(
+    shape: Tuple[int, ...],
+    rng: np.random.Generator,
+    mean: float = 0.0,
+    std: float = 0.01,
+) -> np.ndarray:
+    """Gaussian initialization with explicit mean/std."""
+    return rng.normal(mean, std, size=shape).astype(np.float32)
+
+
+def uniform(
+    shape: Tuple[int, ...],
+    rng: np.random.Generator,
+    low: float = -0.05,
+    high: float = 0.05,
+) -> np.ndarray:
+    """Uniform initialization over [low, high]."""
+    return rng.uniform(low, high, size=shape).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """All-zero initialization (biases, BN shifts)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """All-one initialization (BN scales)."""
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,31 @@
+"""Neural-network layers built on the module system."""
+
+from .activation import LeakyReLU, ReLU, ReLU6, Sigmoid, Tanh
+from .container import Identity, ModuleList, Sequential
+from .conv import Conv2d
+from .dropout import Dropout
+from .groupnorm import GroupNorm, LayerNorm
+from .linear import Linear
+from .norm import BatchNorm1d, BatchNorm2d
+from .pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+
+__all__ = [
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "GroupNorm",
+    "LayerNorm",
+    "ReLU",
+    "ReLU6",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Dropout",
+    "Sequential",
+    "ModuleList",
+    "Identity",
+]

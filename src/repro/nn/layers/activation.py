@@ -1,0 +1,39 @@
+"""Activation layers (thin Module wrappers over functional ops)."""
+
+from __future__ import annotations
+
+from .. import functional as F
+from ..module import Module
+
+__all__ = ["ReLU", "ReLU6", "LeakyReLU", "Sigmoid", "Tanh"]
+
+
+class ReLU(Module):
+    def forward(self, x):
+        return F.relu(x)
+
+
+class ReLU6(Module):
+    """ReLU clamped at 6, as used throughout MobileNetV2."""
+
+    def forward(self, x):
+        return F.relu6(x)
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x):
+        return F.leaky_relu(x, self.negative_slope)
+
+
+class Sigmoid(Module):
+    def forward(self, x):
+        return F.sigmoid(x)
+
+
+class Tanh(Module):
+    def forward(self, x):
+        return F.tanh(x)

@@ -1,0 +1,69 @@
+"""Container modules: Sequential, ModuleList, Identity."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..module import Module
+
+__all__ = ["Sequential", "ModuleList", "Identity"]
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for i, module in enumerate(modules):
+            setattr(self, str(i), module)
+
+    def forward(self, x):
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+
+class ModuleList(Module):
+    """List of registered submodules (no implicit forward)."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        self._size = 0
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        setattr(self, str(self._size), module)
+        self._size += 1
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return (getattr(self, str(i)) for i in range(self._size))
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, index: int) -> Module:
+        if isinstance(index, slice):
+            return ModuleList(list(self)[index])
+        if index < 0:
+            index += self._size
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range for {self._size} modules")
+        return getattr(self, str(index))
+
+
+class Identity(Module):
+    """Pass-through module (useful as a disabled-branch placeholder)."""
+
+    def forward(self, x):
+        return x

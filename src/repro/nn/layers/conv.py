@@ -1,0 +1,74 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .. import functional as F
+from .. import init
+from ..module import Module, Parameter
+
+__all__ = ["Conv2d"]
+
+_IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: _IntPair) -> Tuple[int, int]:
+    return (value, value) if isinstance(value, int) else tuple(value)
+
+
+class Conv2d(Module):
+    """Grouped 2-D convolution over NCHW input.
+
+    ``groups == in_channels`` gives a depthwise convolution (MobileNetV2).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: _IntPair,
+        stride: _IntPair = 1,
+        padding: _IntPair = 0,
+        groups: int = 1,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"channels ({in_channels}->{out_channels}) must be divisible "
+                f"by groups={groups}"
+            )
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        self.groups = groups
+        weight_shape = (out_channels, in_channels // groups) + self.kernel_size
+        self.weight = Parameter(init.kaiming_normal(weight_shape, rng))
+        if bias:
+            self.bias: Optional[Parameter] = Parameter(init.zeros((out_channels,)))
+        else:
+            self.bias = None
+
+    def forward(self, x):
+        return F.conv2d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, groups={self.groups})"
+        )

@@ -1,0 +1,99 @@
+"""Group and layer normalization (batch-size-independent alternatives).
+
+BatchNorm statistics degrade at the small batch sizes this CPU harness
+favours; GroupNorm/LayerNorm normalize per sample and are provided as
+substrate breadth for downstream users (they are not used by the paper's
+reference architectures).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from ..module import Module, Parameter
+
+__all__ = ["GroupNorm", "LayerNorm"]
+
+
+class GroupNorm(Module):
+    """Normalize over channel groups and spatial dims of NCHW input."""
+
+    def __init__(self, num_groups: int, num_channels: int,
+                 eps: float = 1e-5, affine: bool = True) -> None:
+        super().__init__()
+        if num_channels % num_groups:
+            raise ValueError(
+                f"{num_channels} channels not divisible by "
+                f"{num_groups} groups"
+            )
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(np.ones(num_channels, dtype=np.float32))
+            self.bias = Parameter(np.zeros(num_channels, dtype=np.float32))
+
+    def forward(self, x):
+        if x.ndim != 4:
+            raise ValueError(f"GroupNorm expects NCHW input, got {x.shape}")
+        n, c, h, w = x.shape
+        if c != self.num_channels:
+            raise ValueError(
+                f"expected {self.num_channels} channels, got {c}"
+            )
+        grouped = F.reshape(x, (n, self.num_groups, -1))
+        mean = F.mean(grouped, axis=2, keepdims=True)
+        centered = grouped - mean
+        var = F.mean(centered * centered, axis=2, keepdims=True)
+        normalized = centered * ((var + self.eps) ** -0.5)
+        out = F.reshape(normalized, (n, c, h, w))
+        if self.affine:
+            shape = (1, c, 1, 1)
+            out = out * F.reshape(self.weight, shape) + F.reshape(
+                self.bias, shape
+            )
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupNorm({self.num_groups}, {self.num_channels}, "
+            f"eps={self.eps})"
+        )
+
+
+class LayerNorm(Module):
+    """Normalize over the last dimension of (N, ..., D) input."""
+
+    def __init__(self, normalized_dim: int, eps: float = 1e-5,
+                 affine: bool = True) -> None:
+        super().__init__()
+        if normalized_dim <= 0:
+            raise ValueError(
+                f"normalized_dim must be positive, got {normalized_dim}"
+            )
+        self.normalized_dim = normalized_dim
+        self.eps = eps
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(np.ones(normalized_dim,
+                                            dtype=np.float32))
+            self.bias = Parameter(np.zeros(normalized_dim,
+                                           dtype=np.float32))
+
+    def forward(self, x):
+        if x.shape[-1] != self.normalized_dim:
+            raise ValueError(
+                f"expected last dim {self.normalized_dim}, got {x.shape}"
+            )
+        mean = F.mean(x, axis=-1, keepdims=True)
+        centered = x - mean
+        var = F.mean(centered * centered, axis=-1, keepdims=True)
+        out = centered * ((var + self.eps) ** -0.5)
+        if self.affine:
+            out = out * self.weight + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_dim}, eps={self.eps})"

@@ -1,0 +1,113 @@
+"""Batch normalization layers (1-D and 2-D)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+__all__ = ["BatchNorm1d", "BatchNorm2d"]
+
+
+class _BatchNorm(Module):
+    """Shared batch-norm machinery; subclasses fix the reduction axes."""
+
+    #: axes reduced to compute per-channel statistics
+    _axes = (0,)
+    #: broadcast shape builder for per-channel parameters
+    _ndim = 2
+
+    def __init__(
+        self,
+        num_features: int,
+        eps: float = 1e-5,
+        momentum: float = 0.1,
+        affine: bool = True,
+        track_running_stats: bool = True,
+    ) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError(f"num_features must be positive, got {num_features}")
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.affine = affine
+        self.track_running_stats = track_running_stats
+        if affine:
+            self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+            self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+        if track_running_stats:
+            self.register_buffer(
+                "running_mean", np.zeros(num_features, dtype=np.float32)
+            )
+            self.register_buffer(
+                "running_var", np.ones(num_features, dtype=np.float32)
+            )
+            self.register_buffer("num_batches_tracked", np.array(0, dtype=np.int64))
+
+    def _param_shape(self):
+        shape = [1] * self._ndim
+        shape[1] = self.num_features
+        return tuple(shape)
+
+    def forward(self, x):
+        shape = self._param_shape()
+        if self.training or not self.track_running_stats:
+            mean = F.mean(x, axis=self._axes, keepdims=True)
+            centered = x - mean
+            var = F.mean(centered * centered, axis=self._axes, keepdims=True)
+            if self.track_running_stats:
+                batch_mean = mean.data.reshape(-1)
+                n = x.data.size / self.num_features
+                unbiased = var.data.reshape(-1) * (n / max(n - 1.0, 1.0))
+                m = self.momentum
+                self.set_buffer(
+                    "running_mean", (1 - m) * self.running_mean + m * batch_mean
+                )
+                self.set_buffer(
+                    "running_var", (1 - m) * self.running_var + m * unbiased
+                )
+                self.set_buffer(
+                    "num_batches_tracked", self.num_batches_tracked + 1
+                )
+            inv_std = (var + self.eps) ** -0.5
+            out = centered * inv_std
+        else:
+            mean = Tensor(self.running_mean.reshape(shape))
+            var = Tensor(self.running_var.reshape(shape))
+            out = (x - mean) * ((var + self.eps) ** -0.5)
+        if self.affine:
+            out = out * F.reshape(self.weight, shape) + F.reshape(self.bias, shape)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.num_features}, eps={self.eps}, "
+            f"momentum={self.momentum}, affine={self.affine})"
+        )
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch norm over (N, C) input."""
+
+    _axes = (0,)
+    _ndim = 2
+
+    def forward(self, x):
+        if x.ndim != 2:
+            raise ValueError(f"BatchNorm1d expects (N, C) input, got {x.shape}")
+        return super().forward(x)
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch norm over (N, C, H, W) input."""
+
+    _axes = (0, 2, 3)
+    _ndim = 4
+
+    def forward(self, x):
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects (N, C, H, W) input, got {x.shape}")
+        return super().forward(x)

@@ -1,0 +1,51 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from .. import functional as F
+from ..module import Module
+
+__all__ = ["MaxPool2d", "AvgPool2d", "GlobalAvgPool2d"]
+
+_IntPair = Union[int, Tuple[int, int]]
+
+
+class MaxPool2d(Module):
+    def __init__(
+        self,
+        kernel_size: _IntPair,
+        stride: Optional[_IntPair] = None,
+        padding: _IntPair = 0,
+    ) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x):
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class AvgPool2d(Module):
+    def __init__(
+        self,
+        kernel_size: _IntPair,
+        stride: Optional[_IntPair] = None,
+        padding: _IntPair = 0,
+    ) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x):
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class GlobalAvgPool2d(Module):
+    """Average each channel over its full spatial extent -> (N, C)."""
+
+    def forward(self, x):
+        return F.global_avg_pool2d(x)

@@ -1,0 +1,76 @@
+"""Supervised loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor, as_tensor
+
+__all__ = ["cross_entropy", "mse_loss", "l1_loss", "nll_loss", "bce_with_logits"]
+
+
+def cross_entropy(logits, targets, reduction: str = "mean"):
+    """Softmax cross-entropy with integer class targets.
+
+    Parameters
+    ----------
+    logits:
+        (N, C) unnormalised scores.
+    targets:
+        (N,) integer class indices (numpy array or Tensor).
+    """
+    logits = as_tensor(logits)
+    log_probs = F.log_softmax(logits, axis=-1)
+    return nll_loss(log_probs, targets, reduction=reduction)
+
+
+def nll_loss(log_probs, targets, reduction: str = "mean"):
+    """Negative log-likelihood on precomputed log-probabilities."""
+    log_probs = as_tensor(log_probs)
+    target_idx = np.asarray(
+        targets.data if isinstance(targets, Tensor) else targets
+    ).astype(np.int64)
+    n = log_probs.shape[0]
+    if target_idx.shape != (n,):
+        raise ValueError(
+            f"targets must be shape ({n},), got {target_idx.shape}"
+        )
+    picked = log_probs[np.arange(n), target_idx]
+    return _reduce(-picked, reduction)
+
+
+def mse_loss(prediction, target, reduction: str = "mean"):
+    """Mean-squared error."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    diff = prediction - target
+    return _reduce(diff * diff, reduction)
+
+
+def l1_loss(prediction, target, reduction: str = "mean"):
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    return _reduce(F.abs(prediction - target), reduction)
+
+
+def bce_with_logits(logits, targets, reduction: str = "mean"):
+    """Numerically stable binary cross-entropy on logits.
+
+    Uses ``max(x, 0) - x*t + log(1 + exp(-|x|))``.
+    """
+    logits = as_tensor(logits)
+    targets = as_tensor(targets)
+    relu_x = F.relu(logits)
+    loss = relu_x - logits * targets + F.log(1.0 + F.exp(-F.abs(logits)))
+    return _reduce(loss, reduction)
+
+
+def _reduce(values, reduction: str):
+    if reduction == "mean":
+        return F.mean(values)
+    if reduction == "sum":
+        return F.sum(values)
+    if reduction == "none":
+        return values
+    raise ValueError(f"unknown reduction {reduction!r}")

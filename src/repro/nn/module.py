@@ -1,0 +1,192 @@
+"""Module system: parameter containers with nesting, modes, and state dicts."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A Tensor registered as a trainable parameter of a Module."""
+
+    def __init__(self, data, requires_grad: bool = True) -> None:
+        super().__init__(data, requires_grad=requires_grad)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.shape}, requires_grad={self.requires_grad})"
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Assigning a :class:`Parameter`, :class:`Module`, or buffer (via
+    :meth:`register_buffer`) as an attribute registers it, so traversal,
+    ``state_dict`` round-trips, and train/eval propagation all work without
+    explicit bookkeeping in subclasses.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -- attribute interception --------------------------------------------
+    def __setattr__(self, name: str, value: Any) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self._modules.pop(name, None)
+            self._buffers.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self._parameters.pop(name, None)
+            self._buffers.pop(name, None)
+        else:
+            self._parameters.pop(name, None)
+            self._modules.pop(name, None)
+            if name in self._buffers:
+                # Plain assignment to a registered buffer keeps it registered.
+                self._buffers[name] = np.asarray(value)
+                object.__setattr__(self, name, self._buffers[name])
+                return
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state saved with the model (e.g. BN stats)."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Update a registered buffer in place of re-registration."""
+        if name not in self._buffers:
+            raise KeyError(f"{name!r} is not a registered buffer")
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # -- forward ------------------------------------------------------------
+    def forward(self, *args: Any, **kwargs: Any):
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement forward()"
+        )
+
+    def __call__(self, *args: Any, **kwargs: Any):
+        return self.forward(*args, **kwargs)
+
+    # -- traversal -----------------------------------------------------------
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield (dotted-name, module) for self and every descendant."""
+        yield prefix, self
+        for name, module in self._modules.items():
+            sub_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_modules(sub_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield self and every descendant module."""
+        for _, module in self.named_modules():
+            yield module
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield (dotted-name, parameter) over the whole module tree."""
+        for module_name, module in self.named_modules(prefix):
+            for name, param in module._parameters.items():
+                full = f"{module_name}.{name}" if module_name else name
+                yield full, param
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every parameter in the module tree."""
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield (dotted-name, buffer) over the whole module tree."""
+        for module_name, module in self.named_modules(prefix):
+            for name, buf in module._buffers.items():
+                full = f"{module_name}.{name}" if module_name else name
+                yield full, buf
+
+    def apply(self, fn: Callable[["Module"], None]) -> "Module":
+        """Apply ``fn`` to every submodule (including self), depth-first."""
+        for module in self.modules():
+            fn(module)
+        return self
+
+    # -- modes ---------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode on self and every descendant."""
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch the whole module tree to evaluation mode."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter in the tree."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        """Total number of parameter elements in the tree."""
+        return int(
+            np.sum(
+                [
+                    p.size
+                    for p in self.parameters()
+                    if not trainable_only or p.requires_grad
+                ]
+            )
+        )
+
+    # -- serialization -----------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping of parameter/buffer names to array copies."""
+        state: Dict[str, np.ndarray] = OrderedDict()
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[name] = np.array(buf, copy=True)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load arrays produced by :meth:`state_dict` back into the model."""
+        own_params = dict(self.named_parameters())
+        own_buffer_owners: Dict[str, Tuple[Module, str]] = {}
+        for module_name, module in self.named_modules():
+            for name in module._buffers:
+                full = f"{module_name}.{name}" if module_name else name
+                own_buffer_owners[full] = (module, name)
+
+        missing = (set(own_params) | set(own_buffer_owners)) - set(state)
+        unexpected = set(state) - (set(own_params) | set(own_buffer_owners))
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, value in state.items():
+            if name in own_params:
+                param = own_params[name]
+                if param.data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: model {param.data.shape} "
+                        f"vs state {value.shape}"
+                    )
+                param.data = value.astype(param.data.dtype).copy()
+            elif name in own_buffer_owners:
+                module, short = own_buffer_owners[name]
+                module.set_buffer(short, value.copy())
+
+    def copy_from(self, other: "Module") -> None:
+        """Copy parameters and buffers from a same-architecture module."""
+        self.load_state_dict(other.state_dict())
+
+    def __repr__(self) -> str:
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"

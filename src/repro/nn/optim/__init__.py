@@ -1,0 +1,30 @@
+"""Optimizers and learning-rate schedulers."""
+
+from .adam import Adam
+from .clip import clip_grad_norm, global_grad_norm
+from .lars import LARS
+from .lr_scheduler import (
+    ConstantLR,
+    CosineAnnealingLR,
+    LRScheduler,
+    MultiStepLR,
+    StepLR,
+    WarmupCosineLR,
+)
+from .optimizer import Optimizer
+from .sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LARS",
+    "LRScheduler",
+    "ConstantLR",
+    "CosineAnnealingLR",
+    "WarmupCosineLR",
+    "StepLR",
+    "MultiStepLR",
+    "clip_grad_norm",
+    "global_grad_norm",
+]

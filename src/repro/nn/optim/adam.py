@@ -1,0 +1,55 @@
+"""Adam optimizer."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..module import Parameter
+from .optimizer import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adam with bias correction and optional L2 weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= betas[0] < 1.0 or not 0.0 <= betas[1] < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        # Moments are kept in float64: squared gradients can overflow
+        # float32 during unstable phases (observed with BYOL warm-up).
+        self._m = [np.zeros(p.data.shape, dtype=np.float64)
+                   for p in self.parameters]
+        self._v = [np.zeros(p.data.shape, dtype=np.float64)
+                   for p in self.parameters]
+
+    def step(self) -> None:
+        self.step_count += 1
+        b1, b2 = self.betas
+        bias1 = 1.0 - b1 ** self.step_count
+        bias2 = 1.0 - b2 ** self.step_count
+        for i, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = param.grad.astype(np.float64, copy=False)
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            self._m[i] = b1 * self._m[i] + (1 - b1) * grad
+            self._v[i] = b2 * self._v[i] + (1 - b2) * grad * grad
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            update = self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.data = (param.data - update).astype(param.data.dtype)

@@ -1,0 +1,53 @@
+"""LARS (Layer-wise Adaptive Rate Scaling), the SimCLR pre-training optimizer.
+
+SimCLR trains with LARS at large batch sizes; we include it so the
+pre-training recipe matches the paper's reference settings.  Per-layer trust
+ratios rescale the update so every layer moves a comparable relative amount.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..module import Parameter
+from .optimizer import Optimizer
+
+__all__ = ["LARS"]
+
+
+class LARS(Optimizer):
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.9,
+        weight_decay: float = 1e-6,
+        trust_coefficient: float = 0.001,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.trust_coefficient = trust_coefficient
+        self.eps = eps
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for i, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = param.grad.astype(np.float32, copy=False)
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            w_norm = float(np.linalg.norm(param.data))
+            g_norm = float(np.linalg.norm(grad))
+            if w_norm > 0 and g_norm > 0:
+                trust = self.trust_coefficient * w_norm / (g_norm + self.eps)
+            else:
+                trust = 1.0
+            update = trust * grad
+            self._velocity[i] = self.momentum * self._velocity[i] + update
+            param.data = param.data - self.lr * self._velocity[i]
+        self.step_count += 1

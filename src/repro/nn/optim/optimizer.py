@@ -1,0 +1,43 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from ..module import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base class holding the parameter list and shared bookkeeping.
+
+    Subclasses implement :meth:`step`, reading ``param.grad`` and updating
+    ``param.data`` in place.  The learning rate is exposed as a mutable
+    attribute so schedulers can drive it.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        if lr < 0:
+            raise ValueError(f"learning rate must be non-negative, got {lr}")
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer got an empty parameter list")
+        self.lr = float(lr)
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for param in self.parameters:
+            param.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _grads(self):
+        """Yield (param, grad) for parameters that received a gradient."""
+        for param in self.parameters:
+            if param.grad is not None:
+                yield param, param.grad.astype(np.float32, copy=False)

@@ -1,0 +1,54 @@
+"""Stochastic gradient descent with momentum, Nesterov, and weight decay."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..module import Parameter
+from .optimizer import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """SGD with (optionally Nesterov) momentum and decoupled-style L2 decay.
+
+    This mirrors the fine-tuning optimizer from the paper's Sec. 4.1 (SGD,
+    momentum 0.9, cosine decay from 0.1).
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if momentum < 0:
+            raise ValueError(f"momentum must be non-negative, got {momentum}")
+        if nesterov and momentum == 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for i, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = param.grad.astype(np.float32, copy=False)
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                self._velocity[i] = self.momentum * self._velocity[i] + grad
+                if self.nesterov:
+                    grad = grad + self.momentum * self._velocity[i]
+                else:
+                    grad = self._velocity[i]
+            param.data = param.data - self.lr * grad
+        self.step_count += 1

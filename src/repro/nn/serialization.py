@@ -1,0 +1,60 @@
+"""Checkpoint serialization: state dicts to/from ``.npz`` files."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_state", "load_state", "save_checkpoint", "load_checkpoint"]
+
+_META_PREFIX = "__meta__"
+
+
+def save_state(state: Dict[str, np.ndarray], path: str) -> None:
+    """Write a state dict to ``path`` (.npz, compressed)."""
+    if not state:
+        raise ValueError("refusing to save an empty state dict")
+    np.savez_compressed(path, **state)
+
+
+def load_state(path: str) -> Dict[str, np.ndarray]:
+    """Read a state dict written by :func:`save_state`."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def save_checkpoint(model: Module, path: str, **metadata: float) -> None:
+    """Save a model checkpoint with optional scalar metadata.
+
+    Metadata values (e.g. ``epoch=10, loss=1.5``) are stored under reserved
+    keys and returned separately by :func:`load_checkpoint`.
+    """
+    state = dict(model.state_dict())
+    for key, value in metadata.items():
+        meta_key = f"{_META_PREFIX}{key}"
+        if meta_key in state:
+            raise ValueError(f"metadata key collides with parameter: {key}")
+        state[meta_key] = np.asarray(float(value))
+    save_state(state, path)
+
+
+def load_checkpoint(model: Module, path: str) -> Dict[str, float]:
+    """Load a checkpoint into ``model``; returns the scalar metadata."""
+    state = load_state(path)
+    metadata = {
+        key[len(_META_PREFIX):]: float(value)
+        for key, value in state.items()
+        if key.startswith(_META_PREFIX)
+    }
+    model_state = {
+        key: value for key, value in state.items()
+        if not key.startswith(_META_PREFIX)
+    }
+    model.load_state_dict(model_state)
+    return metadata

@@ -1,0 +1,42 @@
+"""Quantization library: the paper's linear quantizer and model plumbing.
+
+Implements Eq. 10 of the paper (dynamic-range linear quantization of weights
+and activations), fake quantization with a straight-through estimator so
+quantized forward passes remain trainable, precision sets for per-iteration
+sampling, and precision-switchable ``QConv2d`` / ``QLinear`` modules with a
+model-wide :func:`set_precision` switch.
+"""
+
+from .convert import count_quantized_modules, quantize_model, set_precision
+from .fake_quant import fake_quantize, fake_quantize_per_channel
+from .observer import EmaMinMaxObserver, MinMaxObserver
+from .precision import FULL_PRECISION, PrecisionSet
+from .qmodules import QConv2d, QLinear, QuantizedModule
+from .quantizer import (
+    LearnableQuantizer,
+    LinearQuantizer,
+    linear_quantize,
+    linear_quantize_per_channel,
+)
+from .schedule import CyclicPrecisionSchedule, RandomPrecisionSampler
+
+__all__ = [
+    "linear_quantize",
+    "linear_quantize_per_channel",
+    "LinearQuantizer",
+    "LearnableQuantizer",
+    "fake_quantize",
+    "fake_quantize_per_channel",
+    "MinMaxObserver",
+    "EmaMinMaxObserver",
+    "PrecisionSet",
+    "FULL_PRECISION",
+    "QuantizedModule",
+    "QConv2d",
+    "QLinear",
+    "quantize_model",
+    "set_precision",
+    "count_quantized_modules",
+    "CyclicPrecisionSchedule",
+    "RandomPrecisionSampler",
+]

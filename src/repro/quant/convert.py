@@ -1,0 +1,61 @@
+"""Model surgery: swap float layers for quantized ones, switch precision."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..nn.layers.conv import Conv2d
+from ..nn.layers.linear import Linear
+from ..nn.module import Module
+from .qmodules import QConv2d, QLinear, QuantizedModule
+
+__all__ = ["quantize_model", "set_precision", "count_quantized_modules"]
+
+
+def quantize_model(
+    model: Module,
+    skip: Optional[Callable[[str, Module], bool]] = None,
+) -> Module:
+    """Replace every Conv2d/Linear in ``model`` with its quantized twin.
+
+    Replacement layers *share* the original Parameter objects, so optimizers
+    built on either view stay valid.  ``skip(name, module)`` may exclude
+    layers (e.g. a projection head that should stay full-precision).  The
+    model is modified in place and returned.
+    """
+    for module in model.modules():
+        for name, child in list(module._modules.items()):
+            if isinstance(child, QuantizedModule):
+                continue
+            full_name = name
+            if skip is not None and skip(full_name, child):
+                continue
+            if isinstance(child, Conv2d):
+                setattr(module, name, QConv2d.from_float(child))
+            elif isinstance(child, Linear):
+                setattr(module, name, QLinear.from_float(child))
+    return model
+
+
+def set_precision(model: Module, bits: Optional[int]) -> int:
+    """Set the precision of every quantized module; returns how many were set.
+
+    ``bits=None`` restores full precision.  Raises if the model contains no
+    quantized modules — calling this on an unconverted model is always a bug.
+    """
+    count = 0
+    for module in model.modules():
+        if isinstance(module, QuantizedModule):
+            module.set_precision(bits)
+            count += 1
+    if count == 0:
+        raise ValueError(
+            "set_precision() found no quantized modules; "
+            "run quantize_model() first"
+        )
+    return count
+
+
+def count_quantized_modules(model: Module) -> int:
+    """Number of precision-switchable modules in ``model``."""
+    return sum(1 for m in model.modules() if isinstance(m, QuantizedModule))

@@ -1,0 +1,33 @@
+"""Functional fake-quantization entry point."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..nn.tensor import Tensor, as_tensor
+from .quantizer import LinearQuantizer, _FakeQuantPerChannelSTE
+
+__all__ = ["fake_quantize", "fake_quantize_per_channel"]
+
+_default_quantizer = LinearQuantizer()
+
+
+def fake_quantize(tensor: Tensor, bits: Optional[int]) -> Tensor:
+    """Fake-quantize ``tensor`` to ``bits`` with the paper's Eq. 10 + STE.
+
+    ``bits=None`` means full precision (identity).  The quantized values are
+    used in the forward pass; gradients flow straight through, which is what
+    lets quantization act as a *trainable* augmentation on weights and
+    activations.
+    """
+    return _default_quantizer(as_tensor(tensor), bits)
+
+
+def fake_quantize_per_channel(
+    tensor: Tensor, bits: Optional[int], axis: int = 0
+) -> Tensor:
+    """Per-channel fake quantization with STE (extension; see quantizer)."""
+    if bits is None:
+        return as_tensor(tensor)
+    return _FakeQuantPerChannelSTE.apply(as_tensor(tensor), bits=bits,
+                                         axis=axis)

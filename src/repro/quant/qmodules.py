@@ -1,0 +1,142 @@
+"""Precision-switchable layers: quantized Conv2d and Linear.
+
+Each module carries a mutable ``precision`` attribute (bit-width, or None
+for full precision).  During Contrastive Quant training the precision is
+re-set before every forward pass with :func:`repro.quant.set_precision`,
+which makes the same weights produce differently-augmented features.
+
+Both the weights and the input activations are fake-quantized (Eq. 10 +
+straight-through estimator), matching the paper's "weights and activations"
+augmentation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.layers.conv import Conv2d
+from ..nn.layers.linear import Linear
+from .fake_quant import fake_quantize, fake_quantize_per_channel
+
+__all__ = ["QuantizedModule", "QConv2d", "QLinear"]
+
+
+class QuantizedModule:
+    """Mixin marking a module as precision-switchable.
+
+    ``precision is None`` means full precision; an integer selects the
+    bit-width used for both the weight and the incoming activation.
+    ``quantize_activations`` can be disabled for weight-only ablations.
+    """
+
+    precision: Optional[int] = None
+    quantize_activations: bool = True
+    #: quantize the weight with one dynamic range per output channel
+    #: (extension beyond the paper's per-tensor scheme).
+    per_channel_weights: bool = False
+
+    def set_precision(self, bits: Optional[int]) -> None:
+        if bits is not None:
+            bits = int(bits)
+            if not 1 <= bits <= 32:
+                raise ValueError(f"precision must be in [1, 32], got {bits}")
+        self.precision = bits
+
+    def _quantize_input(self, x):
+        if self.precision is None or not self.quantize_activations:
+            return x
+        return fake_quantize(x, self.precision)
+
+    def _quantize_weight(self, weight):
+        if self.precision is None:
+            return weight
+        if self.per_channel_weights:
+            return fake_quantize_per_channel(weight, self.precision, axis=0)
+        return fake_quantize(weight, self.precision)
+
+
+class QConv2d(Conv2d, QuantizedModule):
+    """Conv2d whose weight and input are quantized to ``self.precision``."""
+
+    def __init__(self, *args, precision: Optional[int] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.precision = precision
+        self.quantize_activations = True
+
+    @classmethod
+    def from_float(cls, conv: Conv2d) -> "QConv2d":
+        """Wrap an existing Conv2d, sharing its Parameter objects."""
+        from ..nn.module import Module
+
+        q = cls.__new__(cls)
+        Module.__init__(q)
+        q.in_channels = conv.in_channels
+        q.out_channels = conv.out_channels
+        q.kernel_size = conv.kernel_size
+        q.stride = conv.stride
+        q.padding = conv.padding
+        q.groups = conv.groups
+        q.weight = conv.weight  # shared Parameter: training updates both views
+        q.bias = conv.bias
+        q.precision = None
+        q.quantize_activations = True
+        return q
+
+    def forward(self, x):
+        from ..nn import functional as F
+
+        x = self._quantize_input(x)
+        weight = self._quantize_weight(self.weight)
+        return F.conv2d(
+            x,
+            weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QConv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, precision={self.precision})"
+        )
+
+
+class QLinear(Linear, QuantizedModule):
+    """Linear whose weight and input are quantized to ``self.precision``."""
+
+    def __init__(self, *args, precision: Optional[int] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.precision = precision
+        self.quantize_activations = True
+
+    @classmethod
+    def from_float(cls, linear: Linear) -> "QLinear":
+        """Wrap an existing Linear, sharing its Parameter objects."""
+        from ..nn.module import Module
+
+        q = cls.__new__(cls)
+        Module.__init__(q)
+        q.in_features = linear.in_features
+        q.out_features = linear.out_features
+        q.weight = linear.weight
+        q.bias = linear.bias
+        q.precision = None
+        q.quantize_activations = True
+        return q
+
+    def forward(self, x):
+        from ..nn import functional as F
+
+        x = self._quantize_input(x)
+        weight = self._quantize_weight(self.weight)
+        return F.linear(x, weight, self.bias)
+
+    def __repr__(self) -> str:
+        return (
+            f"QLinear(in_features={self.in_features}, "
+            f"out_features={self.out_features}, precision={self.precision})"
+        )

@@ -1,0 +1,184 @@
+"""The linear quantizer of the paper (Eq. 10) and a learnable-step variant.
+
+Eq. 10:  ``A_q = S_a * round(A / S_a)``, with ``S_a = A_range / (2^q - 1)``
+where ``A_range`` is the dynamic range (max - min) of the tensor being
+quantized.  Both weights and activations are quantized this way.
+
+The paper notes that *learnable* quantizers are unstable when the encoder is
+switched between precisions every iteration, which is why the fixed linear
+quantizer is adopted; we ship :class:`LearnableQuantizer` as well so that
+the instability claim can be examined (see the quantizer ablation bench).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn.autograd import Function
+from ..nn.module import Module, Parameter
+from ..nn.tensor import Tensor, as_tensor
+
+__all__ = [
+    "linear_quantize",
+    "linear_quantize_per_channel",
+    "LinearQuantizer",
+    "LearnableQuantizer",
+]
+
+
+def quantization_step(a_min: float, a_max: float, bits: int) -> float:
+    """Step size ``S = A_range / (2^q - 1)`` from Eq. 10."""
+    if bits < 1:
+        raise ValueError(f"bit-width must be >= 1, got {bits}")
+    a_range = float(a_max) - float(a_min)
+    return a_range / (2.0 ** bits - 1.0)
+
+
+def linear_quantize(
+    array: np.ndarray,
+    bits: int,
+    a_min: Optional[float] = None,
+    a_max: Optional[float] = None,
+) -> np.ndarray:
+    """Apply Eq. 10 to a raw numpy array (no autograd).
+
+    The dynamic range defaults to the array's own min/max, matching the
+    paper's per-tensor dynamic quantization.  A constant array (zero range)
+    is returned unchanged — there is nothing to quantize.
+    """
+    array = np.asarray(array)
+    lo = float(array.min()) if a_min is None else float(a_min)
+    hi = float(array.max()) if a_max is None else float(a_max)
+    step = quantization_step(lo, hi, bits)
+    if step == 0.0 or not math.isfinite(step):
+        return array.copy()
+    return (step * np.round(array / step)).astype(array.dtype)
+
+
+def linear_quantize_per_channel(
+    array: np.ndarray, bits: int, axis: int = 0
+) -> np.ndarray:
+    """Per-channel Eq. 10: an independent dynamic range per slice of ``axis``.
+
+    Standard practice for convolution weights (each output filter gets its
+    own step size), offered as an extension beyond the paper's per-tensor
+    scheme; see the per-channel ablation bench.
+    """
+    array = np.asarray(array)
+    if not -array.ndim <= axis < array.ndim:
+        raise ValueError(f"axis {axis} out of range for ndim {array.ndim}")
+    if bits < 1:
+        raise ValueError(f"bit-width must be >= 1, got {bits}")
+    reduce_axes = tuple(i for i in range(array.ndim) if i != axis % array.ndim)
+    lo = array.min(axis=reduce_axes, keepdims=True)
+    hi = array.max(axis=reduce_axes, keepdims=True)
+    step = (hi - lo) / (2.0 ** bits - 1.0)
+    safe_step = np.where(step == 0.0, 1.0, step)
+    quantized = safe_step * np.round(array / safe_step)
+    return np.where(step == 0.0, array, quantized).astype(array.dtype)
+
+
+class _FakeQuantSTE(Function):
+    """Quantized forward, straight-through (identity) backward.
+
+    The dynamic range always covers the tensor's values, so no clipping
+    occurs and the straight-through gradient needs no mask.
+    """
+
+    def forward(self, a, bits, a_min=None, a_max=None):
+        return linear_quantize(a, bits, a_min, a_max)
+
+    def backward(self, grad):
+        return (grad,)
+
+
+class _FakeQuantPerChannelSTE(Function):
+    """Per-channel quantized forward, straight-through backward."""
+
+    def forward(self, a, bits, axis=0):
+        return linear_quantize_per_channel(a, bits, axis)
+
+    def backward(self, grad):
+        return (grad,)
+
+
+class LinearQuantizer:
+    """Callable quantizer object implementing the paper's scheme with STE.
+
+    Parameters
+    ----------
+    observer:
+        Optional range observer (see :mod:`repro.quant.observer`).  When
+        None, the dynamic range is recomputed from each tensor (the paper's
+        configuration).
+    """
+
+    def __init__(self, observer=None) -> None:
+        self.observer = observer
+
+    def __call__(self, tensor: Tensor, bits: Optional[int]) -> Tensor:
+        """Fake-quantize ``tensor`` to ``bits``; identity when bits is None."""
+        if bits is None:
+            return as_tensor(tensor)
+        tensor = as_tensor(tensor)
+        if self.observer is not None:
+            lo, hi = self.observer.update(tensor.data)
+        else:
+            lo = hi = None
+        return _FakeQuantSTE.apply(tensor, bits=bits, a_min=lo, a_max=hi)
+
+    def __repr__(self) -> str:
+        return f"LinearQuantizer(observer={self.observer!r})"
+
+
+class _LearnableQuantSTE(Function):
+    """LSQ-style quantization with a learnable step size.
+
+    ``x_q = s * round(clip(x / s, qmin, qmax))``; the input gradient is
+    straight-through inside the clip range, and the step-size gradient
+    follows the LSQ estimator: ``round(v) - v`` for in-range values and the
+    clip bound for clipped values.
+    """
+
+    def forward(self, a, step, bits):
+        qmax = 2.0 ** (bits - 1) - 1.0
+        qmin = -(2.0 ** (bits - 1))
+        raw = float(np.asarray(step).reshape(-1)[0])
+        self.sign = -1.0 if raw < 0 else 1.0
+        s = max(abs(raw), 1e-8)
+        v = a / s
+        self.in_range = (v >= qmin) & (v <= qmax)
+        clipped = np.clip(v, qmin, qmax)
+        rounded = np.round(clipped)
+        self.step_grad_terms = np.where(self.in_range, rounded - v, clipped)
+        return (s * rounded).astype(a.dtype)
+
+    def backward(self, grad):
+        grad_x = grad * self.in_range
+        grad_s = np.sum(grad * self.step_grad_terms) * self.sign
+        return grad_x, np.asarray([grad_s], dtype=np.float32)
+
+
+class LearnableQuantizer(Module):
+    """Learnable-step quantizer module (ablation; unstable per the paper)."""
+
+    def __init__(self, init_step: float = 0.05) -> None:
+        super().__init__()
+        if init_step <= 0:
+            raise ValueError(f"init_step must be positive, got {init_step}")
+        self.step = Parameter(np.array([init_step], dtype=np.float32))
+
+    def forward(self, x: Tensor, bits: Optional[int]) -> Tensor:
+        if bits is None:
+            return as_tensor(x)
+        return _LearnableQuantSTE.apply(as_tensor(x), self.step, bits=bits)
+
+
+def quantization_error(array: np.ndarray, bits: int) -> Tuple[float, float]:
+    """Return (max-abs, rms) quantization error of Eq. 10 at ``bits``."""
+    q = linear_quantize(array, bits)
+    err = np.abs(np.asarray(array, dtype=np.float64) - q)
+    return float(err.max()), float(np.sqrt(np.mean(err ** 2)))

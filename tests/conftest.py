@@ -1,0 +1,10 @@
+"""Shared pytest fixtures."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator; a fresh one per test."""
+    return np.random.default_rng(1234)

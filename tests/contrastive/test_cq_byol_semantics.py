@@ -1,0 +1,94 @@
+"""Deeper semantics of Contrastive Quant on the BYOL base."""
+
+import numpy as np
+import pytest
+
+from repro.contrastive import BYOL, ContrastiveQuantTrainer
+from repro.models import resnet18
+from repro.nn.optim import Adam
+from repro.quant import QConv2d, count_quantized_modules
+
+
+def make_byol_trainer(rng, variant="C"):
+    model = BYOL(resnet18(width_multiplier=0.0625, rng=rng),
+                 projection_dim=8, rng=rng)
+    opt = Adam(list(model.trainable_parameters()), lr=1e-3)
+    return ContrastiveQuantTrainer(model, variant, "2-8", opt, rng=rng)
+
+
+def views(rng, n=4):
+    v1 = rng.normal(size=(n, 3, 8, 8)).astype(np.float32)
+    return v1, v1 + 0.05 * rng.normal(size=v1.shape).astype(np.float32)
+
+
+class TestBYOLTargetSemantics:
+    def test_target_stays_full_precision(self, rng):
+        """The target branch provides stable regression targets — it must
+        never be quantized by the per-iteration precision switching."""
+        trainer = make_byol_trainer(rng)
+        v1, v2 = views(rng)
+        trainer.train_step(v1, v2)
+        target_qmods = count_quantized_modules(
+            trainer.method.target_encoder
+        )
+        assert target_qmods == 0
+
+    def test_target_receives_no_gradient(self, rng):
+        trainer = make_byol_trainer(rng)
+        v1, v2 = views(rng)
+        trainer.compute_loss(v1, v2).backward()
+        for param in trainer.method.target_encoder.parameters():
+            assert param.grad is None
+
+    def test_online_encoder_receives_gradient(self, rng):
+        trainer = make_byol_trainer(rng)
+        v1, v2 = views(rng)
+        trainer.optimizer.zero_grad()
+        trainer.compute_loss(v1, v2).backward()
+        grads = [
+            p.grad for p in trainer.method.online_encoder.parameters()
+            if p.grad is not None
+        ]
+        assert grads
+
+    def test_ema_follows_quantized_online_branch(self, rng):
+        """Target weights chase the online weights via EMA even though the
+        online branch trains under per-iteration quantization."""
+        trainer = make_byol_trainer(rng)
+        model = trainer.method
+        target_first = next(model.target_encoder.parameters())
+        initial = target_first.data.copy()
+        v1, v2 = views(rng)
+        for _ in range(3):
+            trainer.train_step(v1, v2)
+        assert not np.array_equal(target_first.data, initial)
+        # And the update pulled the target toward the current online value.
+        online_first = next(model.online_encoder.parameters())
+        gap_now = float(np.linalg.norm(online_first.data - target_first.data))
+        gap_if_frozen = float(np.linalg.norm(online_first.data - initial))
+        assert gap_now < gap_if_frozen
+
+    @pytest.mark.parametrize("variant", ["A", "B", "C", "QUANT"])
+    def test_byol_variants_produce_bounded_losses(self, rng, variant):
+        """BYOL regression terms are bounded in [0, 4]; the per-variant sum
+        is bounded by 4 * (number of averaged terms)."""
+        trainer = make_byol_trainer(rng, variant=variant)
+        v1, v2 = views(rng)
+        loss = float(trainer.compute_loss(v1, v2).data)
+        bound = {"A": 4.0, "B": 4.0, "C": 12.0, "QUANT": 4.0}[variant]
+        assert 0.0 <= loss <= bound + 1e-5
+
+
+class TestOnlineQuantizationScope:
+    def test_predictor_and_projector_stay_float(self, rng):
+        trainer = make_byol_trainer(rng)
+        assert count_quantized_modules(trainer.method.predictor) == 0
+        assert count_quantized_modules(trainer.method.online_projector) == 0
+
+    def test_online_encoder_precision_set_during_forward(self, rng):
+        trainer = make_byol_trainer(rng)
+        v1, v2 = views(rng)
+        trainer.compute_loss(v1, v2)
+        qconvs = [m for m in trainer.method.online_encoder.modules()
+                  if isinstance(m, QConv2d)]
+        assert qconvs[0].precision in trainer.precision_set

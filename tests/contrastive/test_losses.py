@@ -1,0 +1,141 @@
+"""Contrastive loss functions: values, invariances, gradients."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.contrastive import byol_loss, info_nce, nt_xent
+from repro.nn import functional as F
+
+
+def random_features(rng, n=8, d=16):
+    return nn.Tensor(rng.normal(size=(n, d)).astype(np.float32),
+                     requires_grad=True)
+
+
+class TestNTXent:
+    def test_matches_manual_computation(self, rng):
+        z1 = rng.normal(size=(3, 4)).astype(np.float64)
+        z2 = rng.normal(size=(3, 4)).astype(np.float64)
+        tau = 0.5
+        z = np.concatenate([z1, z2])
+        z = z / np.linalg.norm(z, axis=1, keepdims=True)
+        sim = z @ z.T / tau
+        np.fill_diagonal(sim, -np.inf)
+        n = 3
+        total = 0.0
+        for i in range(2 * n):
+            j = i + n if i < n else i - n
+            log_prob = sim[i, j] - np.log(np.sum(np.exp(sim[i])))
+            total -= log_prob
+        expected = total / (2 * n)
+        actual = nt_xent(nn.Tensor(z1, dtype=np.float64),
+                         nn.Tensor(z2, dtype=np.float64), tau)
+        assert float(actual.data) == pytest.approx(expected, rel=1e-5)
+
+    def test_identical_views_give_low_loss(self, rng):
+        z = random_features(rng)
+        loss_same = nt_xent(z, z.detach())
+        z2 = random_features(rng)
+        loss_rand = nt_xent(z, z2)
+        assert float(loss_same.data) < float(loss_rand.data)
+
+    def test_scale_invariance(self, rng):
+        # Cosine similarity: rescaling features must not change the loss.
+        z1, z2 = random_features(rng), random_features(rng)
+        a = nt_xent(z1, z2)
+        b = nt_xent(nn.Tensor(z1.data * 7.0), nn.Tensor(z2.data * 0.1))
+        assert float(a.data) == pytest.approx(float(b.data), rel=1e-4)
+
+    def test_symmetric_in_views(self, rng):
+        z1, z2 = random_features(rng), random_features(rng)
+        a = nt_xent(z1, z2)
+        b = nt_xent(z2, z1)
+        assert float(a.data) == pytest.approx(float(b.data), rel=1e-5)
+
+    def test_lower_temperature_sharper(self, rng):
+        # With aligned pairs, lower temperature reduces the loss faster.
+        base = rng.normal(size=(6, 8)).astype(np.float32)
+        z1 = nn.Tensor(base)
+        z2 = nn.Tensor(base + 0.01 * rng.normal(size=base.shape).astype(np.float32))
+        sharp = float(nt_xent(z1, z2, temperature=0.1).data)
+        soft = float(nt_xent(z1, z2, temperature=1.0).data)
+        assert sharp < soft
+
+    def test_gradients_flow_to_both_views(self, rng):
+        z1, z2 = random_features(rng), random_features(rng)
+        nt_xent(z1, z2).backward()
+        assert z1.grad is not None and z2.grad is not None
+        assert np.isfinite(z1.grad).all()
+
+    def test_batch_of_one_rejected(self, rng):
+        z = random_features(rng, n=1)
+        with pytest.raises(ValueError):
+            nt_xent(z, z)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            nt_xent(random_features(rng, n=4), random_features(rng, n=5))
+
+    def test_bad_temperature_rejected(self, rng):
+        z = random_features(rng)
+        with pytest.raises(ValueError):
+            nt_xent(z, z, temperature=0.0)
+
+    def test_loss_bounded_below_by_zero(self, rng):
+        z1, z2 = random_features(rng), random_features(rng)
+        assert float(nt_xent(z1, z2).data) > 0.0
+
+
+class TestInfoNCE:
+    def test_aligned_beats_shuffled(self, rng):
+        f = random_features(rng, n=16)
+        aligned = info_nce(f, nn.Tensor(f.data + 0.01))
+        shuffled = info_nce(f, nn.Tensor(f.data[::-1].copy()))
+        assert float(aligned.data) < float(shuffled.data)
+
+    def test_gradient_flows(self, rng):
+        f, fp = random_features(rng), random_features(rng)
+        info_nce(f, fp).backward()
+        assert f.grad is not None
+
+    def test_validation(self, rng):
+        f = random_features(rng)
+        with pytest.raises(ValueError):
+            info_nce(f, f, temperature=-1.0)
+        with pytest.raises(ValueError):
+            info_nce(f, random_features(rng, d=8))
+
+
+class TestBYOLLoss:
+    def test_zero_for_identical(self, rng):
+        p = random_features(rng)
+        loss = byol_loss(p, p.detach())
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-5)
+
+    def test_max_for_opposite(self, rng):
+        p = random_features(rng)
+        loss = byol_loss(p, nn.Tensor(-p.data))
+        assert float(loss.data) == pytest.approx(4.0, rel=1e-5)
+
+    def test_range(self, rng):
+        p, t = random_features(rng), random_features(rng)
+        value = float(byol_loss(p, t).data)
+        assert 0.0 <= value <= 4.0
+
+    def test_scale_invariant(self, rng):
+        p, t = random_features(rng), random_features(rng)
+        a = float(byol_loss(p, t).data)
+        b = float(byol_loss(nn.Tensor(p.data * 3.0), nn.Tensor(t.data * 0.5)).data)
+        assert a == pytest.approx(b, rel=1e-4)
+
+    def test_gradient_only_through_prediction(self, rng):
+        p = random_features(rng)
+        t = random_features(rng)
+        byol_loss(p, t.detach()).backward()
+        assert p.grad is not None
+        assert t.grad is None
+
+    def test_rank1_rejected(self, rng):
+        with pytest.raises(ValueError):
+            byol_loss(nn.Tensor(np.zeros(4)), nn.Tensor(np.zeros(4)))

@@ -1,0 +1,170 @@
+"""MoCo and SimSiam base frameworks (with and without CQ augmentation)."""
+
+import numpy as np
+import pytest
+
+from repro.contrastive import MoCo, MoCoTrainer, SimSiam, SimSiamTrainer
+from repro.models import resnet18
+from repro.nn.optim import Adam
+from repro.quant import count_quantized_modules
+
+
+def encoder(seed=0):
+    return resnet18(width_multiplier=0.0625, rng=np.random.default_rng(seed))
+
+
+def views(rng, n=4):
+    v1 = rng.normal(size=(n, 3, 8, 8)).astype(np.float32)
+    return v1, v1 + 0.05 * rng.normal(size=v1.shape).astype(np.float32)
+
+
+class TestMoCoModel:
+    def test_queue_initialised_normalised(self, rng):
+        model = MoCo(encoder(), projection_dim=8, queue_size=16, rng=rng)
+        norms = np.linalg.norm(model.queue, axis=1)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-5)
+
+    def test_key_branch_frozen(self, rng):
+        model = MoCo(encoder(), rng=rng)
+        assert all(not p.requires_grad
+                   for p in model.key_encoder.parameters())
+
+    def test_enqueue_fifo_wrapping(self, rng):
+        model = MoCo(encoder(), projection_dim=4, queue_size=4, rng=rng)
+        model.enqueue(np.ones((3, 4), dtype=np.float32))
+        assert int(model.queue_ptr) == 3
+        model.enqueue(np.full((2, 4), 2.0, dtype=np.float32))
+        assert int(model.queue_ptr) == 1  # wrapped
+
+    def test_enqueue_oversized_batch(self, rng):
+        model = MoCo(encoder(), projection_dim=4, queue_size=4, rng=rng)
+        keys = rng.normal(size=(10, 4)).astype(np.float32)
+        model.enqueue(keys)
+        expected = keys[-4:] / np.linalg.norm(keys[-4:], axis=1,
+                                              keepdims=True)
+        np.testing.assert_allclose(model.queue, expected, rtol=1e-5)
+
+    def test_queue_size_validated(self, rng):
+        with pytest.raises(ValueError):
+            MoCo(encoder(), queue_size=1, rng=rng)
+
+    def test_key_update_moves_toward_query(self, rng):
+        model = MoCo(encoder(), momentum=0.5, rng=rng)
+        query_first = next(model.query_encoder.parameters())
+        key_first = next(model.key_encoder.parameters())
+        query_first.data = query_first.data + 1.0
+        before = key_first.data.copy()
+        model.update_key_encoder()
+        np.testing.assert_allclose(
+            key_first.data, 0.5 * before + 0.5 * query_first.data, rtol=1e-5
+        )
+
+
+class TestMoCoTrainer:
+    def test_vanilla_step(self, rng):
+        model = MoCo(encoder(), projection_dim=8, queue_size=16, rng=rng)
+        trainer = MoCoTrainer(
+            model, Adam(list(model.trainable_parameters()), lr=1e-3),
+        )
+        v1, v2 = views(rng)
+        loss = trainer.train_step(v1, v2)
+        assert np.isfinite(loss)
+        assert loss > 0
+
+    def test_step_advances_queue(self, rng):
+        model = MoCo(encoder(), projection_dim=8, queue_size=16, rng=rng)
+        trainer = MoCoTrainer(
+            model, Adam(list(model.trainable_parameters()), lr=1e-3),
+        )
+        before = int(model.queue_ptr)
+        v1, v2 = views(rng)
+        trainer.train_step(v1, v2)
+        assert int(model.queue_ptr) == (before + 4) % 16
+
+    def test_cq_augmentation_quantizes_query_only(self, rng):
+        model = MoCo(encoder(), projection_dim=8, queue_size=16, rng=rng)
+        trainer = MoCoTrainer(
+            model, Adam(list(model.trainable_parameters()), lr=1e-3),
+            precision_set="2-8", rng=rng,
+        )
+        assert count_quantized_modules(model.query_encoder) > 0
+        assert count_quantized_modules(model.key_encoder) == 0
+        v1, v2 = views(rng)
+        assert np.isfinite(trainer.train_step(v1, v2))
+        trainer.finalize()
+
+    def test_loss_decreases_against_fixed_negatives(self, rng):
+        """Against a fixed random-negative queue (no self-enqueue, which is
+        degenerate on a repeated batch), the InfoNCE loss must decrease."""
+        model = MoCo(encoder(), projection_dim=8, queue_size=32, rng=rng)
+        trainer = MoCoTrainer(
+            model, Adam(list(model.trainable_parameters()), lr=2e-3),
+        )
+        v1, v2 = views(rng, n=8)
+        losses = []
+        for _ in range(10):
+            trainer.optimizer.zero_grad()
+            loss = trainer.compute_loss(v1, v2)
+            loss.backward()
+            trainer.optimizer.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < losses[0]
+
+
+class TestSimSiam:
+    def test_projection_and_prediction_shapes(self, rng):
+        from repro import nn
+
+        model = SimSiam(encoder(), projection_dim=8, rng=rng)
+        z = model.project(nn.Tensor(rng.normal(size=(2, 3, 8, 8))))
+        p = model.predict(z)
+        assert z.shape == p.shape == (2, 8)
+
+    def test_vanilla_step_bounded(self, rng):
+        model = SimSiam(encoder(), projection_dim=8, rng=rng)
+        trainer = SimSiamTrainer(
+            model, Adam(list(model.parameters()), lr=1e-3),
+        )
+        v1, v2 = views(rng)
+        loss = trainer.train_step(v1, v2)
+        assert 0.0 <= loss <= 4.0
+
+    def test_cq_augmentation(self, rng):
+        model = SimSiam(encoder(), projection_dim=8, rng=rng)
+        trainer = SimSiamTrainer(
+            model, Adam(list(model.parameters()), lr=1e-3),
+            precision_set="2-8", rng=rng,
+        )
+        assert count_quantized_modules(model.encoder) > 0
+        v1, v2 = views(rng)
+        assert np.isfinite(trainer.train_step(v1, v2))
+        trainer.finalize()
+        qmods = [m for m in model.encoder.modules()
+                 if hasattr(m, "precision")]
+        assert all(m.precision is None for m in qmods)
+
+    def test_loss_decreases(self, rng):
+        model = SimSiam(encoder(), projection_dim=8, rng=rng)
+        trainer = SimSiamTrainer(
+            model, Adam(list(model.parameters()), lr=2e-3),
+        )
+        v1, v2 = views(rng, n=8)
+        losses = [trainer.train_step(v1, v2) for _ in range(10)]
+        assert losses[-1] < losses[0]
+
+    def test_fit_records_history(self, rng):
+        from repro.data import (DataLoader, TwoViewTransform,
+                                make_cifar100_like, simclr_augmentations)
+
+        model = SimSiam(encoder(), projection_dim=8, rng=rng)
+        trainer = SimSiamTrainer(
+            model, Adam(list(model.parameters()), lr=1e-3),
+        )
+        data = make_cifar100_like(num_classes=2, image_size=8,
+                                  train_per_class=4, test_per_class=2)
+        loader = DataLoader(
+            data.train, batch_size=4, shuffle=True,
+            transform=TwoViewTransform(simclr_augmentations(0.5)), rng=rng,
+        )
+        out = trainer.fit(loader, epochs=2)
+        assert len(out["loss"]) == 2

@@ -1,0 +1,122 @@
+"""Gaussian weight-perturbation augmentation tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.contrastive import (
+    GaussianWeightNoise,
+    NoiseContrastiveTrainer,
+    SimCLRModel,
+)
+from repro.models import resnet18
+from repro.nn.optim import Adam
+
+
+def tiny_model(rng):
+    return SimCLRModel(resnet18(width_multiplier=0.0625, rng=rng),
+                       projection_dim=8, rng=rng)
+
+
+class TestGaussianWeightNoise:
+    def test_weights_restored_after_context(self, rng):
+        model = nn.Linear(4, 4, rng=rng)
+        before = model.weight.data.copy()
+        injector = GaussianWeightNoise(rng)
+        with injector.applied(model, std=0.5):
+            assert not np.array_equal(model.weight.data, before)
+        np.testing.assert_array_equal(model.weight.data, before)
+
+    def test_zero_std_is_identity(self, rng):
+        model = nn.Linear(4, 4, rng=rng)
+        before = model.weight.data.copy()
+        with GaussianWeightNoise(rng).applied(model, std=0.0):
+            np.testing.assert_array_equal(model.weight.data, before)
+
+    def test_restored_even_on_exception(self, rng):
+        model = nn.Linear(4, 4, rng=rng)
+        before = model.weight.data.copy()
+        injector = GaussianWeightNoise(rng)
+        with pytest.raises(RuntimeError):
+            with injector.applied(model, std=0.5):
+                raise RuntimeError("boom")
+        np.testing.assert_array_equal(model.weight.data, before)
+
+    def test_noise_scales_with_parameter_rms(self, rng):
+        big = nn.Parameter(np.full((100,), 10.0, dtype=np.float32))
+        small = nn.Parameter(np.full((100,), 0.1, dtype=np.float32))
+
+        class Holder(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.big = big
+                self.small = small
+
+        holder = Holder()
+        with GaussianWeightNoise(np.random.default_rng(0)).applied(
+            holder, std=0.1
+        ):
+            big_delta = np.abs(holder.big.data - 10.0).mean()
+            small_delta = np.abs(holder.small.data - 0.1).mean()
+        assert big_delta > small_delta * 10
+
+    def test_negative_std_rejected(self, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        with pytest.raises(ValueError):
+            with GaussianWeightNoise(rng).applied(model, std=-1.0):
+                pass
+
+
+class TestNoiseContrastiveTrainer:
+    def test_construction_validation(self, rng):
+        model = tiny_model(rng)
+        opt = Adam(list(model.parameters()), lr=1e-3)
+        with pytest.raises(ValueError):
+            NoiseContrastiveTrainer(model, [], opt)
+        with pytest.raises(ValueError):
+            NoiseContrastiveTrainer(model, [-0.1], opt)
+        with pytest.raises(TypeError):
+            NoiseContrastiveTrainer(
+                resnet18(width_multiplier=0.0625, rng=rng), [0.1], opt
+            )
+
+    def test_train_step_finite_and_updates(self, rng):
+        model = tiny_model(rng)
+        opt = Adam(list(model.parameters()), lr=1e-3)
+        trainer = NoiseContrastiveTrainer(model, [0.0, 0.05, 0.1], opt,
+                                          rng=rng)
+        before = model.projector.fc1.weight.data.copy()
+        v = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        loss = trainer.train_step(v, v + 0.02)
+        assert np.isfinite(loss)
+        assert not np.array_equal(before, model.projector.fc1.weight.data)
+
+    def test_weights_clean_after_step(self, rng):
+        """Noise must never leak into the persistent weights."""
+        model = tiny_model(rng)
+        opt = Adam(list(model.parameters()), lr=0.0)  # freeze updates
+        trainer = NoiseContrastiveTrainer(model, [0.2], opt, rng=rng)
+        before = model.encoder.stem_conv.weight.data.copy()
+        v = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        trainer.train_step(v, v + 0.02)
+        np.testing.assert_array_equal(
+            before, model.encoder.stem_conv.weight.data
+        )
+
+    def test_fit_records_history(self, rng):
+        from repro.data import (DataLoader, TwoViewTransform,
+                                make_cifar100_like, simclr_augmentations)
+
+        model = tiny_model(rng)
+        trainer = NoiseContrastiveTrainer(
+            model, [0.0, 0.1], Adam(list(model.parameters()), lr=1e-3),
+            rng=rng,
+        )
+        data = make_cifar100_like(num_classes=2, image_size=8,
+                                  train_per_class=4, test_per_class=2)
+        loader = DataLoader(
+            data.train, batch_size=4, shuffle=True,
+            transform=TwoViewTransform(simclr_augmentations(0.5)), rng=rng,
+        )
+        history = trainer.fit(loader, epochs=2)
+        assert len(history["loss"]) == 2

@@ -1,0 +1,92 @@
+"""Hypothesis property tests for contrastive loss invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import nn
+from repro.contrastive import byol_loss, nt_xent
+
+feature_pairs = st.tuples(
+    st.integers(2, 10),   # batch
+    st.integers(2, 16),   # dim
+    st.integers(0, 5000), # seed
+)
+
+
+def make_pair(spec, scale=1.0):
+    n, d, seed = spec
+    rng = np.random.default_rng(seed)
+    z1 = rng.normal(size=(n, d)).astype(np.float32) * scale
+    z2 = rng.normal(size=(n, d)).astype(np.float32) * scale
+    # Guard against degenerate zero rows.
+    z1 += 0.01
+    z2 += 0.01
+    return nn.Tensor(z1), nn.Tensor(z2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(feature_pairs)
+def test_nt_xent_non_negative(spec):
+    z1, z2 = make_pair(spec)
+    assert float(nt_xent(z1, z2).data) >= 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(feature_pairs)
+def test_nt_xent_view_symmetry(spec):
+    z1, z2 = make_pair(spec)
+    a = float(nt_xent(z1, z2).data)
+    b = float(nt_xent(z2, z1).data)
+    np.testing.assert_allclose(a, b, rtol=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(feature_pairs, st.floats(0.1, 10.0))
+def test_nt_xent_scale_invariance(spec, scale):
+    z1, z2 = make_pair(spec)
+    a = float(nt_xent(z1, z2).data)
+    b = float(nt_xent(nn.Tensor(z1.data * scale),
+                      nn.Tensor(z2.data * scale)).data)
+    np.testing.assert_allclose(a, b, rtol=1e-3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(feature_pairs)
+def test_nt_xent_perfect_alignment_below_random(spec):
+    """Aligned views always score better than a permuted pairing."""
+    n, d, seed = spec
+    if n < 3:
+        return
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(n, d)).astype(np.float32) + 0.01
+    aligned = float(nt_xent(nn.Tensor(base), nn.Tensor(base.copy())).data)
+    rolled = float(
+        nt_xent(nn.Tensor(base), nn.Tensor(np.roll(base, 1, axis=0))).data
+    )
+    assert aligned <= rolled + 1e-5
+
+
+@settings(max_examples=40, deadline=None)
+@given(feature_pairs)
+def test_byol_loss_bounded(spec):
+    p, t = make_pair(spec)
+    value = float(byol_loss(p, t).data)
+    assert -1e-5 <= value <= 4.0 + 1e-5
+
+
+@settings(max_examples=40, deadline=None)
+@given(feature_pairs)
+def test_byol_self_loss_zero(spec):
+    p, _ = make_pair(spec)
+    assert float(byol_loss(p, p.detach()).data) < 1e-4
+
+
+@settings(max_examples=40, deadline=None)
+@given(feature_pairs, st.floats(0.1, 5.0))
+def test_byol_scale_invariance(spec, scale):
+    p, t = make_pair(spec)
+    a = float(byol_loss(p, t).data)
+    b = float(byol_loss(nn.Tensor(p.data * scale), t).data)
+    np.testing.assert_allclose(a, b, rtol=1e-3, atol=1e-5)

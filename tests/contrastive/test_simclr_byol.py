@@ -1,0 +1,154 @@
+"""SimCLR and BYOL trainers on tiny synthetic workloads."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.contrastive import BYOL, BYOLTrainer, SimCLRModel, SimCLRTrainer
+from repro.data import (
+    DataLoader,
+    TwoViewTransform,
+    make_cifar100_like,
+    simclr_augmentations,
+)
+from repro.models import resnet18
+from repro.nn.optim import SGD, Adam
+
+
+def tiny_model(rng, projection_dim=8):
+    encoder = resnet18(width_multiplier=0.0625, rng=rng)
+    return SimCLRModel(encoder, projection_dim=projection_dim, rng=rng)
+
+
+def two_view_loader(rng, n_classes=3, batch=8):
+    data = make_cifar100_like(
+        num_classes=n_classes, image_size=8, train_per_class=8,
+        test_per_class=2,
+    )
+    return DataLoader(
+        data.train,
+        batch_size=batch,
+        shuffle=True,
+        transform=TwoViewTransform(simclr_augmentations(0.5)),
+        rng=rng,
+    )
+
+
+class TestSimCLRModel:
+    def test_projection_shape(self, rng):
+        model = tiny_model(rng)
+        out = model(nn.Tensor(rng.normal(size=(4, 3, 8, 8))))
+        assert out.shape == (4, 8)
+
+    def test_features_shape(self, rng):
+        model = tiny_model(rng)
+        out = model.features(nn.Tensor(rng.normal(size=(4, 3, 8, 8))))
+        assert out.shape == (4, model.encoder.feature_dim)
+
+
+class TestSimCLRTrainer:
+    def test_train_step_returns_finite_loss(self, rng):
+        model = tiny_model(rng)
+        trainer = SimCLRTrainer(model, Adam(model.parameters(), lr=1e-3))
+        v = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        loss = trainer.train_step(v, v + 0.01)
+        assert np.isfinite(loss)
+
+    def test_loss_decreases_over_epochs(self, rng):
+        model = tiny_model(rng)
+        trainer = SimCLRTrainer(model, Adam(model.parameters(), lr=2e-3))
+        loader = two_view_loader(rng)
+        history = trainer.fit(loader, epochs=4)["loss"]
+        assert history[-1] < history[0]
+
+    def test_step_updates_parameters(self, rng):
+        model = tiny_model(rng)
+        trainer = SimCLRTrainer(model, SGD(model.parameters(), lr=0.1))
+        before = model.projector.fc1.weight.data.copy()
+        v = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        trainer.train_step(v, v + 0.05)
+        assert not np.array_equal(before, model.projector.fc1.weight.data)
+
+    def test_scheduler_hook(self, rng):
+        from repro.nn.optim import CosineAnnealingLR
+
+        model = tiny_model(rng)
+        opt = Adam(model.parameters(), lr=1e-3)
+        trainer = SimCLRTrainer(model, opt)
+        sched = CosineAnnealingLR(opt, t_max=2)
+        trainer.fit(two_view_loader(rng), epochs=2, scheduler=sched)
+        assert opt.lr < 1e-3
+
+
+class TestBYOL:
+    def test_target_initialized_from_online(self, rng):
+        model = BYOL(resnet18(width_multiplier=0.0625, rng=rng), rng=rng)
+        online = dict(model.online_encoder.named_parameters())
+        target = dict(model.target_encoder.named_parameters())
+        for name in online:
+            np.testing.assert_array_equal(online[name].data, target[name].data)
+
+    def test_target_params_frozen(self, rng):
+        model = BYOL(resnet18(width_multiplier=0.0625, rng=rng), rng=rng)
+        assert all(
+            not p.requires_grad for p in model.target_encoder.parameters()
+        )
+
+    def test_trainable_parameters_exclude_target(self, rng):
+        model = BYOL(resnet18(width_multiplier=0.0625, rng=rng), rng=rng)
+        trainable = {id(p) for p in model.trainable_parameters()}
+        target = {id(p) for p in model.target_encoder.parameters()}
+        assert trainable.isdisjoint(target)
+
+    def test_ema_update_moves_target(self, rng):
+        model = BYOL(resnet18(width_multiplier=0.0625, rng=rng),
+                     momentum=0.5, rng=rng)
+        # Perturb online weights, then EMA halfway.
+        first = next(model.online_encoder.parameters())
+        target_first = next(model.target_encoder.parameters())
+        original = target_first.data.copy()
+        first.data = first.data + 1.0
+        model.update_target()
+        np.testing.assert_allclose(
+            target_first.data, 0.5 * original + 0.5 * first.data, rtol=1e-5
+        )
+
+    def test_target_forward_detached(self, rng):
+        model = BYOL(resnet18(width_multiplier=0.0625, rng=rng), rng=rng)
+        out = model.target_forward(nn.Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert not out.requires_grad
+
+    def test_momentum_validation(self, rng):
+        with pytest.raises(ValueError):
+            BYOL(resnet18(width_multiplier=0.0625, rng=rng), momentum=1.0)
+
+
+class TestBYOLTrainer:
+    def test_loss_in_byol_range(self, rng):
+        model = BYOL(resnet18(width_multiplier=0.0625, rng=rng), rng=rng)
+        trainer = BYOLTrainer(
+            model, Adam(list(model.trainable_parameters()), lr=1e-3)
+        )
+        v = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        loss = trainer.train_step(v, v + 0.01)
+        assert 0.0 <= loss <= 4.0
+
+    def test_fit_decreases_loss(self, rng):
+        model = BYOL(resnet18(width_multiplier=0.0625, rng=rng), rng=rng)
+        trainer = BYOLTrainer(
+            model, Adam(list(model.trainable_parameters()), lr=2e-3)
+        )
+        history = trainer.fit(two_view_loader(rng), epochs=4)["loss"]
+        assert history[-1] < history[0]
+
+    def test_step_advances_target(self, rng):
+        model = BYOL(resnet18(width_multiplier=0.0625, rng=rng),
+                     momentum=0.9, rng=rng)
+        trainer = BYOLTrainer(
+            model, SGD(list(model.trainable_parameters()), lr=0.1)
+        )
+        target_before = next(model.target_encoder.parameters()).data.copy()
+        v = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        trainer.train_step(v, v + 0.05)
+        target_after = next(model.target_encoder.parameters()).data
+        assert not np.array_equal(target_before, target_after)

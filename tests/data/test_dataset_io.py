@@ -1,0 +1,29 @@
+"""ArrayDataset persistence."""
+
+import numpy as np
+
+from repro.data import ArrayDataset
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path, rng):
+        ds = ArrayDataset(
+            rng.random((6, 3, 4, 4)).astype(np.float32),
+            np.arange(6) % 2,
+        )
+        path = str(tmp_path / "data.npz")
+        ds.save(path)
+        loaded = ArrayDataset.load(path)
+        np.testing.assert_array_equal(loaded.images, ds.images)
+        np.testing.assert_array_equal(loaded.labels, ds.labels)
+        assert loaded.num_classes == 2
+
+    def test_synthetic_split_round_trip(self, tmp_path):
+        from repro.data import make_cifar100_like
+
+        data = make_cifar100_like(num_classes=3, image_size=8,
+                                  train_per_class=4, test_per_class=2)
+        path = str(tmp_path / "train.npz")
+        data.train.save(path)
+        loaded = ArrayDataset.load(path)
+        assert len(loaded) == len(data.train)

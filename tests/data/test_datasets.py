@@ -1,0 +1,139 @@
+"""Dataset/DataLoader/label-split tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    Subset,
+    stratified_label_fraction,
+)
+
+
+def toy_dataset(n=20, classes=4, rng=None):
+    rng = rng or np.random.default_rng(0)
+    images = rng.random((n, 3, 4, 4)).astype(np.float32)
+    labels = np.arange(n) % classes
+    return ArrayDataset(images, labels)
+
+
+class TestArrayDataset:
+    def test_len_and_getitem(self):
+        ds = toy_dataset()
+        assert len(ds) == 20
+        image, label = ds[3]
+        assert image.shape == (3, 4, 4)
+        assert label == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 1, 2, 2)), np.zeros(4))
+
+    def test_num_classes(self):
+        assert toy_dataset(classes=4).num_classes == 4
+
+
+class TestSubset:
+    def test_restricts_view(self):
+        ds = toy_dataset()
+        sub = Subset(ds, [0, 5, 10])
+        assert len(sub) == 3
+        assert sub[1][1] == 5 % 4
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            Subset(toy_dataset(), [100])
+
+
+class TestStratifiedFraction:
+    def test_fraction_counts_per_class(self, rng):
+        labels = np.repeat(np.arange(5), 100)
+        idx = stratified_label_fraction(labels, 0.1, rng)
+        picked = labels[idx]
+        for cls in range(5):
+            assert (picked == cls).sum() == 10
+
+    def test_min_per_class_floor(self, rng):
+        labels = np.repeat(np.arange(10), 20)
+        idx = stratified_label_fraction(labels, 0.01, rng)
+        picked = labels[idx]
+        # 1% of 20 rounds to 0 but the floor keeps one per class.
+        for cls in range(10):
+            assert (picked == cls).sum() == 1
+
+    def test_no_duplicates(self, rng):
+        labels = np.repeat(np.arange(3), 30)
+        idx = stratified_label_fraction(labels, 0.5, rng)
+        assert len(idx) == len(set(idx.tolist()))
+
+    def test_full_fraction_keeps_everything(self, rng):
+        labels = np.repeat(np.arange(3), 10)
+        idx = stratified_label_fraction(labels, 1.0, rng)
+        assert len(idx) == 30
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            stratified_label_fraction(np.zeros(10), 0.0, rng)
+
+    def test_deterministic_given_seed(self):
+        labels = np.repeat(np.arange(4), 25)
+        a = stratified_label_fraction(labels, 0.2, np.random.default_rng(3))
+        b = stratified_label_fraction(labels, 0.2, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        loader = DataLoader(toy_dataset(), batch_size=8)
+        images, labels = next(iter(loader))
+        assert images.shape == (8, 3, 4, 4)
+        assert labels.shape == (8,)
+
+    def test_covers_all_samples(self):
+        loader = DataLoader(toy_dataset(), batch_size=8)
+        total = sum(len(labels) for _, labels in loader)
+        assert total == 20
+
+    def test_drop_last(self):
+        loader = DataLoader(toy_dataset(), batch_size=8, drop_last=True)
+        assert len(loader) == 2
+        total = sum(len(labels) for _, labels in loader)
+        assert total == 16
+
+    def test_shuffle_changes_order(self):
+        ds = toy_dataset()
+        loader = DataLoader(ds, batch_size=20, shuffle=True,
+                            rng=np.random.default_rng(1))
+        _, labels_a = next(iter(loader))
+        _, labels_b = next(iter(DataLoader(ds, batch_size=20)))
+        assert not np.array_equal(labels_a, labels_b)
+
+    def test_no_shuffle_preserves_order(self):
+        ds = toy_dataset()
+        _, labels = next(iter(DataLoader(ds, batch_size=20)))
+        np.testing.assert_array_equal(labels, ds.labels)
+
+    def test_transform_applied(self):
+        loader = DataLoader(
+            toy_dataset(), batch_size=4,
+            transform=lambda img, rng: img * 0.0,
+        )
+        images, _ = next(iter(loader))
+        assert np.all(images == 0)
+
+    def test_tuple_transform_yields_views(self):
+        loader = DataLoader(
+            toy_dataset(), batch_size=4,
+            transform=lambda img, rng: (img, img * 2.0),
+        )
+        v1, v2, labels = next(iter(loader))
+        assert v1.shape == v2.shape == (4, 3, 4, 4)
+        np.testing.assert_allclose(v2, v1 * 2.0)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(toy_dataset(), batch_size=0)
+
+    def test_len_ceil(self):
+        assert len(DataLoader(toy_dataset(), batch_size=8)) == 3

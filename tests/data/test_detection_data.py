@@ -1,0 +1,68 @@
+"""Synthetic detection dataset tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.detection import Box, SyntheticDetection
+
+
+class TestBox:
+    def test_corners(self):
+        box = Box(0, cx=0.5, cy=0.5, w=0.2, h=0.4)
+        x1, y1, x2, y2 = box.corners()
+        assert (x1, y1, x2, y2) == pytest.approx((0.4, 0.3, 0.6, 0.7))
+
+    def test_area(self):
+        assert Box(0, 0.5, 0.5, 0.5, 0.2).area() == pytest.approx(0.1)
+
+
+class TestSyntheticDetection:
+    def test_scene_count_and_shapes(self):
+        ds = SyntheticDetection(num_scenes=10, image_size=24)
+        assert len(ds) == 10
+        image, boxes = ds[0]
+        assert image.shape == (3, 24, 24)
+        assert len(boxes) >= 1
+
+    def test_boxes_inside_image(self):
+        ds = SyntheticDetection(num_scenes=20, seed=4)
+        for i in range(len(ds)):
+            _, boxes = ds[i]
+            for box in boxes:
+                x1, y1, x2, y2 = box.corners()
+                assert 0.0 <= x1 < x2 <= 1.0
+                assert 0.0 <= y1 < y2 <= 1.0
+
+    def test_max_objects_respected(self):
+        ds = SyntheticDetection(num_scenes=30, max_objects=2, seed=1)
+        assert max(len(ds[i][1]) for i in range(len(ds))) <= 2
+
+    def test_class_ids_valid(self):
+        ds = SyntheticDetection(num_scenes=20, num_classes=3)
+        for i in range(len(ds)):
+            for box in ds[i][1]:
+                assert 0 <= box.class_id < 3
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticDetection(num_scenes=5, seed=9)
+        b = SyntheticDetection(num_scenes=5, seed=9)
+        np.testing.assert_array_equal(a[0][0], b[0][0])
+
+    def test_objects_brighter_than_background(self):
+        # Object colors are drawn from [0.3, 1] on a dim background, so the
+        # painted region must raise the local mean.
+        ds = SyntheticDetection(num_scenes=10, seed=2)
+        image, boxes = ds[0]
+        box = boxes[0]
+        size = image.shape[1]
+        x1, y1, x2, y2 = box.corners()
+        patch = image[
+            :,
+            int(y1 * size) : max(int(y2 * size), int(y1 * size) + 1),
+            int(x1 * size) : max(int(x2 * size), int(x1 * size) + 1),
+        ]
+        assert patch.mean() > image.mean() * 0.9
+
+    def test_invalid_class_count(self):
+        with pytest.raises(ValueError):
+            SyntheticDetection(num_classes=0)

@@ -1,0 +1,174 @@
+"""Detection head, loss, decoding, and AP evaluation."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data.detection import Box, SyntheticDetection
+from repro.eval.detection import (
+    DetectionModel,
+    Prediction,
+    YoloLiteHead,
+    _average_precision,
+    _build_targets,
+    _decode,
+    box_iou,
+    evaluate_detection,
+    train_detector,
+    yolo_loss,
+)
+from repro.models import resnet18
+from repro.nn.tensor import Tensor
+
+
+def tiny_backbone(seed=0):
+    return resnet18(width_multiplier=0.0625,
+                    rng=np.random.default_rng(seed))
+
+
+class TestBoxIoU:
+    def test_identical_boxes(self):
+        box = Box(0, 0.5, 0.5, 0.2, 0.2)
+        assert box_iou(box, box) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        a = Box(0, 0.2, 0.2, 0.1, 0.1)
+        b = Box(0, 0.8, 0.8, 0.1, 0.1)
+        assert box_iou(a, b) == 0.0
+
+    def test_half_overlap(self):
+        a = Box(0, 0.25, 0.5, 0.5, 0.5)
+        b = Box(0, 0.5, 0.5, 0.5, 0.5)
+        # Intersection 0.25x0.5, union 2*0.25 - 0.125
+        assert box_iou(a, b) == pytest.approx(0.125 / 0.375)
+
+    def test_works_across_types(self):
+        gt = Box(0, 0.5, 0.5, 0.2, 0.2)
+        pred = Prediction(0, 0.9, 0.5, 0.5, 0.2, 0.2)
+        assert box_iou(pred, gt) == pytest.approx(1.0)
+
+
+class TestTargets:
+    def test_responsible_cell(self):
+        boxes = [[Box(1, cx=0.6, cy=0.3, w=0.2, h=0.2)]]
+        obj, box, cls = _build_targets(boxes, grid=4, num_classes=3)
+        assert obj[0, 1, 2] == 1.0  # row = cy*4 = 1.2 -> 1, col = cx*4 = 2.4 -> 2
+        assert cls[0, 1, 2] == 1
+        assert obj.sum() == 1.0
+
+    def test_offsets_in_unit_interval(self):
+        boxes = [[Box(0, cx=0.6, cy=0.3, w=0.2, h=0.4)]]
+        _, box, _ = _build_targets(boxes, grid=4, num_classes=1)
+        tx, ty, tw, th = box[0, :, 1, 2]
+        assert 0.0 <= tx <= 1.0 and 0.0 <= ty <= 1.0
+        assert tw == pytest.approx(0.2) and th == pytest.approx(0.4)
+
+    def test_edge_box_clamped_to_grid(self):
+        boxes = [[Box(0, cx=1.0, cy=1.0, w=0.1, h=0.1)]]
+        obj, _, _ = _build_targets(boxes, grid=4, num_classes=1)
+        assert obj[0, 3, 3] == 1.0
+
+    def test_empty_cells_marked(self):
+        obj, _, cls = _build_targets([[]], grid=2, num_classes=1)
+        assert obj.sum() == 0
+        assert np.all(cls == -1)
+
+
+class TestYoloLoss:
+    def test_finite_and_positive(self, rng):
+        head_out = Tensor(
+            rng.normal(size=(2, 5 + 3, 4, 4)).astype(np.float32),
+            requires_grad=True,
+        )
+        boxes = [
+            [Box(0, 0.5, 0.5, 0.3, 0.3)],
+            [Box(2, 0.2, 0.8, 0.2, 0.2), Box(1, 0.7, 0.3, 0.25, 0.25)],
+        ]
+        loss = yolo_loss(head_out, boxes, num_classes=3)
+        assert float(loss.data) > 0
+        loss.backward()
+        assert np.isfinite(head_out.grad).all()
+
+    def test_no_objects_only_objectness_term(self, rng):
+        head_out = Tensor(rng.normal(size=(1, 6, 4, 4)).astype(np.float32),
+                          requires_grad=True)
+        loss = yolo_loss(head_out, [[]], num_classes=1)
+        assert np.isfinite(float(loss.data))
+
+
+class TestDecode:
+    def _raw_with_peak(self, grid=4, num_classes=2, row=1, col=2):
+        raw = np.full((5 + num_classes, grid, grid), -8.0, dtype=np.float32)
+        raw[0, row, col] = 8.0  # objectness
+        raw[1:5, row, col] = 0.0  # sigmoid -> 0.5
+        raw[5, row, col] = 6.0  # class 0
+        return raw
+
+    def test_decodes_single_peak(self):
+        preds = _decode(self._raw_with_peak())
+        assert len(preds) == 1
+        pred = preds[0]
+        assert pred.class_id == 0
+        assert pred.cx == pytest.approx((2 + 0.5) / 4)
+        assert pred.cy == pytest.approx((1 + 0.5) / 4)
+        assert pred.w == pytest.approx(0.5)
+
+    def test_threshold_filters(self):
+        raw = np.full((7, 4, 4), -8.0, dtype=np.float32)
+        assert _decode(raw, score_threshold=0.3) == []
+
+    def test_nms_removes_duplicates(self):
+        raw = self._raw_with_peak()
+        raw[0, 1, 1] = 7.0  # neighbouring, overlapping detection
+        raw[1:5, 1, 1] = 0.0
+        raw[5, 1, 1] = 6.0
+        preds = _decode(raw, nms_iou=0.1)
+        assert len(preds) == 1  # lower-score duplicate suppressed
+
+
+class TestAveragePrecision:
+    def test_perfect_detection(self):
+        records = [(0.9, True), (0.8, True)]
+        assert _average_precision(records, total_gt=2) == pytest.approx(1.0)
+
+    def test_all_false_positives(self):
+        records = [(0.9, False), (0.8, False)]
+        assert _average_precision(records, total_gt=2) == 0.0
+
+    def test_no_gt(self):
+        assert _average_precision([(0.9, True)], total_gt=0) == 0.0
+
+    def test_mixed_ranking(self):
+        # TP at rank 1, FP at rank 2, TP at rank 3; 2 GT total.
+        records = [(0.9, True), (0.8, False), (0.7, True)]
+        ap = _average_precision(records, total_gt=2)
+        assert ap == pytest.approx(0.5 * 1.0 + 0.5 * (2 / 3))
+
+    def test_score_order_independence_of_input_order(self):
+        records = [(0.7, True), (0.9, True), (0.8, False)]
+        shuffled = [(0.9, True), (0.8, False), (0.7, True)]
+        assert _average_precision(list(records), 2) == pytest.approx(
+            _average_precision(list(shuffled), 2)
+        )
+
+
+class TestEndToEnd:
+    def test_train_and_evaluate(self, rng):
+        dataset = SyntheticDetection(
+            num_scenes=12, num_classes=2, image_size=16, max_objects=1,
+            seed=0,
+        )
+        model = train_detector(
+            tiny_backbone(), dataset, epochs=2, batch_size=6, rng=rng,
+        )
+        metrics = evaluate_detection(model, dataset)
+        assert set(metrics) == {"AP", "AP50", "AP75"}
+        assert 0.0 <= metrics["AP"] <= 100.0
+        assert metrics["AP50"] >= metrics["AP75"] - 1e-9
+
+    def test_model_output_grid(self, rng):
+        backbone = tiny_backbone()
+        model = DetectionModel(backbone, num_classes=2, rng=rng)
+        out = model(Tensor(rng.normal(size=(1, 3, 16, 16))))
+        assert out.shape[1] == 5 + 2
+        assert out.shape[2] == out.shape[3]

@@ -1,0 +1,70 @@
+"""k-NN evaluation tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval import knn_classify, knn_evaluation
+from repro.models import resnet18
+
+
+class TestKnnClassify:
+    def test_perfect_on_separated_clusters(self, rng):
+        train = np.concatenate([
+            rng.normal(0, 0.1, size=(20, 4)) + 5,
+            rng.normal(0, 0.1, size=(20, 4)) - 5,
+        ]).astype(np.float32)
+        labels = np.repeat([0, 1], 20)
+        test = np.concatenate([
+            rng.normal(0, 0.1, size=(5, 4)) + 5,
+            rng.normal(0, 0.1, size=(5, 4)) - 5,
+        ]).astype(np.float32)
+        preds = knn_classify(train, labels, test, k=5)
+        np.testing.assert_array_equal(preds, np.repeat([0, 1], 5))
+
+    def test_k_one_nearest(self, rng):
+        train = np.array([[1.0, 0.0], [0.0, 1.0]], dtype=np.float32)
+        labels = np.array([0, 1])
+        test = np.array([[0.9, 0.1]], dtype=np.float32)
+        assert knn_classify(train, labels, test, k=1)[0] == 0
+
+    def test_weighting_beats_majority(self):
+        # Two far-but-numerous neighbours vs one extremely close one:
+        # exp(cos/T) weighting must let the close neighbour win at k=3.
+        train = np.array(
+            [[1.0, 0.0], [0.2, 0.98], [0.2, 0.98]], dtype=np.float32
+        )
+        labels = np.array([0, 1, 1])
+        test = np.array([[1.0, 0.02]], dtype=np.float32)
+        assert knn_classify(train, labels, test, k=3,
+                            temperature=0.02)[0] == 0
+
+    def test_k_validated(self, rng):
+        train = rng.normal(size=(3, 2)).astype(np.float32)
+        with pytest.raises(ValueError):
+            knn_classify(train, np.zeros(3, dtype=int),
+                         train, k=10)
+
+
+class TestKnnEvaluation:
+    def test_end_to_end_range(self, rng):
+        from repro.data import make_cifar100_like
+
+        data = make_cifar100_like(num_classes=3, image_size=8,
+                                  train_per_class=10, test_per_class=4)
+        encoder = resnet18(width_multiplier=0.0625,
+                           rng=np.random.default_rng(0))
+        acc = knn_evaluation(encoder, data.train, data.test, k=3)
+        assert 0.0 <= acc <= 1.0
+
+    def test_fixed_precision_path(self, rng):
+        from repro.data import make_cifar100_like
+        from repro.quant import quantize_model
+
+        data = make_cifar100_like(num_classes=3, image_size=8,
+                                  train_per_class=10, test_per_class=4)
+        encoder = quantize_model(
+            resnet18(width_multiplier=0.0625, rng=np.random.default_rng(0))
+        )
+        acc = knn_evaluation(encoder, data.train, data.test, k=3,
+                             precision=4)
+        assert 0.0 <= acc <= 1.0

@@ -1,0 +1,43 @@
+"""Precision-robustness sweep tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_cifar100_like
+from repro.eval import area_under_precision_curve, precision_sweep
+from repro.models import resnet18
+from repro.quant import quantize_model
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_cifar100_like(num_classes=3, image_size=8,
+                              train_per_class=10, test_per_class=4)
+
+
+class TestPrecisionSweep:
+    def test_returns_curve_over_requested_bits(self, data, rng):
+        encoder = quantize_model(
+            resnet18(width_multiplier=0.0625, rng=np.random.default_rng(0))
+        )
+        curve = precision_sweep(encoder, data.train, data.test,
+                                bit_widths=(2, 8), epochs=2, rng=rng)
+        assert set(curve) == {2, 8}
+        for acc in curve.values():
+            assert 0.0 <= acc <= 100.0
+
+    def test_requires_quantized_encoder(self, data, rng):
+        encoder = resnet18(width_multiplier=0.0625,
+                           rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="quantized"):
+            precision_sweep(encoder, data.train, data.test, epochs=1,
+                            rng=rng)
+
+
+class TestAreaUnderCurve:
+    def test_mean(self):
+        assert area_under_precision_curve({2: 40.0, 8: 60.0}) == 50.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            area_under_precision_curve({})

@@ -1,0 +1,119 @@
+"""t-SNE implementation tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval.tsne import (
+    _calibrated_affinities,
+    _pairwise_sq_dists,
+    kl_divergence,
+    linear_separability,
+    tsne,
+)
+
+
+def gaussian_clusters(rng, n_per=15, d=10, separation=8.0, k=3):
+    centers = rng.normal(size=(k, d)) * separation
+    points = np.concatenate(
+        [centers[i] + rng.normal(size=(n_per, d)) for i in range(k)]
+    )
+    labels = np.repeat(np.arange(k), n_per)
+    return points, labels
+
+
+class TestPairwiseDistances:
+    def test_zero_diagonal(self, rng):
+        x = rng.normal(size=(6, 4))
+        d2 = _pairwise_sq_dists(x)
+        np.testing.assert_allclose(np.diag(d2), 0.0, atol=1e-9)
+
+    def test_matches_naive(self, rng):
+        x = rng.normal(size=(5, 3))
+        d2 = _pairwise_sq_dists(x)
+        for i in range(5):
+            for j in range(5):
+                expected = np.sum((x[i] - x[j]) ** 2)
+                assert d2[i, j] == pytest.approx(expected, abs=1e-8)
+
+    def test_symmetry(self, rng):
+        d2 = _pairwise_sq_dists(rng.normal(size=(8, 4)))
+        np.testing.assert_allclose(d2, d2.T, atol=1e-9)
+
+
+class TestAffinities:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(20, 5))
+        p = _calibrated_affinities(_pairwise_sq_dists(x), perplexity=5.0)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_entropy_matches_perplexity(self, rng):
+        x = rng.normal(size=(30, 5))
+        perplexity = 8.0
+        p = _calibrated_affinities(_pairwise_sq_dists(x), perplexity)
+        for i in range(30):
+            row = p[i][p[i] > 0]
+            entropy = -np.sum(row * np.log(row))
+            assert entropy == pytest.approx(np.log(perplexity), abs=0.05)
+
+    def test_zero_self_affinity(self, rng):
+        x = rng.normal(size=(10, 3))
+        p = _calibrated_affinities(_pairwise_sq_dists(x), 3.0)
+        np.testing.assert_allclose(np.diag(p), 0.0)
+
+
+class TestTSNE:
+    def test_output_shape(self, rng):
+        points, _ = gaussian_clusters(rng)
+        emb = tsne(points, iterations=50, rng=rng)
+        assert emb.shape == (len(points), 2)
+
+    def test_separates_well_separated_clusters(self, rng):
+        points, labels = gaussian_clusters(rng, separation=12.0)
+        emb = tsne(points, iterations=250, rng=rng)
+        assert linear_separability(emb, labels) > 0.8
+
+    def test_centered_output(self, rng):
+        points, _ = gaussian_clusters(rng)
+        emb = tsne(points, iterations=50, rng=rng)
+        np.testing.assert_allclose(emb.mean(axis=0), 0.0, atol=1e-6)
+
+    def test_deterministic_given_rng(self):
+        points, _ = gaussian_clusters(np.random.default_rng(1))
+        a = tsne(points, iterations=30, rng=np.random.default_rng(2))
+        b = tsne(points, iterations=30, rng=np.random.default_rng(2))
+        np.testing.assert_array_equal(a, b)
+
+    def test_too_few_points_rejected(self, rng):
+        with pytest.raises(ValueError):
+            tsne(rng.normal(size=(3, 4)))
+
+    def test_perplexity_bound(self, rng):
+        with pytest.raises(ValueError, match="perplexity"):
+            tsne(rng.normal(size=(10, 4)), perplexity=5.0)
+
+    def test_kl_decreases_with_iterations(self, rng):
+        points, _ = gaussian_clusters(rng, n_per=12)
+        short = tsne(points, iterations=20, perplexity=8.0,
+                     rng=np.random.default_rng(0))
+        long = tsne(points, iterations=250, perplexity=8.0,
+                    rng=np.random.default_rng(0))
+        assert kl_divergence(points, long) < kl_divergence(points, short)
+
+
+class TestLinearSeparability:
+    def test_perfectly_separable(self):
+        emb = np.array([[0.0, 0], [0, 1], [10, 0], [10, 1]])
+        labels = np.array([0, 0, 1, 1])
+        assert linear_separability(emb, labels) == 1.0
+
+    def test_random_labels_near_chance(self, rng):
+        emb = rng.normal(size=(200, 2))
+        labels = rng.integers(0, 2, size=200)
+        acc = linear_separability(emb, labels)
+        assert acc < 0.75
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            linear_separability(rng.normal(size=(5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            linear_separability(rng.normal(size=(5, 2)), np.zeros(5))

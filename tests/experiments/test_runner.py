@@ -1,0 +1,138 @@
+"""Experiment runner and table formatting tests (small but real runs)."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_cifar100_like
+from repro.experiments import (
+    EvalProtocol,
+    MethodSpec,
+    PretrainConfig,
+    finetune_grid,
+    format_table,
+    linear_eval_point,
+    pretrain,
+    render_grid_rows,
+    untrained_outcome,
+)
+from repro.quant import count_quantized_modules
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_cifar100_like(num_classes=3, image_size=8,
+                              train_per_class=12, test_per_class=4)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PretrainConfig(encoder="resnet18", width_multiplier=0.0625,
+                          epochs=2, batch_size=8)
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    return EvalProtocol(label_fractions=(0.5,), precisions=(None,),
+                        finetune_epochs=2, linear_epochs=3, batch_size=8)
+
+
+class TestPretrain:
+    def test_simclr_baseline(self, data, config):
+        outcome = pretrain(MethodSpec("SimCLR"), data.train, config)
+        assert len(outcome.history["loss"]) == config.epochs
+        assert all(np.isfinite(v) for v in outcome.history["loss"])
+
+    def test_cq_variant(self, data, config):
+        outcome = pretrain(
+            MethodSpec("CQ-C", variant="C", precision_set="2-8"),
+            data.train, config,
+        )
+        assert "grad_norm" in outcome.history
+
+    def test_byol_baseline(self, data, config):
+        outcome = pretrain(MethodSpec("BYOL", base="byol"), data.train,
+                           config)
+        assert len(outcome.history["loss"]) == config.epochs
+
+    def test_cq_quant_uses_identity_views(self, data, config):
+        # Just verifies the QUANT path runs end to end.
+        outcome = pretrain(
+            MethodSpec("CQ-Quant", variant="QUANT", precision_set="2-8"),
+            data.train, config,
+        )
+        assert np.isfinite(outcome.history["loss"][-1])
+
+    def test_state_is_full_precision_snapshot(self, data, config):
+        outcome = pretrain(
+            MethodSpec("CQ-C", variant="C", precision_set="2-8"),
+            data.train, config,
+        )
+        encoder = outcome.make_encoder(quantized=False)
+        assert count_quantized_modules(encoder) == 0
+
+    def test_make_encoder_quantized(self, data, config):
+        outcome = pretrain(MethodSpec("SimCLR"), data.train, config)
+        encoder = outcome.make_encoder(quantized=True)
+        assert count_quantized_modules(encoder) > 0
+
+    def test_make_encoder_is_fresh_each_call(self, data, config):
+        outcome = pretrain(MethodSpec("SimCLR"), data.train, config)
+        a, b = outcome.make_encoder(), outcome.make_encoder()
+        assert a is not b
+        first_a = next(a.parameters())
+        first_a.data[...] = 0.0
+        assert not np.all(next(b.parameters()).data == 0.0)
+
+    def test_pretraining_changes_weights(self, data, config):
+        fresh = untrained_outcome("none", config)
+        trained = pretrain(MethodSpec("SimCLR"), data.train, config)
+        name = next(iter(fresh.state))
+        assert not np.array_equal(fresh.state[name], trained.state[name])
+
+
+class TestGrids:
+    def test_finetune_grid_keys_and_range(self, data, config, protocol):
+        outcome = pretrain(MethodSpec("SimCLR"), data.train, config)
+        grid = finetune_grid(outcome, data.train, data.test, protocol)
+        assert set(grid) == {(None, 0.5)}
+        assert 0.0 <= grid[(None, 0.5)] <= 100.0
+
+    def test_linear_eval_point(self, data, config, protocol):
+        outcome = pretrain(MethodSpec("SimCLR"), data.train, config)
+        acc = linear_eval_point(outcome, data.train, data.test, protocol)
+        assert 0.0 <= acc <= 100.0
+
+    def test_untrained_outcome_evaluable(self, data, config, protocol):
+        outcome = untrained_outcome("No SSL", config)
+        grid = finetune_grid(outcome, data.train, data.test, protocol)
+        assert 0.0 <= grid[(None, 0.5)] <= 100.0
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["A", "Method"], [[1.5, "x"], [10.25, "yy"]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.50" in text and "10.25" in text
+        # All data rows equal width.
+        assert len(lines[2]) == len(lines[3])
+
+    def test_render_grid_rows(self):
+        table = {
+            "SimCLR": {(None, 0.1): 50.0, (4, 0.1): 40.0},
+            "CQ-C": {(None, 0.1): 55.0, (4, 0.1): 45.0},
+        }
+        headers, rows = render_grid_rows(table, precisions=[None, 4],
+                                         fractions=[0.1])
+        assert headers == ["Method", "FP 10%", "4-bit 10%"]
+        assert rows[0] == ["SimCLR", 50.0, 40.0]
+        assert rows[1] == ["CQ-C", 55.0, 45.0]
+
+    def test_render_grid_rows_with_leading(self):
+        table = {"SimCLR": {(None, 0.1): 50.0}}
+        headers, rows = render_grid_rows(
+            table, precisions=[None], fractions=[0.1],
+            leading={"SimCLR": ["resnet18"]},
+        )
+        assert rows[0][0] == "resnet18"

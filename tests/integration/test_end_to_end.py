@@ -1,0 +1,145 @@
+"""Integration tests: full pipelines across package boundaries.
+
+These run miniature but complete versions of the paper's workflows —
+pretrain -> evaluate — checking that every subsystem composes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.contrastive import ContrastiveQuantTrainer, SimCLRModel
+from repro.data import (
+    DataLoader,
+    TwoViewTransform,
+    make_cifar100_like,
+    simclr_augmentations,
+)
+from repro.data.detection import SyntheticDetection
+from repro.eval import (
+    evaluate_detection,
+    extract_features,
+    finetune,
+    linear_evaluation,
+    linear_separability,
+    train_detector,
+    tsne,
+)
+from repro.experiments import (
+    EvalProtocol,
+    MethodSpec,
+    PretrainConfig,
+    finetune_grid,
+    pretrain,
+)
+from repro.models import create_encoder
+from repro.nn.optim import Adam
+from repro.quant import QConv2d, count_quantized_modules
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_cifar100_like(num_classes=4, image_size=10,
+                              train_per_class=16, test_per_class=6)
+
+
+class TestPretrainToFinetune:
+    @pytest.mark.parametrize("variant", ["A", "B", "C"])
+    def test_cq_pipeline_to_both_precisions(self, data, variant):
+        config = PretrainConfig(encoder="resnet18", width_multiplier=0.0625,
+                                epochs=2, batch_size=8)
+        protocol = EvalProtocol(label_fractions=(0.5,), precisions=(None, 4),
+                                finetune_epochs=2, batch_size=8)
+        method = MethodSpec(f"CQ-{variant}", variant=variant,
+                            precision_set="2-8")
+        outcome = pretrain(method, data.train, config)
+        grid = finetune_grid(outcome, data.train, data.test, protocol)
+        assert set(grid) == {(None, 0.5), (4, 0.5)}
+        for value in grid.values():
+            assert 0.0 <= value <= 100.0
+
+    def test_byol_cq_to_linear_eval(self, data):
+        config = PretrainConfig(encoder="mobilenetv2",
+                                width_multiplier=0.125,
+                                epochs=2, batch_size=8)
+        method = MethodSpec("CQ-C", variant="C", precision_set="2-8",
+                            base="byol")
+        outcome = pretrain(method, data.train, config)
+        encoder = outcome.make_encoder(quantized=False)
+        acc = linear_evaluation(encoder, data.train, data.test, epochs=3,
+                                rng=np.random.default_rng(0))
+        assert 0.0 <= acc <= 1.0
+
+
+class TestRepresentationAnalysis:
+    def test_features_to_tsne_separability(self, data):
+        encoder = create_encoder("resnet18", width_multiplier=0.0625,
+                                 rng=np.random.default_rng(0))
+        features, labels = extract_features(encoder, data.test)
+        embedding = tsne(features, perplexity=5.0, iterations=40,
+                         rng=np.random.default_rng(1))
+        score = linear_separability(embedding, labels)
+        assert 0.0 <= score <= 1.0
+
+
+class TestDetectionTransferPipeline:
+    def test_pretrained_backbone_to_detection(self, data):
+        config = PretrainConfig(encoder="resnet18", width_multiplier=0.0625,
+                                epochs=1, batch_size=8)
+        outcome = pretrain(
+            MethodSpec("CQ-C", variant="C", precision_set="2-8"),
+            data.train, config,
+        )
+        scenes = SyntheticDetection(num_scenes=8, num_classes=2,
+                                    image_size=16, max_objects=1, seed=0)
+        model = train_detector(outcome.make_encoder(quantized=False),
+                               scenes, epochs=1, batch_size=4,
+                               rng=np.random.default_rng(0))
+        metrics = evaluate_detection(model, scenes)
+        assert set(metrics) == {"AP", "AP50", "AP75"}
+
+
+class TestStatePortability:
+    def test_pretrained_state_loads_into_quantized_twin(self, data):
+        """The cross-cutting invariant the whole eval design relies on:
+        state dicts are identical between float and quantized models."""
+        config = PretrainConfig(encoder="resnet18", width_multiplier=0.0625,
+                                epochs=1, batch_size=8)
+        outcome = pretrain(MethodSpec("SimCLR"), data.train, config)
+        float_enc = outcome.make_encoder(quantized=False)
+        quant_enc = outcome.make_encoder(quantized=True)
+        assert count_quantized_modules(quant_enc) > 0
+        from repro import nn
+        from repro.quant import set_precision
+
+        set_precision(quant_enc, None)
+        float_enc.eval(), quant_enc.eval()
+        x = nn.Tensor(data.test.images[:4])
+        np.testing.assert_allclose(
+            float_enc(x).data, quant_enc(x).data, rtol=1e-5
+        )
+
+
+class TestManualTrainingLoop:
+    def test_user_facing_api_composes(self, data):
+        """The README quickstart path, condensed."""
+        rng = np.random.default_rng(0)
+        encoder = create_encoder("resnet18", width_multiplier=0.0625,
+                                 rng=rng)
+        model = SimCLRModel(encoder, projection_dim=8, rng=rng)
+        trainer = ContrastiveQuantTrainer(
+            model, variant="C", precision_set="2-8",
+            optimizer=Adam(list(model.parameters()), lr=1e-3),
+            rng=np.random.default_rng(1),
+        )
+        loader = DataLoader(
+            data.train, batch_size=8, shuffle=True, drop_last=True,
+            transform=TwoViewTransform(simclr_augmentations(0.5)),
+            rng=np.random.default_rng(2),
+        )
+        loss = trainer.train_epoch(loader)
+        assert np.isfinite(loss)
+        trainer.finalize()
+        result = finetune(encoder, data.train, data.test,
+                          label_fraction=0.5, epochs=2,
+                          rng=np.random.default_rng(3))
+        assert 0.0 <= result.test_accuracy <= 1.0

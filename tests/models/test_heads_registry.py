@@ -1,0 +1,75 @@
+"""Projection/prediction heads and the encoder registry."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    PredictionHead,
+    ProjectionHead,
+    available_encoders,
+    create_encoder,
+)
+
+
+class TestProjectionHead:
+    def test_output_dim(self, rng):
+        head = ProjectionHead(32, out_dim=16, rng=rng)
+        out = head(nn.Tensor(rng.normal(size=(4, 32))))
+        assert out.shape == (4, 16)
+
+    def test_default_hidden_matches_input(self, rng):
+        head = ProjectionHead(32, rng=rng)
+        assert head.fc1.out_features == 32
+
+    def test_custom_hidden(self, rng):
+        head = ProjectionHead(32, hidden_dim=8, out_dim=4, rng=rng)
+        assert head.fc1.out_features == 8
+
+    def test_trains(self, rng):
+        head = ProjectionHead(8, out_dim=4, rng=rng)
+        head(nn.Tensor(rng.normal(size=(4, 8)))).sum().backward()
+        assert head.fc1.weight.grad is not None
+
+    def test_prediction_head_is_distinct_type(self, rng):
+        pred = PredictionHead(8, out_dim=4, rng=rng)
+        assert isinstance(pred, ProjectionHead)
+        assert type(pred) is PredictionHead
+
+
+class TestRegistry:
+    def test_lists_all_six_networks(self):
+        names = available_encoders()
+        assert names == [
+            "mobilenetv2", "resnet110", "resnet152",
+            "resnet18", "resnet34", "resnet74",
+        ]
+
+    @pytest.mark.parametrize("name", ["resnet18", "resnet74", "mobilenetv2"])
+    def test_create_by_name(self, rng, name):
+        model = create_encoder(name, width_multiplier=0.125, rng=rng)
+        out = model(nn.Tensor(rng.normal(size=(1, 3, 8, 8))))
+        assert out.shape == (1, model.feature_dim)
+
+    def test_name_normalization(self, rng):
+        model = create_encoder("ResNet-18", width_multiplier=0.125, rng=rng)
+        assert model.feature_dim > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown encoder"):
+            create_encoder("vgg16")
+
+    def test_stem_forwarded_to_resnets(self, rng):
+        model = create_encoder(
+            "resnet18", width_multiplier=0.125, stem="imagenet", rng=rng
+        )
+        assert model.stem_kind == "imagenet"
+
+    def test_deterministic_with_seed(self):
+        a = create_encoder("resnet18", width_multiplier=0.125,
+                           rng=np.random.default_rng(7))
+        b = create_encoder("resnet18", width_multiplier=0.125,
+                           rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(
+            a.stem_conv.weight.data, b.stem_conv.weight.data
+        )

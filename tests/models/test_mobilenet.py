@@ -1,0 +1,79 @@
+"""MobileNetV2 architecture tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import mobilenet_v2
+from repro.models.mobilenetv2 import InvertedResidual, MobileNetV2
+
+
+TINY = dict(width_multiplier=0.125)
+
+
+class TestInvertedResidual:
+    def test_residual_used_when_possible(self, rng):
+        block = InvertedResidual(8, 8, stride=1, expand_ratio=2, rng=rng)
+        assert block.use_residual
+
+    def test_no_residual_on_stride(self, rng):
+        block = InvertedResidual(8, 8, stride=2, expand_ratio=2, rng=rng)
+        assert not block.use_residual
+
+    def test_no_residual_on_channel_change(self, rng):
+        block = InvertedResidual(8, 16, stride=1, expand_ratio=2, rng=rng)
+        assert not block.use_residual
+
+    def test_invalid_stride(self, rng):
+        with pytest.raises(ValueError):
+            InvertedResidual(8, 8, stride=3, expand_ratio=2, rng=rng)
+
+    def test_expand_ratio_one_skips_expansion(self, rng):
+        block = InvertedResidual(8, 8, stride=1, expand_ratio=1, rng=rng)
+        assert len(block.body) == 1  # only the depthwise stage
+
+    def test_depthwise_is_grouped(self, rng):
+        block = InvertedResidual(8, 8, stride=1, expand_ratio=2, rng=rng)
+        depthwise = block.body[-1].conv
+        assert depthwise.groups == depthwise.in_channels
+
+    def test_forward_shape(self, rng):
+        block = InvertedResidual(4, 8, stride=2, expand_ratio=3, rng=rng)
+        out = block(nn.Tensor(rng.normal(size=(1, 4, 8, 8))))
+        assert out.shape == (1, 8, 4, 4)
+
+
+class TestMobileNetV2:
+    def test_feature_shape(self, rng):
+        model = mobilenet_v2(rng=rng, **TINY)
+        out = model(nn.Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, model.feature_dim)
+
+    def test_small_input_preserves_early_resolution(self, rng):
+        small = MobileNetV2(small_input=True, rng=rng, **TINY)
+        large = MobileNetV2(small_input=False, rng=rng, **TINY)
+        x = nn.Tensor(np.random.default_rng(0).normal(size=(1, 3, 32, 32)))
+        assert (
+            small.forward_spatial(x).shape[2]
+            > large.forward_spatial(x).shape[2]
+        )
+
+    def test_gradients_flow(self, rng):
+        model = mobilenet_v2(rng=rng, **TINY)
+        model(nn.Tensor(rng.normal(size=(1, 3, 16, 16)))).sum().backward()
+        assert model.stem.conv.weight.grad is not None
+
+    def test_width_multiplier_reduces_parameters(self, rng):
+        small = mobilenet_v2(width_multiplier=0.125, rng=rng)
+        big = mobilenet_v2(width_multiplier=0.25, rng=rng)
+        assert small.num_parameters() < big.num_parameters()
+
+    def test_forward_spatial_consistency(self, rng):
+        model = mobilenet_v2(rng=rng, **TINY)
+        model.eval()
+        x = nn.Tensor(rng.normal(size=(1, 3, 16, 16)))
+        np.testing.assert_allclose(
+            model(x).data,
+            model.forward_spatial(x).data.mean(axis=(2, 3)),
+            rtol=1e-5,
+        )

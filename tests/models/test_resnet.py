@@ -1,0 +1,135 @@
+"""ResNet architecture tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import resnet18, resnet34, resnet74, resnet110, resnet152
+from repro.models.resnet import BasicBlock, ResNet
+from repro.quant import count_quantized_modules, quantize_model, set_precision
+
+
+SMALL = dict(width_multiplier=0.125)
+
+
+class TestBasicBlock:
+    def test_identity_shortcut_when_shapes_match(self, rng):
+        block = BasicBlock(8, 8, stride=1, rng=rng)
+        assert isinstance(block.shortcut, nn.Identity)
+
+    def test_projection_shortcut_on_stride(self, rng):
+        block = BasicBlock(8, 16, stride=2, rng=rng)
+        assert isinstance(block.shortcut, nn.Sequential)
+
+    def test_stride_halves_resolution(self, rng):
+        block = BasicBlock(4, 8, stride=2, rng=rng)
+        out = block(nn.Tensor(rng.normal(size=(1, 4, 8, 8))))
+        assert out.shape == (1, 8, 4, 4)
+
+    def test_output_nonnegative_after_relu(self, rng):
+        block = BasicBlock(4, 4, stride=1, rng=rng)
+        out = block(nn.Tensor(rng.normal(size=(2, 4, 6, 6))))
+        assert np.all(out.data >= 0)
+
+
+class TestArchitectures:
+    def test_resnet18_block_count(self, rng):
+        model = resnet18(rng=rng, **SMALL)
+        blocks = [m for m in model.modules() if isinstance(m, BasicBlock)]
+        assert len(blocks) == 8  # 2+2+2+2
+
+    def test_resnet34_block_count(self, rng):
+        model = resnet34(rng=rng, **SMALL)
+        blocks = [m for m in model.modules() if isinstance(m, BasicBlock)]
+        assert len(blocks) == 16  # 3+4+6+3
+
+    @pytest.mark.parametrize(
+        "builder,blocks", [(resnet74, 36), (resnet110, 54), (resnet152, 75)]
+    )
+    def test_deep_cifar_block_counts(self, rng, builder, blocks):
+        model = builder(width_multiplier=0.25, rng=rng)
+        found = [m for m in model.modules() if isinstance(m, BasicBlock)]
+        assert len(found) == blocks  # 3n blocks for depth 6n+2
+
+    def test_depth_order_by_parameters(self, rng):
+        # Same family, increasing depth => increasing parameter count.
+        p74 = resnet74(width_multiplier=0.25, rng=rng).num_parameters()
+        p110 = resnet110(width_multiplier=0.25, rng=rng).num_parameters()
+        p152 = resnet152(width_multiplier=0.25, rng=rng).num_parameters()
+        assert p74 < p110 < p152
+
+    def test_invalid_depth_rejected(self, rng):
+        from repro.models.resnet import _cifar_deep
+
+        with pytest.raises(ValueError):
+            _cifar_deep(100, 1.0, rng)
+
+    def test_stage_width_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ResNet((2, 2), (64,), rng=rng)
+
+    def test_unknown_stem_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ResNet((2,), (16,), stem="tpu", rng=rng)
+
+
+class TestForward:
+    def test_cifar_stem_feature_shape(self, rng):
+        model = resnet18(stem="cifar", rng=rng, **SMALL)
+        out = model(nn.Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, model.feature_dim)
+
+    def test_imagenet_stem_downsamples_more(self, rng):
+        model = resnet18(stem="imagenet", rng=rng, **SMALL)
+        fmap = model.forward_spatial(nn.Tensor(rng.normal(size=(1, 3, 32, 32))))
+        cifar = resnet18(stem="cifar", rng=rng, **SMALL)
+        fmap_cifar = cifar.forward_spatial(
+            nn.Tensor(rng.normal(size=(1, 3, 32, 32)))
+        )
+        assert fmap.shape[2] < fmap_cifar.shape[2]
+
+    def test_forward_spatial_consistent_with_forward(self, rng):
+        model = resnet74(width_multiplier=0.25, rng=rng)
+        model.eval()
+        x = nn.Tensor(rng.normal(size=(1, 3, 8, 8)))
+        pooled = model(x)
+        spatial = model.forward_spatial(x)
+        np.testing.assert_allclose(
+            pooled.data, spatial.data.mean(axis=(2, 3)), rtol=1e-5
+        )
+
+    def test_gradients_reach_stem(self, rng):
+        model = resnet18(rng=rng, **SMALL)
+        x = nn.Tensor(rng.normal(size=(2, 3, 8, 8)))
+        model(x).sum().backward()
+        assert model.stem_conv.weight.grad is not None
+
+    def test_width_multiplier_scales_features(self, rng):
+        narrow = resnet18(width_multiplier=0.125, rng=rng)
+        wide = resnet18(width_multiplier=0.25, rng=rng)
+        assert wide.feature_dim == 2 * narrow.feature_dim
+
+
+class TestQuantizedResNet:
+    def test_all_convs_and_linears_converted(self, rng):
+        model = quantize_model(resnet18(rng=rng, **SMALL))
+        convs = [m for m in model.modules() if isinstance(m, nn.Conv2d)]
+        assert count_quantized_modules(model) == len(convs)
+
+    def test_precision_switch_changes_resnet_features(self, rng):
+        model = quantize_model(resnet18(rng=rng, **SMALL))
+        model.eval()
+        x = nn.Tensor(rng.normal(size=(1, 3, 8, 8)))
+        set_precision(model, 4)
+        low = model(x).data.copy()
+        set_precision(model, None)
+        full = model(x).data.copy()
+        assert not np.allclose(low, full)
+
+    def test_quantized_resnet_trains(self, rng):
+        model = quantize_model(resnet18(rng=rng, **SMALL))
+        set_precision(model, 8)
+        x = nn.Tensor(rng.normal(size=(2, 3, 8, 8)))
+        model(x).sum().backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert len(grads) > 0

@@ -1,0 +1,171 @@
+"""Autograd graph mechanics: recording, accumulation, modes, errors."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.autograd import is_grad_enabled, no_grad, enable_grad, unbroadcast
+
+
+class TestGradMode:
+    def test_grad_enabled_by_default(self):
+        assert is_grad_enabled()
+
+    def test_no_grad_disables_recording(self):
+        x = nn.Tensor([1.0, 2.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._ctx is None
+
+    def test_no_grad_restores_state(self):
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_enable_grad_inside_no_grad(self):
+        x = nn.Tensor([1.0], requires_grad=True)
+        with no_grad():
+            with enable_grad():
+                y = x * 3.0
+        assert y.requires_grad
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = nn.Tensor(3.0, requires_grad=True)
+        y = x * x + 2.0 * x + 1.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, 8.0)  # 2x + 2 at x=3
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = nn.Tensor(2.0, requires_grad=True)
+        (x * x).backward()
+        (x * x).backward()
+        np.testing.assert_allclose(x.grad, 8.0)
+
+    def test_fanout_accumulates_within_graph(self):
+        x = nn.Tensor(2.0, requires_grad=True)
+        y = x * 3.0
+        z = y + y  # y used twice
+        z.backward()
+        np.testing.assert_allclose(x.grad, 6.0)
+
+    def test_diamond_graph(self):
+        x = nn.Tensor(2.0, requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        out = a * b  # 6 x^2, derivative 12x
+        out.backward()
+        np.testing.assert_allclose(x.grad, 24.0)
+
+    def test_non_scalar_requires_explicit_grad(self):
+        x = nn.Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError, match="non-scalar"):
+            y.backward()
+
+    def test_non_scalar_with_explicit_grad(self):
+        x = nn.Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2.0
+        y.backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(x.grad, [2.0, 20.0])
+
+    def test_backward_without_requires_grad_raises(self):
+        x = nn.Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_intermediate_grad_not_kept_by_default(self):
+        x = nn.Tensor(1.0, requires_grad=True)
+        y = x * 2.0
+        z = y * 3.0
+        z.backward()
+        assert y.grad is None
+        assert x.grad is not None
+
+    def test_retain_grad_keeps_intermediate(self):
+        x = nn.Tensor(1.0, requires_grad=True)
+        y = (x * 2.0).retain_grad()
+        z = y * 3.0
+        z.backward()
+        np.testing.assert_allclose(y.grad, 3.0)
+
+    def test_detach_blocks_gradient(self):
+        x = nn.Tensor(2.0, requires_grad=True)
+        y = x * 3.0
+        z = y.detach() * x
+        z.backward()
+        np.testing.assert_allclose(x.grad, 6.0)  # only through the right factor
+
+    def test_constant_operand_gets_no_grad(self):
+        x = nn.Tensor(2.0, requires_grad=True)
+        c = nn.Tensor(5.0)  # requires_grad False
+        (x * c).backward()
+        assert c.grad is None
+        np.testing.assert_allclose(x.grad, 5.0)
+
+    def test_long_chain_iterative_topo(self):
+        # Deep graphs must not hit Python's recursion limit.
+        x = nn.Tensor(1.0, requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.backward()
+        np.testing.assert_allclose(x.grad, 1.0)
+
+
+class TestUnbroadcast:
+    def test_no_op_when_shapes_match(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_sums_added_leading_dims(self):
+        g = np.ones((4, 2, 3))
+        out = unbroadcast(g, (2, 3))
+        np.testing.assert_allclose(out, np.full((2, 3), 4.0))
+
+    def test_sums_size_one_dims(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, (2, 1))
+        np.testing.assert_allclose(out, np.full((2, 1), 3.0))
+
+    def test_scalar_target(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, ())
+        np.testing.assert_allclose(out, 6.0)
+
+
+class TestBroadcastGradients:
+    def test_bias_like_broadcast(self):
+        x = nn.Tensor(np.ones((4, 3)), requires_grad=True)
+        b = nn.Tensor(np.zeros(3), requires_grad=True)
+        (x + b).sum().backward()
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, [4.0, 4.0, 4.0])
+
+    def test_scalar_tensor_broadcast(self):
+        s = nn.Tensor(2.0, requires_grad=True)
+        x = nn.Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        (s * x).sum().backward()
+        np.testing.assert_allclose(s.grad, x.data.sum())
+
+    def test_channelwise_broadcast_4d(self):
+        x = nn.Tensor(np.ones((2, 3, 4, 4)), requires_grad=True)
+        scale = nn.Tensor(np.ones((1, 3, 1, 1)), requires_grad=True)
+        (x * scale).sum().backward()
+        assert scale.grad.shape == (1, 3, 1, 1)
+        np.testing.assert_allclose(scale.grad.reshape(-1), [32.0, 32.0, 32.0])

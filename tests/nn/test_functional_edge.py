@@ -1,0 +1,144 @@
+"""Edge cases and error paths for the functional API."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+
+
+class TestShapeOps:
+    def test_concat_middle_axis(self, rng):
+        a = nn.Tensor(rng.normal(size=(2, 3, 4)))
+        b = nn.Tensor(rng.normal(size=(2, 5, 4)))
+        out = F.concat([a, b], axis=1)
+        assert out.shape == (2, 8, 4)
+
+    def test_concat_gradient_splits_correctly(self, rng):
+        a = nn.Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        b = nn.Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        out = F.concat([a, b], axis=0)
+        out.backward(np.arange(10, dtype=np.float32).reshape(5, 2))
+        np.testing.assert_array_equal(a.grad.reshape(-1), [0, 1, 2, 3])
+        np.testing.assert_array_equal(b.grad.reshape(-1), [4, 5, 6, 7, 8, 9])
+
+    def test_stack_new_axis(self, rng):
+        tensors = [nn.Tensor(rng.normal(size=(3,))) for _ in range(4)]
+        assert F.stack(tensors, axis=0).shape == (4, 3)
+        assert F.stack(tensors, axis=1).shape == (3, 4)
+
+    def test_squeeze_unsqueeze_round_trip(self, rng):
+        a = nn.Tensor(rng.normal(size=(2, 3)))
+        up = F.unsqueeze(a, 1)
+        assert up.shape == (2, 1, 3)
+        back = F.squeeze(up, 1)
+        assert back.shape == (2, 3)
+
+    def test_squeeze_non_unit_axis_rejected(self, rng):
+        with pytest.raises(ValueError):
+            F.squeeze(nn.Tensor(rng.normal(size=(2, 3))), 1)
+
+    def test_unsqueeze_negative_axis(self, rng):
+        a = nn.Tensor(rng.normal(size=(2, 3)))
+        assert F.unsqueeze(a, -1).shape == (2, 3, 1)
+
+    def test_flatten_start_dim(self, rng):
+        a = nn.Tensor(rng.normal(size=(2, 3, 4, 5)))
+        assert F.flatten(a, start_dim=2).shape == (2, 3, 20)
+
+    def test_reshape_minus_one(self, rng):
+        a = nn.Tensor(rng.normal(size=(2, 6)))
+        assert F.reshape(a, (3, -1)).shape == (3, 4)
+
+    def test_transpose_default_reverses(self, rng):
+        a = nn.Tensor(rng.normal(size=(2, 3, 4)))
+        assert F.transpose(a).shape == (4, 3, 2)
+
+
+class TestReduceEdges:
+    def test_sum_keepdims_shape(self, rng):
+        a = nn.Tensor(rng.normal(size=(2, 3)))
+        assert F.sum(a, axis=1, keepdims=True).shape == (2, 1)
+
+    def test_negative_axis(self, rng):
+        a = nn.Tensor(rng.normal(size=(2, 3)))
+        np.testing.assert_allclose(
+            F.sum(a, axis=-1).data, a.data.sum(axis=-1), rtol=1e-6
+        )
+
+    def test_logsumexp_handles_large_values(self):
+        a = nn.Tensor(np.array([[1000.0, 1000.0]]), dtype=np.float64)
+        out = F.logsumexp(a, axis=1)
+        np.testing.assert_allclose(out.data, [1000.0 + np.log(2.0)],
+                                   rtol=1e-12)
+
+    def test_logsumexp_handles_very_negative(self):
+        a = nn.Tensor(np.array([[-1000.0, -1000.0]]), dtype=np.float64)
+        out = F.logsumexp(a, axis=1)
+        np.testing.assert_allclose(out.data, [-1000.0 + np.log(2.0)],
+                                   rtol=1e-12)
+
+    def test_max_ties_split_gradient(self):
+        a = nn.Tensor(np.array([2.0, 2.0]), requires_grad=True,
+                      dtype=np.float64)
+        F.max(a).backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.5])
+
+
+class TestSoftmaxEdges:
+    def test_softmax_invariant_to_shift(self, rng):
+        a = rng.normal(size=(2, 5))
+        out1 = F.softmax(nn.Tensor(a, dtype=np.float64))
+        out2 = F.softmax(nn.Tensor(a + 100.0, dtype=np.float64))
+        np.testing.assert_allclose(out1.data, out2.data, rtol=1e-9)
+
+    def test_softmax_extreme_logits_finite(self):
+        a = nn.Tensor(np.array([[1e4, -1e4]]), dtype=np.float64)
+        out = F.softmax(a)
+        assert np.isfinite(out.data).all()
+        np.testing.assert_allclose(out.data, [[1.0, 0.0]], atol=1e-12)
+
+
+class TestDropoutEdges:
+    def test_invalid_p(self, rng):
+        x = nn.Tensor(rng.normal(size=(4,)))
+        with pytest.raises(ValueError):
+            F.dropout(x, p=1.5, training=True)
+
+    def test_not_training_passthrough(self, rng):
+        x = nn.Tensor(rng.normal(size=(4,)))
+        assert F.dropout(x, p=0.9, training=False) is x
+
+
+class TestConvValidation:
+    def test_channel_mismatch_message(self, rng):
+        x = nn.Tensor(rng.normal(size=(1, 2, 4, 4)))
+        w = nn.Tensor(rng.normal(size=(4, 3, 3, 3)))
+        with pytest.raises(ValueError, match="incompatible"):
+            F.conv2d(x, w)
+
+    def test_int_and_pair_args_equivalent(self, rng):
+        x = nn.Tensor(rng.normal(size=(1, 2, 6, 6)))
+        w = nn.Tensor(rng.normal(size=(3, 2, 3, 3)))
+        a = F.conv2d(x, w, stride=2, padding=1)
+        b = F.conv2d(x, w, stride=(2, 2), padding=(1, 1))
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_asymmetric_stride(self, rng):
+        x = nn.Tensor(rng.normal(size=(1, 1, 8, 8)))
+        w = nn.Tensor(rng.normal(size=(1, 1, 3, 3)))
+        out = F.conv2d(x, w, stride=(1, 2), padding=1)
+        assert out.shape == (1, 1, 8, 4)
+
+
+class TestNumericalStability:
+    def test_normalize_zero_vector_safe(self):
+        x = nn.Tensor(np.zeros((1, 4)), requires_grad=True)
+        out = F.normalize(x)
+        assert np.isfinite(out.data).all()
+        F.sum(out).backward()
+        assert np.isfinite(x.grad).all()
+
+    def test_log_softmax_never_nan(self, rng):
+        a = nn.Tensor(rng.normal(size=(4, 10)) * 100)
+        assert np.isfinite(F.log_softmax(a).data).all()

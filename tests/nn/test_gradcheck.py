@@ -1,0 +1,329 @@
+"""Numerical gradient checks for every differentiable operation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn import losses
+
+from ..helpers import check_gradients, tensor64
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestElementwiseGrads:
+    def test_add(self, rng):
+        a = tensor64(rng.normal(size=(3, 4)))
+        b = tensor64(rng.normal(size=(3, 4)))
+        check_gradients(lambda: F.sum(a + b), [a, b])
+
+    def test_add_broadcast(self, rng):
+        a = tensor64(rng.normal(size=(3, 4)))
+        b = tensor64(rng.normal(size=(4,)))
+        check_gradients(lambda: F.sum(a + b), [a, b])
+
+    def test_sub(self, rng):
+        a = tensor64(rng.normal(size=(2, 5)))
+        b = tensor64(rng.normal(size=(2, 5)))
+        check_gradients(lambda: F.sum((a - b) * (a - b)), [a, b])
+
+    def test_rsub_scalar(self, rng):
+        a = tensor64(rng.normal(size=(3,)))
+        check_gradients(lambda: F.sum((1.0 - a) * (1.0 - a)), [a])
+
+    def test_mul(self, rng):
+        a = tensor64(rng.normal(size=(3, 4)))
+        b = tensor64(rng.normal(size=(3, 4)))
+        check_gradients(lambda: F.sum(a * b), [a, b])
+
+    def test_div(self, rng):
+        a = tensor64(rng.normal(size=(3, 4)))
+        b = tensor64(rng.uniform(0.5, 2.0, size=(3, 4)))
+        check_gradients(lambda: F.sum(a / b), [a, b])
+
+    def test_rdiv_scalar(self, rng):
+        a = tensor64(rng.uniform(0.5, 2.0, size=(4,)))
+        check_gradients(lambda: F.sum(2.0 / a), [a])
+
+    def test_pow(self, rng):
+        a = tensor64(rng.uniform(0.5, 2.0, size=(3,)))
+        check_gradients(lambda: F.sum(a ** 3.0), [a])
+
+    def test_pow_negative_exponent(self, rng):
+        a = tensor64(rng.uniform(1.0, 2.0, size=(3,)))
+        check_gradients(lambda: F.sum(a ** -0.5), [a])
+
+    def test_exp(self, rng):
+        a = tensor64(rng.normal(size=(3, 2)))
+        check_gradients(lambda: F.sum(F.exp(a)), [a])
+
+    def test_log(self, rng):
+        a = tensor64(rng.uniform(0.5, 3.0, size=(4,)))
+        check_gradients(lambda: F.sum(F.log(a)), [a])
+
+    def test_sqrt(self, rng):
+        a = tensor64(rng.uniform(0.5, 3.0, size=(4,)))
+        check_gradients(lambda: F.sum(F.sqrt(a)), [a])
+
+    def test_abs(self, rng):
+        a = tensor64(rng.normal(size=(5,)) + 0.5)  # keep away from 0
+        check_gradients(lambda: F.sum(F.abs(a)), [a])
+
+    def test_clip_interior(self, rng):
+        a = tensor64(rng.uniform(-0.4, 0.4, size=(5,)))
+        check_gradients(lambda: F.sum(F.clip(a, -1.0, 1.0)), [a])
+
+    def test_clip_blocks_gradient_outside(self):
+        a = tensor64([2.0, -2.0, 0.5])
+        F.sum(F.clip(a, -1.0, 1.0)).backward()
+        np.testing.assert_allclose(a.grad, [0.0, 0.0, 1.0])
+
+    def test_maximum(self, rng):
+        a = tensor64(rng.normal(size=(6,)))
+        b = tensor64(rng.normal(size=(6,)) + 0.01)
+        check_gradients(lambda: F.sum(F.maximum(a, b)), [a, b])
+
+    def test_relu(self, rng):
+        a = tensor64(rng.normal(size=(4, 4)) + 0.1)
+        check_gradients(lambda: F.sum(F.relu(a)), [a])
+
+    def test_relu6(self, rng):
+        a = tensor64(rng.uniform(-2, 8, size=(10,)))
+        a.data[np.abs(a.data) < 0.05] = 1.0
+        a.data[np.abs(a.data - 6.0) < 0.05] = 1.0
+        check_gradients(lambda: F.sum(F.relu6(a)), [a])
+
+    def test_leaky_relu(self, rng):
+        a = tensor64(rng.normal(size=(6,)) + 0.2)
+        check_gradients(lambda: F.sum(F.leaky_relu(a, 0.1)), [a])
+
+    def test_sigmoid(self, rng):
+        a = tensor64(rng.normal(size=(3, 3)))
+        check_gradients(lambda: F.sum(F.sigmoid(a)), [a])
+
+    def test_tanh(self, rng):
+        a = tensor64(rng.normal(size=(3, 3)))
+        check_gradients(lambda: F.sum(F.tanh(a)), [a])
+
+
+class TestMatmulGrads:
+    def test_matmul_2d(self, rng):
+        a = tensor64(rng.normal(size=(3, 4)))
+        b = tensor64(rng.normal(size=(4, 5)))
+        check_gradients(lambda: F.sum(F.matmul(a, b)), [a, b])
+
+    def test_matmul_batched(self, rng):
+        a = tensor64(rng.normal(size=(2, 3, 4)))
+        b = tensor64(rng.normal(size=(2, 4, 5)))
+        check_gradients(lambda: F.sum(F.matmul(a, b)), [a, b])
+
+    def test_linear_with_bias(self, rng):
+        x = tensor64(rng.normal(size=(4, 3)))
+        w = tensor64(rng.normal(size=(5, 3)))
+        b = tensor64(rng.normal(size=(5,)))
+        check_gradients(lambda: F.sum(F.linear(x, w, b) ** 2.0), [x, w, b])
+
+    def test_linear_no_bias(self, rng):
+        x = tensor64(rng.normal(size=(4, 3)))
+        w = tensor64(rng.normal(size=(5, 3)))
+        check_gradients(lambda: F.sum(F.linear(x, w)), [x, w])
+
+
+class TestReduceGrads:
+    def test_sum_all(self, rng):
+        a = tensor64(rng.normal(size=(3, 4)))
+        check_gradients(lambda: F.sum(a * a), [a])
+
+    def test_sum_axis(self, rng):
+        a = tensor64(rng.normal(size=(3, 4)))
+        check_gradients(lambda: F.sum(F.sum(a, axis=0) ** 2.0), [a])
+
+    def test_sum_keepdims(self, rng):
+        a = tensor64(rng.normal(size=(3, 4)))
+        check_gradients(
+            lambda: F.sum(a * F.sum(a, axis=1, keepdims=True)), [a]
+        )
+
+    def test_mean(self, rng):
+        a = tensor64(rng.normal(size=(4, 5)))
+        check_gradients(lambda: F.mean(a * a), [a])
+
+    def test_mean_multi_axis(self, rng):
+        a = tensor64(rng.normal(size=(2, 3, 4, 4)))
+        check_gradients(lambda: F.sum(F.mean(a, axis=(0, 2, 3)) ** 2.0), [a])
+
+    def test_max_reduction(self, rng):
+        a = tensor64(rng.permutation(12).reshape(3, 4).astype(np.float64))
+        check_gradients(lambda: F.sum(F.max(a, axis=1)), [a])
+
+    def test_min_reduction(self, rng):
+        a = tensor64(rng.permutation(12).reshape(3, 4).astype(np.float64))
+        check_gradients(lambda: F.sum(F.min(a, axis=0)), [a])
+
+    def test_logsumexp(self, rng):
+        a = tensor64(rng.normal(size=(3, 5)))
+        check_gradients(lambda: F.sum(F.logsumexp(a, axis=1)), [a])
+
+    def test_log_softmax(self, rng):
+        a = tensor64(rng.normal(size=(2, 4)))
+        check_gradients(lambda: F.sum(F.log_softmax(a) ** 2.0), [a])
+
+    def test_softmax(self, rng):
+        a = tensor64(rng.normal(size=(2, 4)))
+        check_gradients(lambda: F.sum(F.softmax(a) ** 2.0), [a])
+
+
+class TestShapeGrads:
+    def test_reshape(self, rng):
+        a = tensor64(rng.normal(size=(2, 6)))
+        check_gradients(lambda: F.sum(F.reshape(a, (3, 4)) ** 2.0), [a])
+
+    def test_transpose(self, rng):
+        a = tensor64(rng.normal(size=(2, 3, 4)))
+        check_gradients(
+            lambda: F.sum(F.transpose(a, (2, 0, 1)) ** 2.0), [a]
+        )
+
+    def test_getitem_slice(self, rng):
+        a = tensor64(rng.normal(size=(4, 5)))
+        check_gradients(lambda: F.sum(a[1:3, ::2] ** 2.0), [a])
+
+    def test_getitem_fancy(self, rng):
+        a = tensor64(rng.normal(size=(5, 3)))
+        idx = np.array([0, 2, 2, 4])
+        check_gradients(lambda: F.sum(a[idx] ** 2.0), [a])
+
+    def test_concat(self, rng):
+        a = tensor64(rng.normal(size=(2, 3)))
+        b = tensor64(rng.normal(size=(4, 3)))
+        check_gradients(lambda: F.sum(F.concat([a, b], axis=0) ** 2.0), [a, b])
+
+    def test_stack(self, rng):
+        a = tensor64(rng.normal(size=(2, 3)))
+        b = tensor64(rng.normal(size=(2, 3)))
+        check_gradients(lambda: F.sum(F.stack([a, b], axis=1) ** 2.0), [a, b])
+
+    def test_pad(self, rng):
+        a = tensor64(rng.normal(size=(2, 3)))
+        check_gradients(
+            lambda: F.sum(F.pad(a, ((1, 1), (0, 2))) ** 2.0), [a]
+        )
+
+    def test_broadcast_to(self, rng):
+        a = tensor64(rng.normal(size=(1, 3)))
+        check_gradients(
+            lambda: F.sum(F.broadcast_to(a, (4, 3)) ** 2.0), [a]
+        )
+
+
+class TestConvPoolGrads:
+    def test_conv2d_basic(self, rng):
+        x = tensor64(rng.normal(size=(2, 2, 5, 5)))
+        w = tensor64(rng.normal(size=(3, 2, 3, 3)))
+        b = tensor64(rng.normal(size=(3,)))
+        check_gradients(
+            lambda: F.sum(F.conv2d(x, w, b, stride=1, padding=1) ** 2.0),
+            [x, w, b],
+            atol=1e-4,
+        )
+
+    def test_conv2d_strided(self, rng):
+        x = tensor64(rng.normal(size=(1, 2, 6, 6)))
+        w = tensor64(rng.normal(size=(2, 2, 3, 3)))
+        check_gradients(
+            lambda: F.sum(F.conv2d(x, w, stride=2, padding=1) ** 2.0),
+            [x, w],
+            atol=1e-4,
+        )
+
+    def test_conv2d_grouped(self, rng):
+        x = tensor64(rng.normal(size=(2, 4, 5, 5)))
+        w = tensor64(rng.normal(size=(4, 2, 3, 3)))
+        check_gradients(
+            lambda: F.sum(F.conv2d(x, w, groups=2, padding=1) ** 2.0),
+            [x, w],
+            atol=1e-4,
+        )
+
+    def test_conv2d_depthwise(self, rng):
+        x = tensor64(rng.normal(size=(1, 3, 5, 5)))
+        w = tensor64(rng.normal(size=(3, 1, 3, 3)))
+        check_gradients(
+            lambda: F.sum(F.conv2d(x, w, groups=3, padding=1) ** 2.0),
+            [x, w],
+            atol=1e-4,
+        )
+
+    def test_conv2d_1x1(self, rng):
+        x = tensor64(rng.normal(size=(2, 3, 4, 4)))
+        w = tensor64(rng.normal(size=(5, 3, 1, 1)))
+        check_gradients(
+            lambda: F.sum(F.conv2d(x, w) ** 2.0), [x, w], atol=1e-4
+        )
+
+    def test_max_pool(self, rng):
+        x = tensor64(rng.permutation(64).reshape(1, 1, 8, 8).astype(np.float64))
+        check_gradients(lambda: F.sum(F.max_pool2d(x, 2) ** 2.0), [x])
+
+    def test_max_pool_stride_padding(self, rng):
+        x = tensor64(
+            rng.permutation(72).reshape(2, 1, 6, 6).astype(np.float64)
+        )
+        check_gradients(
+            lambda: F.sum(F.max_pool2d(x, 3, stride=2, padding=1) ** 2.0), [x]
+        )
+
+    def test_avg_pool(self, rng):
+        x = tensor64(rng.normal(size=(2, 2, 6, 6)))
+        check_gradients(lambda: F.sum(F.avg_pool2d(x, 2) ** 2.0), [x])
+
+    def test_avg_pool_padding(self, rng):
+        x = tensor64(rng.normal(size=(1, 1, 5, 5)))
+        check_gradients(
+            lambda: F.sum(F.avg_pool2d(x, 3, stride=2, padding=1) ** 2.0), [x]
+        )
+
+    def test_global_avg_pool(self, rng):
+        x = tensor64(rng.normal(size=(2, 3, 4, 4)))
+        check_gradients(lambda: F.sum(F.global_avg_pool2d(x) ** 2.0), [x])
+
+
+class TestNormalizeGrads:
+    def test_normalize(self, rng):
+        a = tensor64(rng.normal(size=(3, 4)) + 0.5)
+        check_gradients(lambda: F.sum(F.normalize(a) * a), [a])
+
+    def test_cosine_similarity(self, rng):
+        a = tensor64(rng.normal(size=(3, 4)))
+        b = tensor64(rng.normal(size=(3, 4)))
+        check_gradients(lambda: F.sum(F.cosine_similarity(a, b)), [a, b])
+
+
+class TestLossGrads:
+    def test_cross_entropy(self, rng):
+        logits = tensor64(rng.normal(size=(4, 5)))
+        targets = np.array([0, 1, 2, 3])
+        check_gradients(
+            lambda: losses.cross_entropy(logits, targets), [logits]
+        )
+
+    def test_mse(self, rng):
+        pred = tensor64(rng.normal(size=(3, 4)))
+        target = tensor64(rng.normal(size=(3, 4)))
+        check_gradients(lambda: losses.mse_loss(pred, target), [pred, target])
+
+    def test_bce_with_logits(self, rng):
+        logits = tensor64(rng.normal(size=(6,)))
+        targets = tensor64((rng.random(6) > 0.5).astype(np.float64),
+                           requires_grad=False)
+        check_gradients(
+            lambda: losses.bce_with_logits(logits, targets), [logits]
+        )
+
+    def test_l1(self, rng):
+        pred = tensor64(rng.normal(size=(5,)) + 1.0)
+        target = tensor64(np.zeros(5), requires_grad=False)
+        check_gradients(lambda: losses.l1_loss(pred, target), [pred])

@@ -1,0 +1,97 @@
+"""GroupNorm / LayerNorm tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+from ..helpers import check_gradients, tensor64
+
+
+class TestGroupNorm:
+    def test_normalizes_within_groups(self, rng):
+        gn = nn.GroupNorm(2, 8, affine=False)
+        x = nn.Tensor(rng.normal(3.0, 2.0, size=(4, 8, 5, 5)))
+        out = gn(x).data
+        grouped = out.reshape(4, 2, -1)
+        np.testing.assert_allclose(grouped.mean(axis=2), 0.0, atol=1e-5)
+        np.testing.assert_allclose(grouped.var(axis=2), 1.0, atol=1e-3)
+
+    def test_batch_independent(self, rng):
+        """Each sample is normalized on its own — unlike BatchNorm."""
+        gn = nn.GroupNorm(2, 4, affine=False)
+        a = rng.normal(size=(1, 4, 3, 3)).astype(np.float32)
+        b = rng.normal(size=(1, 4, 3, 3)).astype(np.float32)
+        solo = gn(nn.Tensor(a)).data
+        batched = gn(nn.Tensor(np.concatenate([a, b]))).data[:1]
+        np.testing.assert_allclose(solo, batched, rtol=1e-5)
+
+    def test_affine_parameters(self, rng):
+        gn = nn.GroupNorm(1, 4)
+        assert len(list(gn.parameters())) == 2
+        x = nn.Tensor(rng.normal(size=(2, 4, 3, 3)))
+        gn(x).sum().backward()
+        assert gn.weight.grad is not None
+
+    def test_single_group_is_layer_style(self, rng):
+        gn = nn.GroupNorm(1, 4, affine=False)
+        x = nn.Tensor(rng.normal(size=(2, 4, 3, 3)))
+        out = gn(x).data.reshape(2, -1)
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-5)
+
+    def test_divisibility_validated(self):
+        with pytest.raises(ValueError):
+            nn.GroupNorm(3, 8)
+
+    def test_channel_mismatch_rejected(self, rng):
+        gn = nn.GroupNorm(2, 8)
+        with pytest.raises(ValueError):
+            gn(nn.Tensor(rng.normal(size=(1, 4, 3, 3))))
+
+    def test_rank_validated(self, rng):
+        gn = nn.GroupNorm(2, 8)
+        with pytest.raises(ValueError):
+            gn(nn.Tensor(rng.normal(size=(1, 8))))
+
+    def test_gradcheck(self, rng):
+        gn = nn.GroupNorm(2, 4, affine=False)
+        x = tensor64(rng.normal(size=(2, 4, 3, 3)))
+        check_gradients(
+            lambda: nn.functional.sum(gn(x) ** 2.0), [x], atol=1e-4
+        )
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dim(self, rng):
+        ln = nn.LayerNorm(16, affine=False)
+        x = nn.Tensor(rng.normal(5.0, 3.0, size=(8, 16)))
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.var(axis=-1), 1.0, atol=1e-3)
+
+    def test_works_on_3d(self, rng):
+        ln = nn.LayerNorm(8, affine=False)
+        out = ln(nn.Tensor(rng.normal(size=(2, 5, 8)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+
+    def test_affine_transform_applied(self, rng):
+        ln = nn.LayerNorm(4)
+        ln.bias.data[...] = 7.0
+        out = ln(nn.Tensor(rng.normal(size=(3, 4)))).data
+        assert out.mean() == pytest.approx(7.0, abs=0.1)
+
+    def test_dim_validated(self):
+        with pytest.raises(ValueError):
+            nn.LayerNorm(0)
+
+    def test_shape_mismatch_rejected(self, rng):
+        ln = nn.LayerNorm(8)
+        with pytest.raises(ValueError):
+            ln(nn.Tensor(rng.normal(size=(2, 4))))
+
+    def test_gradcheck(self, rng):
+        ln = nn.LayerNorm(5, affine=False)
+        x = tensor64(rng.normal(size=(3, 5)))
+        check_gradients(
+            lambda: nn.functional.sum(ln(x) ** 2.0), [x], atol=1e-4
+        )

@@ -1,0 +1,67 @@
+"""Weight-initializer statistics and fan computation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestComputeFans:
+    def test_dense(self):
+        assert init.compute_fans((8, 4)) == (4, 8)
+
+    def test_conv(self):
+        # (out, in, kh, kw): fan_in = in * kh * kw
+        assert init.compute_fans((16, 3, 3, 3)) == (27, 144)
+
+    def test_vector(self):
+        assert init.compute_fans((5,)) == (5, 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            init.compute_fans(())
+
+
+class TestDistributions:
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_normal((256, 128), rng)
+        expected = np.sqrt(2.0 / 128)
+        assert w.std() == pytest.approx(expected, rel=0.05)
+
+    def test_kaiming_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_uniform((64, 64), rng)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 64)
+        assert np.abs(w).max() <= bound
+
+    def test_linear_gain(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_normal((256, 128), rng, nonlinearity="linear")
+        assert w.std() == pytest.approx(np.sqrt(1.0 / 128), rel=0.05)
+
+    def test_xavier_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform((32, 96), rng)
+        bound = np.sqrt(6.0 / (96 + 32))
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_normal((128, 128), rng)
+        assert w.std() == pytest.approx(np.sqrt(1.0 / 128), rel=0.05)
+
+    def test_zeros_ones(self):
+        assert np.all(init.zeros((3, 3)) == 0.0)
+        assert np.all(init.ones((3, 3)) == 1.0)
+
+    def test_dtype_is_float32(self):
+        rng = np.random.default_rng(0)
+        for fn in (init.kaiming_normal, init.kaiming_uniform,
+                   init.xavier_uniform, init.xavier_normal):
+            assert fn((4, 4), rng).dtype == np.float32
+
+    def test_deterministic_given_seed(self):
+        a = init.kaiming_normal((8, 8), np.random.default_rng(42))
+        b = init.kaiming_normal((8, 8), np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)

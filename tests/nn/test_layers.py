@@ -1,0 +1,223 @@
+"""Layer behaviour: shapes, statistics, modes, containers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+
+from ..helpers import conv2d_reference
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = nn.Linear(8, 4, rng=rng)
+        out = layer(nn.Tensor(rng.normal(size=(10, 8))))
+        assert out.shape == (10, 4)
+
+    def test_matches_manual_affine(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        x = rng.normal(size=(5, 3)).astype(np.float32)
+        out = layer(nn.Tensor(x))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(out.data, expected, rtol=1e-5)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(3, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_invalid_features_raise(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 4)
+
+    def test_deterministic_init_with_seed(self):
+        a = nn.Linear(4, 4, rng=np.random.default_rng(3))
+        b = nn.Linear(4, 4, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize(
+        "stride,padding,groups",
+        [(1, 0, 1), (1, 1, 1), (2, 1, 1), (1, 1, 2), (2, 0, 4)],
+    )
+    def test_matches_naive_reference(self, rng, stride, padding, groups):
+        layer = nn.Conv2d(4, 8, 3, stride=stride, padding=padding,
+                          groups=groups, rng=rng)
+        x = rng.normal(size=(2, 4, 7, 7)).astype(np.float32)
+        out = layer(nn.Tensor(x))
+        expected = conv2d_reference(
+            x, layer.weight.data, layer.bias.data,
+            (stride, stride), (padding, padding), groups,
+        )
+        np.testing.assert_allclose(out.data, expected, rtol=1e-4, atol=1e-5)
+
+    def test_channel_group_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(3, 8, 3, groups=2)
+
+    def test_input_weight_mismatch_raises(self, rng):
+        layer = nn.Conv2d(4, 8, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer(nn.Tensor(rng.normal(size=(1, 3, 8, 8))))
+
+    def test_empty_output_raises(self, rng):
+        layer = nn.Conv2d(1, 1, 5, rng=rng)
+        with pytest.raises(ValueError, match="empty"):
+            layer(nn.Tensor(rng.normal(size=(1, 1, 3, 3))))
+
+
+class TestBatchNorm2d:
+    def test_normalizes_batch_statistics(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = nn.Tensor(rng.normal(2.0, 3.0, size=(8, 3, 4, 4)))
+        out = bn(x)
+        mean = out.data.mean(axis=(0, 2, 3))
+        var = out.data.var(axis=(0, 2, 3))
+        np.testing.assert_allclose(mean, 0.0, atol=1e-5)
+        np.testing.assert_allclose(var, 1.0, atol=1e-3)
+
+    def test_running_stats_updated_in_train(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        x = nn.Tensor(np.full((4, 2, 2, 2), 10.0, dtype=np.float32))
+        bn(x)
+        assert np.all(bn.running_mean > 0)
+        assert bn.num_batches_tracked == 1
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=1.0)  # running stats = last batch
+        x = rng.normal(5.0, 2.0, size=(16, 2, 4, 4)).astype(np.float32)
+        bn(nn.Tensor(x))
+        bn.eval()
+        out = bn(nn.Tensor(x))
+        # Normalised with (biased-mean, unbiased-var) running statistics.
+        mean = out.data.mean(axis=(0, 2, 3))
+        np.testing.assert_allclose(mean, 0.0, atol=1e-4)
+
+    def test_eval_no_stat_update(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(nn.Tensor(rng.normal(size=(4, 2, 3, 3))))
+        np.testing.assert_array_equal(bn.running_mean, before)
+
+    def test_affine_params_trainable(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = nn.Tensor(rng.normal(size=(4, 3, 2, 2)), requires_grad=True)
+        bn(x).sum().backward()
+        assert bn.weight.grad is not None
+        assert bn.bias.grad is not None
+
+    def test_rejects_wrong_rank(self, rng):
+        bn = nn.BatchNorm2d(3)
+        with pytest.raises(ValueError):
+            bn(nn.Tensor(rng.normal(size=(4, 3))))
+
+    def test_batchnorm1d(self, rng):
+        bn = nn.BatchNorm1d(5)
+        out = bn(nn.Tensor(rng.normal(3.0, 2.0, size=(32, 5))))
+        np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-5)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = nn.Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = nn.MaxPool2d(2)(x)
+        np.testing.assert_array_equal(
+            out.data.reshape(2, 2), [[5, 7], [13, 15]]
+        )
+
+    def test_avg_pool_values(self):
+        x = nn.Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = nn.AvgPool2d(2)(x)
+        np.testing.assert_allclose(
+            out.data.reshape(2, 2), [[2.5, 4.5], [10.5, 12.5]]
+        )
+
+    def test_max_pool_padding_uses_neg_inf(self):
+        # Zero padding would corrupt all-negative inputs; -inf must be used.
+        x = nn.Tensor(np.full((1, 1, 2, 2), -5.0, dtype=np.float32))
+        out = F.max_pool2d(x, 2, stride=1, padding=1)
+        assert out.data.max() == -5.0
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 5, 5)).astype(np.float32)
+        out = nn.GlobalAvgPool2d()(nn.Tensor(x))
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)), rtol=1e-5)
+
+
+class TestDropout:
+    def test_identity_in_eval(self, rng):
+        layer = nn.Dropout(0.5, rng=rng)
+        layer.eval()
+        x = nn.Tensor(rng.normal(size=(10, 10)))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_scales_kept_units(self, rng):
+        layer = nn.Dropout(0.5, rng=rng)
+        x = nn.Tensor(np.ones((1000,), dtype=np.float32))
+        out = layer(x).data
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 0.3 < (out > 0).mean() < 0.7
+
+    def test_zero_p_is_identity(self, rng):
+        layer = nn.Dropout(0.0, rng=rng)
+        x = nn.Tensor(rng.normal(size=(5, 5)))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self, rng):
+        model = nn.Sequential(
+            nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng)
+        )
+        out = model(nn.Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 2)
+        assert len(model) == 3
+
+    def test_sequential_indexing(self, rng):
+        model = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU())
+        assert isinstance(model[1], nn.ReLU)
+
+    def test_module_list(self, rng):
+        blocks = nn.ModuleList([nn.Linear(4, 4, rng=rng) for _ in range(3)])
+        assert len(blocks) == 3
+        assert len(list(blocks[0].parameters())) == 2
+        # Registered: parent traversal finds all parameters.
+        assert len(list(blocks.parameters())) == 6
+
+    def test_module_list_negative_index(self, rng):
+        blocks = nn.ModuleList([nn.ReLU(), nn.Tanh()])
+        assert isinstance(blocks[-1], nn.Tanh)
+
+    def test_module_list_out_of_range(self):
+        with pytest.raises(IndexError):
+            nn.ModuleList([nn.ReLU()])[3]
+
+    def test_identity(self, rng):
+        x = nn.Tensor(rng.normal(size=(2, 2)))
+        assert nn.Identity()(x) is x
+
+
+class TestActivations:
+    def test_relu6_clamps(self):
+        x = nn.Tensor([-1.0, 3.0, 9.0])
+        np.testing.assert_array_equal(nn.ReLU6()(x).data, [0.0, 3.0, 6.0])
+
+    def test_sigmoid_range(self, rng):
+        out = nn.Sigmoid()(nn.Tensor(rng.normal(size=(100,)) * 10)).data
+        # float32 saturates to exactly 0/1 at large |x|; bounds are inclusive
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_tanh_odd(self):
+        x = nn.Tensor([1.5])
+        neg = nn.Tensor([-1.5])
+        np.testing.assert_allclose(
+            nn.Tanh()(x).data, -nn.Tanh()(neg).data, rtol=1e-6
+        )

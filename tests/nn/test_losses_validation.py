@@ -1,0 +1,112 @@
+"""Loss-function validation paths and exact small-case values."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import losses
+
+
+class TestCrossEntropy:
+    def test_exact_value_uniform_logits(self):
+        logits = nn.Tensor(np.zeros((2, 4), dtype=np.float32))
+        loss = losses.cross_entropy(logits, np.array([0, 3]))
+        assert float(loss.data) == pytest.approx(np.log(4.0), rel=1e-5)
+
+    def test_confident_correct_near_zero(self):
+        logits = nn.Tensor(np.array([[100.0, 0.0]], dtype=np.float32))
+        loss = losses.cross_entropy(logits, np.array([0]))
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-4)
+
+    def test_target_shape_validated(self):
+        logits = nn.Tensor(np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="targets"):
+            losses.cross_entropy(logits, np.zeros((3, 2)))
+
+    def test_reduction_modes(self, rng):
+        logits = nn.Tensor(rng.normal(size=(4, 3)))
+        targets = np.array([0, 1, 2, 0])
+        mean = float(losses.cross_entropy(logits, targets, "mean").data)
+        total = float(losses.cross_entropy(logits, targets, "sum").data)
+        none = losses.cross_entropy(logits, targets, "none")
+        assert total == pytest.approx(4 * mean, rel=1e-5)
+        assert none.shape == (4,)
+
+    def test_unknown_reduction(self, rng):
+        logits = nn.Tensor(rng.normal(size=(2, 2)))
+        with pytest.raises(ValueError, match="reduction"):
+            losses.cross_entropy(logits, np.array([0, 1]), "median")
+
+    def test_tensor_targets_accepted(self, rng):
+        logits = nn.Tensor(rng.normal(size=(2, 3)))
+        targets = nn.Tensor(np.array([0, 2]))
+        assert np.isfinite(
+            float(losses.cross_entropy(logits, targets).data)
+        )
+
+
+class TestMSEAndL1:
+    def test_mse_exact(self):
+        pred = nn.Tensor(np.array([1.0, 3.0], dtype=np.float32))
+        target = nn.Tensor(np.array([0.0, 0.0], dtype=np.float32))
+        assert float(losses.mse_loss(pred, target).data) == pytest.approx(5.0)
+
+    def test_l1_exact(self):
+        pred = nn.Tensor(np.array([1.0, -3.0], dtype=np.float32))
+        target = nn.Tensor(np.zeros(2, dtype=np.float32))
+        assert float(losses.l1_loss(pred, target).data) == pytest.approx(2.0)
+
+    def test_mse_zero_for_identical(self, rng):
+        x = nn.Tensor(rng.normal(size=(3, 3)))
+        assert float(losses.mse_loss(x, x.detach()).data) == 0.0
+
+
+class TestBCE:
+    def test_matches_reference_formula(self, rng):
+        x = rng.normal(size=20).astype(np.float64)
+        t = (rng.random(20) > 0.5).astype(np.float64)
+        loss = losses.bce_with_logits(
+            nn.Tensor(x, dtype=np.float64), nn.Tensor(t, dtype=np.float64)
+        )
+        p = 1.0 / (1.0 + np.exp(-x))
+        expected = -(t * np.log(p) + (1 - t) * np.log(1 - p)).mean()
+        assert float(loss.data) == pytest.approx(expected, rel=1e-6)
+
+    def test_stable_for_extreme_logits(self):
+        x = nn.Tensor(np.array([1e4, -1e4], dtype=np.float32))
+        t = nn.Tensor(np.array([1.0, 0.0], dtype=np.float32))
+        loss = losses.bce_with_logits(x, t)
+        assert np.isfinite(float(loss.data))
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-4)
+
+
+class TestOptimizerBookkeeping:
+    def test_step_count_increments(self):
+        from repro.nn.module import Parameter
+        from repro.nn.optim import SGD
+
+        p = Parameter(np.zeros(1, dtype=np.float32))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.ones(1, dtype=np.float32)
+        opt.step()
+        opt.step()
+        assert opt.step_count == 2
+
+    def test_base_step_not_implemented(self):
+        from repro.nn.module import Parameter
+        from repro.nn.optim import Optimizer
+
+        opt = Optimizer([Parameter(np.zeros(1, dtype=np.float32))], lr=0.1)
+        with pytest.raises(NotImplementedError):
+            opt.step()
+
+    def test_scheduler_base_not_implemented(self):
+        from repro.nn.module import Parameter
+        from repro.nn.optim import SGD
+        from repro.nn.optim.lr_scheduler import LRScheduler
+
+        sched = LRScheduler(
+            SGD([Parameter(np.zeros(1, dtype=np.float32))], lr=0.1)
+        )
+        with pytest.raises(NotImplementedError):
+            sched.step()

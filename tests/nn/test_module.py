@@ -1,0 +1,148 @@
+"""Module system: registration, traversal, modes, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class Tiny(nn.Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8, rng=rng)
+        self.bn = nn.BatchNorm1d(8)
+        self.fc2 = nn.Linear(8, 2, rng=rng)
+
+    def forward(self, x):
+        return self.fc2(nn.functional.relu(self.bn(self.fc1(x))))
+
+
+class TestRegistration:
+    def test_parameters_found(self, rng):
+        model = Tiny(rng)
+        names = dict(model.named_parameters())
+        assert set(names) == {
+            "fc1.weight", "fc1.bias", "bn.weight", "bn.bias",
+            "fc2.weight", "fc2.bias",
+        }
+
+    def test_buffers_found(self, rng):
+        model = Tiny(rng)
+        names = dict(model.named_buffers())
+        assert "bn.running_mean" in names
+        assert "bn.running_var" in names
+        assert "bn.num_batches_tracked" in names
+
+    def test_modules_traversal(self, rng):
+        model = Tiny(rng)
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert kinds == ["Tiny", "Linear", "BatchNorm1d", "Linear"]
+
+    def test_reassignment_replaces(self, rng):
+        model = Tiny(rng)
+        model.fc2 = nn.Linear(8, 3, rng=rng)
+        assert dict(model.named_parameters())["fc2.weight"].shape == (3, 8)
+
+    def test_plain_attribute_not_registered(self, rng):
+        model = Tiny(rng)
+        model.some_config = 42
+        assert "some_config" not in dict(model.named_parameters())
+
+    def test_num_parameters(self, rng):
+        model = nn.Linear(4, 2, rng=rng)
+        assert model.num_parameters() == 4 * 2 + 2
+
+
+class TestModes:
+    def test_train_eval_propagate(self, rng):
+        model = Tiny(rng)
+        model.eval()
+        assert not model.bn.training
+        model.train()
+        assert model.bn.training
+
+    def test_zero_grad(self, rng):
+        model = Tiny(rng)
+        out = model(nn.Tensor(rng.normal(size=(4, 4))))
+        out.sum().backward()
+        assert model.fc1.weight.grad is not None
+        model.zero_grad()
+        assert model.fc1.weight.grad is None
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)
+
+
+class TestStateDict:
+    def test_round_trip(self, rng):
+        model = Tiny(rng)
+        model(nn.Tensor(rng.normal(size=(8, 4))))  # populate BN stats
+        state = model.state_dict()
+
+        other = Tiny(np.random.default_rng(99))
+        other.load_state_dict(state)
+        x = nn.Tensor(rng.normal(size=(4, 4)))
+        model.eval(), other.eval()
+        np.testing.assert_allclose(model(x).data, other(x).data, rtol=1e-6)
+
+    def test_state_dict_copies(self, rng):
+        model = Tiny(rng)
+        state = model.state_dict()
+        state["fc1.weight"][:] = 0.0
+        assert not np.all(model.fc1.weight.data == 0.0)
+
+    def test_missing_key_raises(self, rng):
+        model = Tiny(rng)
+        state = model.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(KeyError, match="missing"):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, rng):
+        model = Tiny(rng)
+        state = model.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError, match="unexpected"):
+            model.load_state_dict(state)
+
+    def test_non_strict_allows_mismatch(self, rng):
+        model = Tiny(rng)
+        state = model.state_dict()
+        del state["fc1.weight"]
+        model.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self, rng):
+        model = Tiny(rng)
+        state = model.state_dict()
+        state["fc1.weight"] = np.zeros((1, 1), dtype=np.float32)
+        with pytest.raises(ValueError, match="shape"):
+            model.load_state_dict(state)
+
+    def test_copy_from(self, rng):
+        a, b = Tiny(rng), Tiny(np.random.default_rng(5))
+        b.copy_from(a)
+        np.testing.assert_array_equal(a.fc1.weight.data, b.fc1.weight.data)
+
+    def test_buffer_round_trip_preserves_running_stats(self, rng):
+        model = Tiny(rng)
+        model(nn.Tensor(rng.normal(size=(8, 4))))
+        state = model.state_dict()
+        other = Tiny(np.random.default_rng(0))
+        other.load_state_dict(state)
+        np.testing.assert_array_equal(
+            model.bn.running_mean, other.bn.running_mean
+        )
+
+
+class TestBufferSemantics:
+    def test_plain_assignment_keeps_registration(self):
+        bn = nn.BatchNorm1d(3)
+        bn.running_mean = np.ones(3, dtype=np.float32)
+        assert "running_mean" in dict(bn.named_buffers())
+        np.testing.assert_array_equal(bn.running_mean, np.ones(3))
+
+    def test_set_buffer_unknown_raises(self):
+        bn = nn.BatchNorm1d(3)
+        with pytest.raises(KeyError):
+            bn.set_buffer("nope", np.zeros(3))

@@ -1,0 +1,128 @@
+"""Hypothesis property tests for autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import nn
+from repro.nn import functional as F
+
+small_floats = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+
+vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, max_side=8),
+    elements=st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False),
+)
+
+
+def t64(x, requires_grad=True):
+    return nn.Tensor(np.asarray(x, dtype=np.float64),
+                     requires_grad=requires_grad, dtype=np.float64)
+
+
+@settings(max_examples=50, deadline=None)
+@given(vectors)
+def test_sum_gradient_is_ones(x):
+    a = t64(x)
+    F.sum(a).backward()
+    np.testing.assert_array_equal(a.grad, np.ones_like(x))
+
+
+@settings(max_examples=50, deadline=None)
+@given(vectors, small_floats)
+def test_scalar_mul_gradient(x, c):
+    a = t64(x)
+    F.sum(a * c).backward()
+    np.testing.assert_allclose(a.grad, np.full_like(x, c), rtol=1e-10)
+
+
+@settings(max_examples=50, deadline=None)
+@given(vectors)
+def test_gradient_linearity(x):
+    """grad(f + g) == grad(f) + grad(g) for independent loss terms."""
+    a = t64(x)
+    (F.sum(a * a) + F.sum(3.0 * a)).backward()
+    combined = a.grad.copy()
+
+    b = t64(x)
+    F.sum(b * b).backward()
+    c = t64(x)
+    F.sum(3.0 * c).backward()
+    np.testing.assert_allclose(combined, b.grad + c.grad, rtol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(vectors)
+def test_detach_zeroes_contribution(x):
+    a = t64(x)
+    (F.sum(a.detach() * 5.0) + F.sum(a)).backward()
+    np.testing.assert_array_equal(a.grad, np.ones_like(x))
+
+
+@settings(max_examples=50, deadline=None)
+@given(vectors)
+def test_relu_gradient_bounded(x):
+    a = t64(x)
+    F.sum(F.relu(a)).backward()
+    assert np.all((a.grad == 0.0) | (a.grad == 1.0))
+
+
+@settings(max_examples=50, deadline=None)
+@given(vectors)
+def test_softmax_rows_sum_to_one(x):
+    if x.ndim == 1:
+        x = x[None, :]
+    out = F.softmax(nn.Tensor(x, dtype=np.float64))
+    np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, rtol=1e-8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(vectors)
+def test_softmax_gradient_rows_sum_to_zero(x):
+    """Softmax output sums are constant, so row-gradients of any
+    elementwise-weighted sum must be orthogonal to the constant shift."""
+    if x.ndim == 1:
+        x = x[None, :]
+    a = t64(x)
+    weights = np.ones_like(x)
+    F.sum(F.softmax(a) * nn.Tensor(weights, dtype=np.float64)).backward()
+    np.testing.assert_allclose(a.grad.sum(axis=-1), 0.0, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(vectors)
+def test_normalize_produces_unit_rows(x):
+    if x.ndim == 1:
+        x = x[None, :]
+    # Skip near-zero rows: normalize puts its eps inside the sqrt (for
+    # gradient safety), which biases the norm for rows far below ~1e-3.
+    if np.any(np.linalg.norm(x, axis=-1) < 1e-3):
+        return
+    out = F.normalize(nn.Tensor(x, dtype=np.float64), axis=-1)
+    np.testing.assert_allclose(
+        np.linalg.norm(out.data, axis=-1), 1.0, rtol=1e-5
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(dtype=np.float64, shape=(4, 5),
+                  elements=st.floats(-5, 5, allow_nan=False)),
+       hnp.arrays(dtype=np.float64, shape=(5, 3),
+                  elements=st.floats(-5, 5, allow_nan=False)))
+def test_matmul_grad_shapes(a, b):
+    ta, tb = t64(a), t64(b)
+    F.sum(F.matmul(ta, tb)).backward()
+    assert ta.grad.shape == a.shape
+    assert tb.grad.shape == b.shape
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 6), st.integers(2, 6))
+def test_broadcast_add_grad_counts_repetitions(rows, cols):
+    """A (cols,) bias broadcast over (rows, cols) accumulates `rows` ones."""
+    bias = t64(np.zeros(cols))
+    x = nn.Tensor(np.ones((rows, cols)), dtype=np.float64)
+    F.sum(x + bias).backward()
+    np.testing.assert_array_equal(bias.grad, np.full(cols, float(rows)))

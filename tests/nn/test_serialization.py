@@ -1,0 +1,78 @@
+"""Checkpoint serialization tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.serialization import (
+    load_checkpoint,
+    load_state,
+    save_checkpoint,
+    save_state,
+)
+
+
+def model(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(nn.Linear(4, 8, rng=rng), nn.BatchNorm1d(8),
+                         nn.ReLU(), nn.Linear(8, 2, rng=rng))
+
+
+class TestStateRoundTrip:
+    def test_save_load_identity(self, tmp_path, rng):
+        m = model()
+        path = str(tmp_path / "state.npz")
+        save_state(m.state_dict(), path)
+        loaded = load_state(path)
+        for name, value in m.state_dict().items():
+            np.testing.assert_array_equal(loaded[name], value)
+
+    def test_load_into_fresh_model(self, tmp_path, rng):
+        a, b = model(0), model(1)
+        path = str(tmp_path / "state.npz")
+        a(nn.Tensor(rng.normal(size=(8, 4))))  # populate BN stats
+        save_state(a.state_dict(), path)
+        b.load_state_dict(load_state(path))
+        a.eval(), b.eval()
+        x = nn.Tensor(rng.normal(size=(4, 4)))
+        np.testing.assert_allclose(a(x).data, b(x).data, rtol=1e-6)
+
+    def test_empty_state_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_state({}, str(tmp_path / "x.npz"))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state(str(tmp_path / "missing.npz"))
+
+
+class TestCheckpoint:
+    def test_metadata_round_trip(self, tmp_path):
+        m = model()
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(m, path, epoch=7, loss=1.25)
+        other = model(1)
+        meta = load_checkpoint(other, path)
+        assert meta == {"epoch": 7.0, "loss": 1.25}
+        np.testing.assert_array_equal(
+            dict(m.named_parameters())["0.weight"].data,
+            dict(other.named_parameters())["0.weight"].data,
+        )
+
+    def test_no_metadata(self, tmp_path):
+        m = model()
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(m, path)
+        assert load_checkpoint(model(1), path) == {}
+
+    def test_quantized_model_checkpoint(self, tmp_path, rng):
+        from repro.quant import quantize_model
+
+        m = quantize_model(model())
+        path = str(tmp_path / "q.npz")
+        save_checkpoint(m, path, epoch=1)
+        fresh = quantize_model(model(2))
+        load_checkpoint(fresh, path)
+        m.eval(), fresh.eval()
+        x = nn.Tensor(rng.normal(size=(4, 4)))
+        np.testing.assert_allclose(m(x).data, fresh(x).data, rtol=1e-6)

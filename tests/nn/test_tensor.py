@@ -1,0 +1,125 @@
+"""Tensor API surface tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor, as_tensor
+
+
+class TestConstruction:
+    def test_float64_defaults_to_float32(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_explicit_dtype_preserved(self):
+        t = Tensor(np.zeros(3), dtype=np.float64)
+        assert t.dtype == np.float64
+
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+
+    def test_from_tensor_shares_data(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_scalar(self):
+        t = Tensor(3.5)
+        assert t.shape == ()
+        assert t.size == 1
+
+
+class TestProperties:
+    def test_shape_ndim_size(self, rng):
+        t = Tensor(rng.normal(size=(2, 3, 4)))
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+    def test_is_leaf(self):
+        a = Tensor([1.0], requires_grad=True)
+        assert a.is_leaf
+        assert not (a * 2.0).is_leaf
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad=True" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+
+class TestConversions:
+    def test_item(self):
+        assert Tensor(2.5).item() == pytest.approx(2.5)
+
+    def test_item_rejects_multi_element(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_numpy_returns_underlying(self):
+        t = Tensor([1.0, 2.0])
+        assert t.numpy() is t.data
+
+    def test_astype(self):
+        t = Tensor([1.0], requires_grad=True)
+        cast = t.astype(np.float64)
+        assert cast.dtype == np.float64
+        assert not cast.requires_grad
+
+    def test_array_interface(self):
+        t = Tensor([1.0, 2.0])
+        np.testing.assert_array_equal(np.asarray(t), t.data)
+
+
+class TestCloneDetach:
+    def test_clone_participates_in_graph(self):
+        a = Tensor(2.0, requires_grad=True)
+        a.clone().backward()
+        np.testing.assert_allclose(a.grad, 1.0)
+
+    def test_detach_shares_data_but_no_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        d = a.detach()
+        assert d.data is a.data
+        assert not d.requires_grad
+
+
+class TestOperatorSurface:
+    def test_radd_rmul(self):
+        a = Tensor([2.0], requires_grad=True)
+        (1.0 + a).backward(np.ones(1))
+        (2.0 * a).backward(np.ones(1))
+        np.testing.assert_allclose(a.grad, [3.0])
+
+    def test_rsub(self):
+        a = Tensor([2.0])
+        np.testing.assert_allclose((5.0 - a).data, [3.0])
+
+    def test_rtruediv(self):
+        a = Tensor([2.0])
+        np.testing.assert_allclose((1.0 / a).data, [0.5])
+
+    def test_matmul_operator(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)))
+        b = Tensor(rng.normal(size=(3, 2)))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data, rtol=1e-6)
+
+    def test_getitem_operator(self, rng):
+        a = Tensor(rng.normal(size=(4, 4)))
+        np.testing.assert_array_equal(a[1:3].data, a.data[1:3])
+
+    def test_method_chaining(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(2, 8))) + 1.0)
+        out = a.reshape(4, 4).log().exp().sum()
+        assert out.data == pytest.approx(a.data.sum(), rel=1e-4)
+
+    def test_as_tensor_passthrough(self):
+        a = Tensor([1.0])
+        assert as_tensor(a) is a
+
+    def test_as_tensor_wraps_arrays(self):
+        t = as_tensor(np.zeros(3))
+        assert isinstance(t, Tensor)

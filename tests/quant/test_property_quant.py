@@ -1,0 +1,82 @@
+"""Hypothesis property tests for quantizer invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant import linear_quantize
+from repro.quant.quantizer import quantization_step
+
+finite_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, max_side=16),
+    elements=st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False),
+)
+
+bit_widths = st.integers(min_value=1, max_value=16)
+
+
+@settings(max_examples=60, deadline=None)
+@given(finite_arrays, bit_widths)
+def test_error_bounded_by_half_step(x, bits):
+    """|A - A_q| <= S/2 for every element (Eq. 10 rounds to nearest)."""
+    q = linear_quantize(x, bits)
+    step = quantization_step(x.min(), x.max(), bits)
+    assert np.all(np.abs(x - q) <= step / 2 + 1e-9 * max(1.0, abs(step)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(finite_arrays, bit_widths)
+def test_output_in_input_hull(x, bits):
+    """Quantized values never wildly escape the input range (pad by S/2)."""
+    q = linear_quantize(x, bits)
+    step = quantization_step(x.min(), x.max(), bits)
+    pad = step / 2 + 1e-9
+    assert q.min() >= x.min() - pad
+    assert q.max() <= x.max() + pad
+
+
+@settings(max_examples=60, deadline=None)
+@given(finite_arrays, bit_widths)
+def test_level_count_bounded(x, bits):
+    """At most 2^q + 1 distinct levels appear (grid points within range)."""
+    q = linear_quantize(x, min(bits, 8))
+    assert len(np.unique(q)) <= 2 ** min(bits, 8) + 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(finite_arrays)
+def test_16_bits_is_nearly_lossless(x):
+    q = linear_quantize(x, 16)
+    scale = max(1.0, float(np.abs(x).max()))
+    assert np.abs(x - q).max() <= 1e-4 * scale
+
+
+@settings(max_examples=60, deadline=None)
+@given(finite_arrays, bit_widths)
+def test_shape_and_dtype_preserved(x, bits):
+    q = linear_quantize(x, bits)
+    assert q.shape == x.shape
+    assert q.dtype == x.dtype
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays, bit_widths, st.floats(0.1, 10.0))
+def test_scale_equivariance(x, bits, scale):
+    """Quantization commutes with positive scaling: Q(cx) == c Q(x)."""
+    q_scaled = linear_quantize(scale * x, bits)
+    scaled_q = scale * linear_quantize(x, bits)
+    tol = 1e-7 * max(1.0, float(np.abs(x).max())) * scale
+    np.testing.assert_allclose(q_scaled, scaled_q, atol=tol, rtol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays, bit_widths, st.floats(-100.0, 100.0))
+def test_shift_changes_step_not_structure(x, bits, shift):
+    """Adding a constant leaves the dynamic range, hence the step, unchanged."""
+    step_orig = quantization_step(x.min(), x.max(), bits)
+    step_shifted = quantization_step(x.min() + shift, x.max() + shift, bits)
+    # Equal up to float roundoff of the shifted endpoints.
+    np.testing.assert_allclose(step_shifted, step_orig, rtol=1e-9,
+                               atol=1e-12)

@@ -1,0 +1,170 @@
+"""Quantized modules, model conversion, and precision switching."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.quant import (
+    QConv2d,
+    QLinear,
+    count_quantized_modules,
+    linear_quantize,
+    quantize_model,
+    set_precision,
+)
+
+
+def small_model(rng):
+    return nn.Sequential(
+        nn.Conv2d(3, 4, 3, padding=1, rng=rng),
+        nn.BatchNorm2d(4),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(4, 2, rng=rng),
+    )
+
+
+class TestQLinear:
+    def test_full_precision_matches_float(self, rng):
+        fp = nn.Linear(6, 3, rng=rng)
+        q = QLinear.from_float(fp)
+        x = nn.Tensor(rng.normal(size=(4, 6)))
+        np.testing.assert_allclose(q(x).data, fp(x).data, rtol=1e-6)
+
+    def test_quantized_forward_uses_quantized_weight(self, rng):
+        fp = nn.Linear(6, 3, rng=rng)
+        q = QLinear.from_float(fp)
+        q.set_precision(3)
+        q.quantize_activations = False
+        x = rng.normal(size=(4, 6)).astype(np.float32)
+        expected = x @ linear_quantize(fp.weight.data, 3).T + fp.bias.data
+        np.testing.assert_allclose(q(nn.Tensor(x)).data, expected, rtol=1e-5)
+
+    def test_activation_quantization_applied(self, rng):
+        fp = nn.Linear(4, 2, rng=rng)
+        q = QLinear.from_float(fp)
+        q.set_precision(2)
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        expected = (
+            linear_quantize(x, 2) @ linear_quantize(fp.weight.data, 2).T
+            + fp.bias.data
+        )
+        np.testing.assert_allclose(q(nn.Tensor(x)).data, expected, rtol=1e-5)
+
+    def test_shares_parameters_with_float(self, rng):
+        fp = nn.Linear(4, 2, rng=rng)
+        q = QLinear.from_float(fp)
+        assert q.weight is fp.weight
+        fp.weight.data[...] = 1.0
+        assert np.all(q.weight.data == 1.0)
+
+    def test_gradients_reach_weight_through_quantization(self, rng):
+        q = QLinear(4, 2, rng=rng)
+        q.set_precision(4)
+        q(nn.Tensor(rng.normal(size=(3, 4)))).sum().backward()
+        assert q.weight.grad is not None
+        assert q.bias.grad is not None
+
+    def test_precision_validation(self, rng):
+        q = QLinear(4, 2, rng=rng)
+        with pytest.raises(ValueError):
+            q.set_precision(0)
+        with pytest.raises(ValueError):
+            q.set_precision(64)
+
+
+class TestQConv2d:
+    def test_full_precision_matches_float(self, rng):
+        fp = nn.Conv2d(3, 4, 3, padding=1, rng=rng)
+        q = QConv2d.from_float(fp)
+        x = nn.Tensor(rng.normal(size=(2, 3, 5, 5)))
+        np.testing.assert_allclose(q(x).data, fp(x).data, rtol=1e-6)
+
+    def test_low_precision_changes_output(self, rng):
+        fp = nn.Conv2d(3, 4, 3, padding=1, rng=rng)
+        q = QConv2d.from_float(fp)
+        q.set_precision(2)
+        x = nn.Tensor(rng.normal(size=(2, 3, 5, 5)))
+        assert not np.allclose(q(x).data, fp(x).data)
+
+    def test_higher_precision_closer_to_float(self, rng):
+        fp = nn.Conv2d(3, 4, 3, padding=1, rng=rng)
+        q = QConv2d.from_float(fp)
+        x = nn.Tensor(rng.normal(size=(2, 3, 5, 5)))
+        ref = fp(x).data
+        gaps = []
+        for bits in (2, 4, 8, 12):
+            q.set_precision(bits)
+            gaps.append(float(np.abs(q(x).data - ref).mean()))
+        assert all(a > b for a, b in zip(gaps, gaps[1:]))
+
+    def test_grouped_conversion(self, rng):
+        fp = nn.Conv2d(4, 4, 3, groups=4, padding=1, rng=rng)
+        q = QConv2d.from_float(fp)
+        x = nn.Tensor(rng.normal(size=(1, 4, 5, 5)))
+        np.testing.assert_allclose(q(x).data, fp(x).data, rtol=1e-6)
+
+
+class TestConversion:
+    def test_quantize_model_replaces_layers(self, rng):
+        model = quantize_model(small_model(rng))
+        assert count_quantized_modules(model) == 2
+        assert isinstance(model[0], QConv2d)
+        assert isinstance(model[4], QLinear)
+
+    def test_conversion_preserves_output(self, rng):
+        model = small_model(rng)
+        x = nn.Tensor(rng.normal(size=(2, 3, 6, 6)))
+        model.eval()
+        before = model(x).data.copy()
+        quantize_model(model)
+        np.testing.assert_allclose(model(x).data, before, rtol=1e-5)
+
+    def test_conversion_preserves_parameter_identity(self, rng):
+        model = small_model(rng)
+        params_before = {id(p) for p in model.parameters()}
+        quantize_model(model)
+        params_after = {id(p) for p in model.parameters()}
+        assert params_before == params_after
+
+    def test_skip_predicate(self, rng):
+        model = small_model(rng)
+        quantize_model(model, skip=lambda name, m: isinstance(m, nn.Linear))
+        assert count_quantized_modules(model) == 1
+
+    def test_idempotent(self, rng):
+        model = quantize_model(small_model(rng))
+        quantize_model(model)
+        assert count_quantized_modules(model) == 2
+
+    def test_set_precision_all(self, rng):
+        model = quantize_model(small_model(rng))
+        assert set_precision(model, 8) == 2
+        assert model[0].precision == 8
+        assert model[4].precision == 8
+
+    def test_set_precision_back_to_fp(self, rng):
+        model = quantize_model(small_model(rng))
+        set_precision(model, 4)
+        set_precision(model, None)
+        assert model[0].precision is None
+
+    def test_set_precision_unconverted_raises(self, rng):
+        with pytest.raises(ValueError, match="no quantized modules"):
+            set_precision(small_model(rng), 8)
+
+    def test_precision_switch_changes_features(self, rng):
+        model = quantize_model(small_model(rng))
+        model.eval()
+        x = nn.Tensor(rng.normal(size=(2, 3, 6, 6)))
+        set_precision(model, 4)
+        low = model(x).data.copy()
+        set_precision(model, 16)
+        high = model(x).data.copy()
+        assert not np.allclose(low, high)
+
+    def test_state_dict_survives_conversion(self, rng):
+        model = small_model(rng)
+        state = model.state_dict()
+        quantize_model(model)
+        assert set(model.state_dict()) == set(state)

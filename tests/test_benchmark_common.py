@@ -1,0 +1,87 @@
+"""Benchmark scaffolding tests (scale mapping and pretrain cache)."""
+
+import numpy as np
+import pytest
+
+from benchmarks import common
+from repro.experiments import MethodSpec, PretrainConfig
+
+
+class TestScaledSets:
+    def test_every_paper_set_mapped(self):
+        assert set(common.SCALED_SETS) == {"4-16", "6-16", "8-16"}
+
+    def test_scaled_sets_are_valid_specs(self):
+        from repro.quant import PrecisionSet
+
+        for scaled in common.SCALED_SETS.values():
+            assert len(PrecisionSet.parse(scaled)) >= 2
+
+    def test_milder_paper_set_maps_to_milder_scaled_set(self):
+        from repro.quant import PrecisionSet
+
+        strong = PrecisionSet.parse(common.SCALED_SETS["6-16"])
+        mild = PrecisionSet.parse(common.SCALED_SETS["8-16"])
+        assert strong.min_bits <= mild.min_bits
+
+
+class TestConfigs:
+    def test_deep_networks_get_reduced_epochs(self):
+        shallow = common.cifar_pretrain_config("resnet18")
+        deep = common.cifar_pretrain_config("resnet152")
+        assert deep.epochs < shallow.epochs
+
+    def test_mobilenet_gets_wider_multiplier(self):
+        resnet = common.cifar_pretrain_config("resnet18")
+        mobile = common.cifar_pretrain_config("mobilenetv2")
+        assert mobile.width_multiplier > resnet.width_multiplier
+
+    def test_imagenet_config_stronger_augmentation(self):
+        imagenet = common.imagenet_pretrain_config()
+        cifar = common.cifar_pretrain_config("resnet18")
+        assert imagenet.augmentation_strength > cifar.augmentation_strength
+
+    def test_protocols_average_seeds(self):
+        assert common.imagenet_protocol().num_seeds >= 3
+
+
+class TestPretrainCache:
+    def test_cache_hits_for_identical_key(self, monkeypatch):
+        calls = []
+
+        def fake_pretrain(method, train, config):
+            calls.append(method.name)
+            return object()
+
+        monkeypatch.setattr(common, "pretrain", fake_pretrain)
+        monkeypatch.setattr(
+            common, "imagenet_like",
+            lambda: type("D", (), {"train": None})(),
+        )
+        common._PRETRAIN_CACHE.clear()
+        method = MethodSpec("SimCLR")
+        config = PretrainConfig(epochs=1)
+        a = common.cached_pretrain(method, "imagenet", config)
+        b = common.cached_pretrain(method, "imagenet", config)
+        assert a is b
+        assert calls == ["SimCLR"]
+        common._PRETRAIN_CACHE.clear()
+
+    def test_cache_misses_for_different_config(self, monkeypatch):
+        calls = []
+
+        def fake_pretrain(method, train, config):
+            calls.append(config.epochs)
+            return object()
+
+        monkeypatch.setattr(common, "pretrain", fake_pretrain)
+        monkeypatch.setattr(
+            common, "imagenet_like",
+            lambda: type("D", (), {"train": None})(),
+        )
+        common._PRETRAIN_CACHE.clear()
+        method = MethodSpec("SimCLR")
+        common.cached_pretrain(method, "imagenet", PretrainConfig(epochs=1))
+        common.cached_pretrain(method, "imagenet", PretrainConfig(epochs=2))
+        assert calls == [1, 2]
+        common._PRETRAIN_CACHE.clear()
