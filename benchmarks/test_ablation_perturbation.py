@@ -23,6 +23,10 @@ from repro.nn.optim import Adam
 
 from .common import cifar_like, run_once
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def _fresh(data, seed=1):
     encoder = resnet18(width_multiplier=0.0625,

@@ -20,6 +20,10 @@ from repro.quant.quantizer import LearnableQuantizer
 
 from .common import run_once
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 class _QuantizedEncoder(nn.Module):
     """Encoder whose pooled features are quantized by a pluggable quantizer.

@@ -18,6 +18,10 @@ from repro.quant import CyclicPrecisionSchedule, PrecisionSet
 
 from .common import cifar_like, run_once
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def _train(sampler_kind: str, data) -> float:
     rng = np.random.default_rng(0)

@@ -15,6 +15,10 @@ from repro.nn.optim import Adam
 
 from .common import run_once
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 EXPECTED_FORWARDS = {
     CQVariant.A: 2,
     CQVariant.B: 4,

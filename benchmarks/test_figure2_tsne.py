@@ -22,6 +22,10 @@ from .common import (
     scaled_set,
 )
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 METHODS = [
     MethodSpec("SimCLR"),
     MethodSpec("CQ-C (6-16)", variant="C", precision_set=scaled_set("6-16")),

@@ -26,6 +26,8 @@ from .common import (
     scaled_set,
 )
 
+pytestmark = pytest.mark.slow
+
 METHODS = [
     MethodSpec("SimCLR"),
     MethodSpec("CQ-A (6-16)", variant="A", precision_set=scaled_set("6-16")),

@@ -20,6 +20,8 @@ from .common import (
     scaled_set,
 )
 
+pytestmark = pytest.mark.slow
+
 METHODS = [
     MethodSpec("SimCLR"),
     MethodSpec("CQ-C (8-16)", variant="C", precision_set=scaled_set("8-16")),

@@ -19,6 +19,10 @@ from repro.experiments import MethodSpec, format_table
 from .common import (cached_pretrain, imagenet_pretrain_config,
                      run_once, scaled_set)
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 METHODS = [
     MethodSpec("SimCLR"),
     MethodSpec("CQ-C (8-16)", variant="C", precision_set=scaled_set("8-16")),

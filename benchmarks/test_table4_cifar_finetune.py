@@ -21,6 +21,8 @@ from .common import (
     scaled_set,
 )
 
+pytestmark = pytest.mark.slow
+
 NETWORKS = [
     "resnet18", "resnet34", "resnet74", "resnet110", "resnet152",
     "mobilenetv2",

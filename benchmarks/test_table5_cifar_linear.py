@@ -17,6 +17,10 @@ from .common import (
     scaled_set,
 )
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 NETWORKS = [
     "resnet18", "resnet34", "resnet74", "resnet110", "resnet152",
     "mobilenetv2",

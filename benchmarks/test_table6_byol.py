@@ -20,6 +20,8 @@ from .common import (
     scaled_set,
 )
 
+pytestmark = pytest.mark.slow
+
 NETWORKS = ["resnet18", "resnet34", "mobilenetv2"]
 
 METHODS = [

@@ -22,6 +22,8 @@ from .common import (
     scaled_set,
 )
 
+pytestmark = pytest.mark.slow
+
 NETWORKS = ["resnet34", "resnet74", "mobilenetv2"]
 
 METHODS = [

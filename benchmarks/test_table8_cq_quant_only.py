@@ -28,6 +28,8 @@ from .common import (
     scaled_set,
 )
 
+pytestmark = pytest.mark.slow
+
 NETWORKS = ["resnet74", "resnet110"]
 
 

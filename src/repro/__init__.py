@@ -13,8 +13,19 @@ package layout:
 - :mod:`repro.eval` — fine-tuning, linear evaluation, detection transfer,
   and t-SNE harnesses.
 - :mod:`repro.experiments` — per-table experiment configs and runners.
+- :mod:`repro.telemetry` — metrics registry, op-level profiler, and the
+  trainer event/callback protocol (JSONL run logs, throughput meters).
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["nn", "quant", "models", "data", "contrastive", "eval", "experiments"]
+__all__ = [
+    "nn",
+    "quant",
+    "models",
+    "data",
+    "contrastive",
+    "eval",
+    "experiments",
+    "telemetry",
+]

@@ -6,6 +6,7 @@ weights and activations, combined with input augmentations according to one
 of three pipelines (CQ-A, CQ-B, CQ-C) or used alone (CQ-Quant ablation).
 """
 
+from .base import TrainerBase
 from .byol import BYOL, BYOLTrainer
 from .cq import CQVariant, ContrastiveQuantTrainer
 from .losses import byol_loss, info_nce, nt_xent
@@ -15,6 +16,7 @@ from .simclr import SimCLRModel, SimCLRTrainer
 from .simsiam import SimSiam, SimSiamTrainer
 
 __all__ = [
+    "TrainerBase",
     "info_nce",
     "nt_xent",
     "byol_loss",

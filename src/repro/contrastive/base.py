@@ -1,0 +1,190 @@
+"""Shared trainer plumbing: unified ``fit()`` API + telemetry events.
+
+Every trainer in :mod:`repro.contrastive` mixes in :class:`TrainerBase`
+and gains the same contract:
+
+- ``fit(loader, epochs, *, scheduler=None, callbacks=())`` returning a
+  history dict whose ``"loss"`` entry is the per-epoch mean loss — so
+  downstream code treats the five trainers interchangeably;
+- per-step / per-epoch event emission through
+  :class:`repro.telemetry.EventBus` (``on_fit_start``,
+  ``on_epoch_start``, ``on_step``, ``on_epoch_end``, ``on_fit_end``);
+- a per-trainer :class:`repro.telemetry.MetricsRegistry` (``metrics``)
+  recording step loss, epoch loss, and step/image counters.
+
+Subclasses implement ``train_step(view1, view2) -> float`` and may
+override :meth:`step_info` to enrich the ``on_step`` payload (the CQ
+trainer adds the sampled precision pair and per-term losses).
+
+Backward compatibility: the historical positional-scheduler pattern
+``fit(loader, epochs, scheduler)`` keeps working (with a
+``DeprecationWarning``), and renamed kwargs (``lr_scheduler=``,
+``callback=``) are shimmed to the new names instead of raising a bare
+``TypeError``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..telemetry import EventBus, MetricsRegistry
+
+__all__ = ["TrainerBase"]
+
+#: Renamed/removed fit() kwargs accepted (with a warning) for one cycle.
+_FIT_KWARG_ALIASES = {
+    "lr_scheduler": "scheduler",
+    "schedule": "scheduler",
+    "callback": "callbacks",
+    "cbs": "callbacks",
+}
+
+
+class TrainerBase:
+    """Mixin giving trainers the unified fit/event/metrics contract."""
+
+    def _init_telemetry(self) -> None:
+        """Call from ``__init__`` before training starts."""
+        self.history: List[float] = []
+        self.metrics = MetricsRegistry()
+        self._global_step = 0
+
+    # -- hooks for subclasses ----------------------------------------------
+    def train_step(self, view1: np.ndarray, view2: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _training_module(self):
+        """The module whose ``train()`` mode gates an epoch."""
+        return self.model
+
+    def step_info(self) -> Dict[str, object]:
+        """Extra JSON-friendly fields merged into each ``on_step`` payload."""
+        return {}
+
+    def _history_dict(self) -> Dict[str, List[float]]:
+        """The dict ``fit()`` returns; always contains ``"loss"``."""
+        return {"loss": list(self.history)}
+
+    # -- epoch / fit loops -------------------------------------------------
+    def train_epoch(self, loader) -> float:
+        """One epoch without callbacks (legacy per-epoch driving loop)."""
+        return self._run_epoch(loader, EventBus(()), epoch=len(self.history))
+
+    def _run_epoch(self, loader, bus: EventBus, epoch: int) -> float:
+        self._training_module().train()
+        losses: List[float] = []
+        for view1, view2, _ in loader:
+            loss = self.train_step(view1, view2)
+            losses.append(loss)
+            batch_size = int(np.asarray(view1).shape[0])
+            self.metrics.gauge("step_loss").set(loss)
+            self.metrics.counter("steps").inc()
+            self.metrics.counter("images").inc(batch_size)
+            payload = {
+                "epoch": epoch,
+                "step": self._global_step,
+                "loss": loss,
+                "batch_size": batch_size,
+            }
+            payload.update(self.step_info())
+            self._global_step += 1
+            bus.emit("on_step", self, payload)
+        epoch_loss = float(np.mean(losses)) if losses else float("nan")
+        self.history.append(epoch_loss)
+        self.metrics.gauge("epoch_loss").set(epoch_loss)
+        return epoch_loss
+
+    def fit(
+        self,
+        loader,
+        epochs: int,
+        *args,
+        scheduler=None,
+        callbacks: Tuple = (),
+        **kwargs,
+    ) -> Dict[str, List[float]]:
+        """Run ``epochs`` of training, emitting telemetry events.
+
+        Parameters
+        ----------
+        loader:
+            Iterable of ``(view1, view2, labels)`` batches.
+        epochs:
+            Number of passes over ``loader``.
+        scheduler:
+            Optional LR scheduler with a ``step()`` method, stepped once
+            per epoch before the epoch runs (matching the historical
+            behaviour of the SimCLR/BYOL trainers).
+        callbacks:
+            Telemetry callbacks (see :mod:`repro.telemetry`); they
+            receive the full event stream for this call.
+        """
+        scheduler, callbacks = self._resolve_fit_args(
+            args, kwargs, scheduler, callbacks
+        )
+        bus = EventBus(callbacks)
+        bus.emit(
+            "on_fit_start",
+            self,
+            {"epochs": int(epochs), "trainer": type(self).__name__},
+        )
+        for epoch in range(epochs):
+            if scheduler is not None:
+                scheduler.step()
+            bus.emit("on_epoch_start", self, {"epoch": epoch})
+            epoch_loss = self._run_epoch(loader, bus, epoch)
+            bus.emit(
+                "on_epoch_end", self, {"epoch": epoch, "loss": epoch_loss}
+            )
+        history = self._history_dict()
+        bus.emit("on_fit_end", self, {"history": history})
+        return history
+
+    # -- backward-compatible argument handling -----------------------------
+    def _resolve_fit_args(self, args, kwargs, scheduler, callbacks):
+        if args:
+            if len(args) > 1 or scheduler is not None:
+                raise TypeError(
+                    f"{type(self).__name__}.fit() takes (loader, epochs) "
+                    f"plus keyword-only scheduler/callbacks; got "
+                    f"{len(args)} extra positional argument(s)"
+                )
+            warnings.warn(
+                f"{type(self).__name__}.fit(loader, epochs, scheduler) with "
+                "a positional scheduler is deprecated; pass scheduler= by "
+                "keyword",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            scheduler = args[0]
+        for name, value in kwargs.items():
+            target = _FIT_KWARG_ALIASES.get(name)
+            if target is None:
+                raise TypeError(
+                    f"{type(self).__name__}.fit() got an unexpected keyword "
+                    f"argument {name!r} (supported: scheduler, callbacks)"
+                )
+            warnings.warn(
+                f"{type(self).__name__}.fit(..., {name}=) is deprecated; "
+                f"use {target}= instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if target == "scheduler":
+                if scheduler is not None:
+                    raise TypeError(
+                        f"{type(self).__name__}.fit() got scheduler twice "
+                        f"(via scheduler= and {name}=)"
+                    )
+                scheduler = value
+            else:
+                if callbacks:
+                    raise TypeError(
+                        f"{type(self).__name__}.fit() got callbacks twice "
+                        f"(via callbacks= and {name}=)"
+                    )
+                callbacks = value if isinstance(value, (tuple, list)) else (value,)
+        return scheduler, tuple(callbacks)

@@ -11,7 +11,7 @@ views passed through both networks alternately (symmetric loss).
 from __future__ import annotations
 
 import copy
-from typing import Dict, List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from .. import nn
 from ..models.heads import PredictionHead, ProjectionHead
 from ..nn.optim import Optimizer
 from ..nn.tensor import Tensor
+from .base import TrainerBase
 from .losses import byol_loss
 
 __all__ = ["BYOL", "BYOLTrainer"]
@@ -99,13 +100,13 @@ class BYOL(nn.Module):
                     module.set_buffer(buf_name, online_buffers[full])
 
 
-class BYOLTrainer:
+class BYOLTrainer(TrainerBase):
     """Vanilla BYOL pre-training loop (symmetric two-view loss)."""
 
     def __init__(self, model: BYOL, optimizer: Optimizer) -> None:
         self.model = model
         self.optimizer = optimizer
-        self.history: List[float] = []
+        self._init_telemetry()
 
     def compute_loss(self, view1: np.ndarray, view2: np.ndarray) -> Tensor:
         v1, v2 = Tensor(view1), Tensor(view2)
@@ -123,19 +124,3 @@ class BYOLTrainer:
         self.optimizer.step()
         self.model.update_target()
         return float(loss.data)
-
-    def train_epoch(self, loader) -> float:
-        self.model.train()
-        losses = [
-            self.train_step(view1, view2) for view1, view2, _ in loader
-        ]
-        epoch_loss = float(np.mean(losses)) if losses else float("nan")
-        self.history.append(epoch_loss)
-        return epoch_loss
-
-    def fit(self, loader, epochs: int, scheduler=None) -> Dict[str, List[float]]:
-        for _ in range(epochs):
-            if scheduler is not None:
-                scheduler.step()
-            self.train_epoch(loader)
-        return {"loss": self.history}

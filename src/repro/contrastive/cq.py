@@ -37,13 +37,15 @@ stop-gradients (SimSiam-style) to preclude collapse.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..nn.optim import Optimizer
 from ..nn.tensor import Tensor
 from ..quant import PrecisionSet, count_quantized_modules, quantize_model, set_precision
+from ..telemetry import SeriesView
+from .base import TrainerBase
 from .byol import BYOL
 from .losses import byol_loss, nt_xent
 from .simclr import SimCLRModel
@@ -88,7 +90,7 @@ class CQVariant(enum.Enum):
         return ["NCE(F_q1(x), F_q2(x))"]
 
 
-class ContrastiveQuantTrainer:
+class ContrastiveQuantTrainer(TrainerBase):
     """Contrastive Quant on top of SimCLR or BYOL.
 
     Parameters
@@ -140,8 +142,9 @@ class ContrastiveQuantTrainer:
         #: None the paper's uniform per-iteration sampling is used (see
         #: repro.quant.schedule for the CPT-style alternative).
         self.precision_sampler = precision_sampler
-        self.history: List[float] = []
-        self.grad_norms: List[float] = []
+        self._last_pair: Optional[Tuple[int, int]] = None
+        self._last_terms: Dict[str, float] = {}
+        self._init_telemetry()
 
         encoder = self._encoder()
         if count_quantized_modules(encoder) == 0:
@@ -151,6 +154,19 @@ class ContrastiveQuantTrainer:
     @property
     def is_byol(self) -> bool:
         return isinstance(self.method, BYOL)
+
+    @property
+    def grad_norms(self) -> SeriesView:
+        """Per-step global gradient norms (read-only telemetry view).
+
+        Populated through the ``grad_norm`` gauge; kept as an attribute
+        for compatibility with pre-telemetry code that read the ad-hoc
+        list.
+        """
+        return self.metrics.gauge("grad_norm").view()
+
+    def _training_module(self):
+        return self.method
 
     def _encoder(self):
         return (
@@ -179,12 +195,29 @@ class ContrastiveQuantTrainer:
             )
         return nt_xent(a, b, self.temperature)
 
+    def _term(self, name: str, value: Tensor) -> Tensor:
+        """Record a named loss term into telemetry and return it.
+
+        Term names follow :meth:`CQVariant.loss_terms`; on the BYOL base
+        "NCE" labels the corresponding regression term.  Each term feeds
+        the labeled gauge series ``loss{term=...}`` and the per-step
+        ``loss_terms`` event payload.
+        """
+        scalar = float(value.data)
+        self._last_terms[name] = scalar
+        self.metrics.gauge("loss", term=name).set(scalar)
+        return value
+
     # -- loss assembly (Fig. 1) -------------------------------------------------
     def compute_loss(self, view1: np.ndarray, view2: np.ndarray) -> Tensor:
         if self.precision_sampler is not None:
             q1, q2 = self.precision_sampler.next_pair()
         else:
             q1, q2 = self.precision_set.sample_pair(self.rng)
+        self._last_pair = (int(q1), int(q2))
+        self.metrics.gauge("precision_q1").set(q1)
+        self.metrics.gauge("precision_q2").set(q2)
+        self._last_terms = {}
         v1, v2 = Tensor(view1), Tensor(view2)
 
         if self.variant is CQVariant.A:
@@ -197,15 +230,17 @@ class ContrastiveQuantTrainer:
         f = self._project(v1, q1)
         f_pos = self._project(v2, q2)
         if self.is_byol:
-            return 0.5 * (
+            loss = 0.5 * (
                 byol_loss(f, self._target(v2)) + byol_loss(f_pos, self._target(v1))
             )
-        return nt_xent(f, f_pos, self.temperature)
+        else:
+            loss = nt_xent(f, f_pos, self.temperature)
+        return self._term("NCE(F_q1(Aug1(x)), F_q2(Aug2(x)))", loss)
 
     def _loss_quant(self, x, q1, q2) -> Tensor:
         f1 = self._project(x, q1)
         f2 = self._project(x, q2)
-        return self._pair_loss(f1, f2)
+        return self._term("NCE(F_q1(x), F_q2(x))", self._pair_loss(f1, f2))
 
     def _loss_bc(self, v1, v2, q1, q2) -> Tensor:
         f1 = self._project(v1, q1)
@@ -215,17 +250,24 @@ class ContrastiveQuantTrainer:
 
         if self.is_byol:
             t1, t2 = self._target(v1), self._target(v2)
-            loss = 0.25 * (
-                byol_loss(f1, t2) + byol_loss(f1_pos, t1)
-                + byol_loss(f2, t2) + byol_loss(f2_pos, t1)
+            loss = self._term(
+                "NCE(f1, f1+)",
+                0.25 * (byol_loss(f1, t2) + byol_loss(f1_pos, t1)),
+            ) + self._term(
+                "NCE(f2, f2+)",
+                0.25 * (byol_loss(f2, t2) + byol_loss(f2_pos, t1)),
             )
         else:
-            loss = nt_xent(f1, f1_pos, self.temperature) + nt_xent(
-                f2, f2_pos, self.temperature
+            loss = self._term(
+                "NCE(f1, f1+)", nt_xent(f1, f1_pos, self.temperature)
+            ) + self._term(
+                "NCE(f2, f2+)", nt_xent(f2, f2_pos, self.temperature)
             )
         if self.variant is CQVariant.C:
-            loss = loss + self._pair_loss(f1, f2) + self._pair_loss(
-                f1_pos, f2_pos
+            loss = (
+                loss
+                + self._term("NCE(f1, f2)", self._pair_loss(f1, f2))
+                + self._term("NCE(f1+, f2+)", self._pair_loss(f1_pos, f2_pos))
             )
         return loss
 
@@ -246,28 +288,26 @@ class ContrastiveQuantTrainer:
             norm = clip_grad_norm(params, self.max_grad_norm)
         else:
             norm = global_grad_norm(params)
-        self.grad_norms.append(norm)
+        self.metrics.gauge("grad_norm").set(norm)
         self.optimizer.step()
         if self.is_byol:
             self.method.update_target()
         return float(loss.data)
 
-    def train_epoch(self, loader) -> float:
-        self.method.train()
-        losses = [
-            self.train_step(view1, view2) for view1, view2, _ in loader
-        ]
-        epoch_loss = float(np.mean(losses)) if losses else float("nan")
-        self.history.append(epoch_loss)
-        return epoch_loss
+    def step_info(self) -> Dict[str, object]:
+        """Sampled precisions, per-term losses, and grad norm for events."""
+        info: Dict[str, object] = {}
+        if self._last_pair is not None:
+            info["q1"], info["q2"] = self._last_pair
+        if self._last_terms:
+            info["loss_terms"] = dict(self._last_terms)
+        grad_norm = self.metrics.gauge("grad_norm").value
+        if grad_norm is not None:
+            info["grad_norm"] = grad_norm
+        return info
 
-    def fit(self, loader, epochs: int, scheduler=None) -> Dict[str, List[float]]:
-        """Pre-train for ``epochs``; returns loss and grad-norm histories."""
-        for _ in range(epochs):
-            if scheduler is not None:
-                scheduler.step()
-            self.train_epoch(loader)
-        return {"loss": self.history, "grad_norm": self.grad_norms}
+    def _history_dict(self) -> Dict[str, List[float]]:
+        return {"loss": list(self.history), "grad_norm": list(self.grad_norms)}
 
     def finalize(self) -> None:
         """Restore the encoder to full precision after pre-training."""

@@ -14,7 +14,7 @@ SimCLR/BYOL.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, Optional, Union
 
 import copy
 
@@ -26,6 +26,7 @@ from ..nn import functional as F
 from ..nn.optim import Optimizer
 from ..nn.tensor import Tensor
 from ..quant import PrecisionSet, count_quantized_modules, quantize_model, set_precision
+from .base import TrainerBase
 
 __all__ = ["MoCo", "MoCoTrainer"]
 
@@ -111,7 +112,7 @@ class MoCo(nn.Module):
         self.set_buffer("queue_ptr", np.array(ptr, dtype=np.int64))
 
 
-class MoCoTrainer:
+class MoCoTrainer(TrainerBase):
     """MoCo training loop with optional Contrastive Quant augmentation.
 
     Loss: InfoNCE with the positive key from the key encoder and negatives
@@ -137,12 +138,14 @@ class MoCoTrainer:
         if self.precision_set is not None:
             if count_quantized_modules(model.query_encoder) == 0:
                 quantize_model(model.query_encoder)
-        self.history: List[float] = []
+        self._last_bits: Optional[int] = None
+        self._init_telemetry()
 
     def compute_loss(self, view1: np.ndarray, view2: np.ndarray) -> Tensor:
         if self.precision_set is not None:
-            set_precision(self.model.query_encoder,
-                          self.precision_set.sample(self.rng))
+            self._last_bits = self.precision_set.sample(self.rng)
+            self.metrics.gauge("precision_bits").set(self._last_bits)
+            set_precision(self.model.query_encoder, self._last_bits)
         q = F.normalize(self.model.query_forward(Tensor(view1)), axis=1)
         k = F.normalize(self.model.key_forward(Tensor(view2)), axis=1)
         self._last_keys = k.data
@@ -162,17 +165,10 @@ class MoCoTrainer:
         self.model.enqueue(self._last_keys)
         return float(loss.data)
 
-    def train_epoch(self, loader) -> float:
-        self.model.train()
-        losses = [self.train_step(v1, v2) for v1, v2, _ in loader]
-        epoch_loss = float(np.mean(losses)) if losses else float("nan")
-        self.history.append(epoch_loss)
-        return epoch_loss
-
-    def fit(self, loader, epochs: int) -> Dict[str, List[float]]:
-        for _ in range(epochs):
-            self.train_epoch(loader)
-        return {"loss": self.history}
+    def step_info(self) -> Dict[str, object]:
+        if self._last_bits is None:
+            return {}
+        return {"bits": self._last_bits}
 
     def finalize(self) -> None:
         """Restore the query encoder to full precision."""

@@ -12,13 +12,14 @@ against noise-as-augmentation under identical conditions
 from __future__ import annotations
 
 import contextlib
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..nn.module import Module
 from ..nn.optim import Optimizer
 from ..nn.tensor import Tensor
+from .base import TrainerBase
 from .losses import nt_xent
 from .simclr import SimCLRModel
 
@@ -56,7 +57,7 @@ class GaussianWeightNoise:
                 param.data = original
 
 
-class NoiseContrastiveTrainer:
+class NoiseContrastiveTrainer(TrainerBase):
     """CQ-C loss assembly with Gaussian weight noise instead of quantization.
 
     Each iteration samples two noise levels ``(s1, s2)`` from ``noise_set``
@@ -87,7 +88,7 @@ class NoiseContrastiveTrainer:
         self.rng = rng or np.random.default_rng()
         self.temperature = temperature
         self.injector = GaussianWeightNoise(self.rng)
-        self.history: List[float] = []
+        self._init_telemetry()
 
     def _sample_levels(self):
         picks = self.rng.choice(len(self.noise_set), size=2)
@@ -117,15 +118,3 @@ class NoiseContrastiveTrainer:
         loss.backward()
         self.optimizer.step()
         return float(loss.data)
-
-    def train_epoch(self, loader) -> float:
-        self.model.train()
-        losses = [self.train_step(v1, v2) for v1, v2, _ in loader]
-        epoch_loss = float(np.mean(losses)) if losses else float("nan")
-        self.history.append(epoch_loss)
-        return epoch_loss
-
-    def fit(self, loader, epochs: int) -> Dict[str, List[float]]:
-        for _ in range(epochs):
-            self.train_epoch(loader)
-        return {"loss": self.history}

@@ -7,7 +7,7 @@ against; the Contrastive Quant variants reuse :class:`SimCLRModel` through
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -15,6 +15,7 @@ from .. import nn
 from ..models.heads import ProjectionHead
 from ..nn.optim import Optimizer
 from ..nn.tensor import Tensor
+from .base import TrainerBase
 from .losses import nt_xent
 
 __all__ = ["SimCLRModel", "SimCLRTrainer"]
@@ -48,12 +49,13 @@ class SimCLRModel(nn.Module):
         return self.encoder(x)
 
 
-class SimCLRTrainer:
+class SimCLRTrainer(TrainerBase):
     """Vanilla SimCLR pre-training loop.
 
     The loader must yield ``(view1, view2, labels)`` batches (use
     :class:`repro.data.TwoViewTransform`); labels are ignored — they exist
-    so the same loader can be reused by evaluation code.
+    so the same loader can be reused by evaluation code.  ``fit`` / events
+    / ``metrics`` come from :class:`~repro.contrastive.base.TrainerBase`.
     """
 
     def __init__(
@@ -65,7 +67,7 @@ class SimCLRTrainer:
         self.model = model
         self.optimizer = optimizer
         self.temperature = temperature
-        self.history: List[float] = []
+        self._init_telemetry()
 
     def compute_loss(self, view1: np.ndarray, view2: np.ndarray) -> Tensor:
         z1 = self.model(Tensor(view1))
@@ -78,20 +80,3 @@ class SimCLRTrainer:
         loss.backward()
         self.optimizer.step()
         return float(loss.data)
-
-    def train_epoch(self, loader) -> float:
-        self.model.train()
-        losses = [
-            self.train_step(view1, view2) for view1, view2, _ in loader
-        ]
-        epoch_loss = float(np.mean(losses)) if losses else float("nan")
-        self.history.append(epoch_loss)
-        return epoch_loss
-
-    def fit(self, loader, epochs: int, scheduler=None) -> Dict[str, List[float]]:
-        """Run ``epochs`` of pre-training; returns the loss history."""
-        for _ in range(epochs):
-            if scheduler is not None:
-                scheduler.step()
-            self.train_epoch(loader)
-        return {"loss": self.history}

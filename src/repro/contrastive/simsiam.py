@@ -9,7 +9,7 @@ to the shared encoder.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -18,6 +18,7 @@ from ..models.heads import PredictionHead, ProjectionHead
 from ..nn.optim import Optimizer
 from ..nn.tensor import Tensor
 from ..quant import PrecisionSet, count_quantized_modules, quantize_model, set_precision
+from .base import TrainerBase
 from .losses import byol_loss
 
 __all__ = ["SimSiam", "SimSiamTrainer"]
@@ -49,7 +50,7 @@ class SimSiam(nn.Module):
         return self.predictor(z)
 
 
-class SimSiamTrainer:
+class SimSiamTrainer(TrainerBase):
     """Symmetric stop-gradient loss: D(p1, z2)/2 + D(p2, z1)/2.
 
     With ``precision_set``, each view's projection is computed at a
@@ -74,7 +75,8 @@ class SimSiamTrainer:
         if self.precision_set is not None:
             if count_quantized_modules(model.encoder) == 0:
                 quantize_model(model.encoder)
-        self.history: List[float] = []
+        self._last_pair: Optional[Tuple[int, int]] = None
+        self._init_telemetry()
 
     def _project(self, x: Tensor, bits: Optional[int]) -> Tensor:
         if self.precision_set is not None:
@@ -84,6 +86,9 @@ class SimSiamTrainer:
     def compute_loss(self, view1: np.ndarray, view2: np.ndarray) -> Tensor:
         if self.precision_set is not None:
             q1, q2 = self.precision_set.sample_pair(self.rng)
+            self._last_pair = (q1, q2)
+            self.metrics.gauge("precision_bits", which="q1").set(q1)
+            self.metrics.gauge("precision_bits", which="q2").set(q2)
         else:
             q1 = q2 = None
         v1, v2 = Tensor(view1), Tensor(view2)
@@ -100,17 +105,11 @@ class SimSiamTrainer:
         self.optimizer.step()
         return float(loss.data)
 
-    def train_epoch(self, loader) -> float:
-        self.model.train()
-        losses = [self.train_step(v1, v2) for v1, v2, _ in loader]
-        epoch_loss = float(np.mean(losses)) if losses else float("nan")
-        self.history.append(epoch_loss)
-        return epoch_loss
-
-    def fit(self, loader, epochs: int) -> Dict[str, List[float]]:
-        for _ in range(epochs):
-            self.train_epoch(loader)
-        return {"loss": self.history}
+    def step_info(self) -> Dict[str, object]:
+        if self._last_pair is None:
+            return {}
+        q1, q2 = self._last_pair
+        return {"q1": q1, "q2": q2}
 
     def finalize(self) -> None:
         if self.precision_set is not None:

@@ -79,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--finetune-epochs", type=int, default=10)
     parser.add_argument("--linear-eval", action="store_true",
                         help="also run linear evaluation")
+    parser.add_argument("--telemetry-dir", default=None,
+                        help="write JSONL run logs and machine-readable "
+                             "run summaries under this directory "
+                             "(summarize with python -m repro.telemetry.report)")
     parser.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -124,7 +128,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     rows = []
     for method in methods:
         print(f"pre-training {method.name} ...", flush=True)
-        outcome = pretrain(method, data.train, config)
+        outcome = pretrain(method, data.train, config,
+                           telemetry_dir=args.telemetry_dir)
         grid = finetune_grid(outcome, data.train, data.test, protocol)
         row: List[object] = [method.name]
         for precision in protocol.precisions:

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Tuple
+import json
+import pathlib
+import re
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -21,6 +24,7 @@ from ..eval import finetune, linear_evaluation
 from ..models import create_encoder
 from ..nn.optim import Adam
 from ..quant import quantize_model
+from ..telemetry import JsonlLogger, ThroughputMeter
 from .config import EvalProtocol, MethodSpec, PretrainConfig
 
 __all__ = [
@@ -82,16 +86,29 @@ def _two_view_loader(
     )
 
 
+def _run_slug(name: str) -> str:
+    """Filesystem-safe run name from a method label."""
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "-", name).strip("-").lower()
+    return slug or "run"
+
+
 def pretrain(
     method: MethodSpec,
     train: ArrayDataset,
     config: PretrainConfig,
+    telemetry_dir: Optional[Union[str, pathlib.Path]] = None,
+    callbacks: Tuple = (),
 ) -> PretrainOutcome:
     """Pre-train one method and capture the encoder state.
 
     The CQ-Quant variant (Sec. 4.5) trains on identity views — quantization
     is its only augmentation — while every other method uses the SimCLR
     augmentation recipe.
+
+    With ``telemetry_dir``, the run is logged as JSONL under that
+    directory (one ``<method>.jsonl`` per method) and a machine-readable
+    ``<method>-summary.json`` with final loss and throughput is written
+    alongside; extra ``callbacks`` are forwarded to ``fit()`` as-is.
     """
     rng = np.random.default_rng(config.seed)
     encoder = create_encoder(
@@ -136,9 +153,36 @@ def pretrain(
     loader = _two_view_loader(train, config,
                               np.random.default_rng(config.seed + 13),
                               identity_views=identity_views)
-    history = trainer.fit(loader, epochs=config.epochs)
+
+    fit_callbacks = list(callbacks)
+    logger = meter = None
+    if telemetry_dir is not None:
+        slug = candidate = _run_slug(method.name)
+        suffix = 1
+        while (pathlib.Path(telemetry_dir) / f"{candidate}.jsonl").exists():
+            candidate = f"{slug}-{suffix}"
+            suffix += 1
+        logger = JsonlLogger(telemetry_dir, run_name=candidate)
+        meter = ThroughputMeter()
+        fit_callbacks += [logger, meter]
+
+    history = trainer.fit(loader, epochs=config.epochs,
+                          callbacks=tuple(fit_callbacks))
     if isinstance(trainer, ContrastiveQuantTrainer):
         trainer.finalize()
+
+    if logger is not None:
+        summary = {
+            "method": method.name,
+            "trainer": type(trainer).__name__,
+            "epochs": config.epochs,
+            "final_loss": history["loss"][-1] if history["loss"] else None,
+            "run_log": logger.path.name,
+            **meter.summary(),
+        }
+        summary_path = logger.directory / f"{logger.run_name}-summary.json"
+        summary_path.write_text(json.dumps(summary, indent=2) + "\n",
+                                encoding="utf-8")
 
     return PretrainOutcome(
         method=method,

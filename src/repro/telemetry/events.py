@@ -1,0 +1,81 @@
+"""Trainer lifecycle events: the ``Callback`` protocol and ``EventBus``.
+
+Trainers emit a fixed set of events (``EVENTS``) through an
+:class:`EventBus`; callbacks subscribe by implementing the matching
+method.  Every hook receives ``(trainer, payload)`` where ``payload`` is
+a plain dict — the JSONL logger serialises it verbatim, so trainers keep
+payloads JSON-friendly (floats, ints, strings, flat dicts).
+
+Callbacks are invoked in registration order.  Exceptions propagate: that
+is how :class:`~repro.telemetry.callbacks.EarlyDivergenceGuard` aborts a
+diverging run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+__all__ = ["EVENTS", "Callback", "EventBus", "TrainingDiverged"]
+
+#: The trainer lifecycle, in emission order within one fit() call.
+EVENTS = (
+    "on_fit_start",
+    "on_epoch_start",
+    "on_step",
+    "on_epoch_end",
+    "on_fit_end",
+)
+
+
+class TrainingDiverged(RuntimeError):
+    """Raised by a callback to abort a run whose loss is NaN/exploding."""
+
+
+class Callback:
+    """Base class with no-op handlers for every trainer event.
+
+    Subclass and override the hooks you need.  Any object with matching
+    method names works too — the bus dispatches by ``getattr`` — but
+    subclassing documents intent and survives event additions.
+    """
+
+    def on_fit_start(self, trainer, payload: Dict) -> None:
+        """Called once before the first epoch; payload has ``epochs``."""
+
+    def on_epoch_start(self, trainer, payload: Dict) -> None:
+        """Called before each epoch; payload has ``epoch``."""
+
+    def on_step(self, trainer, payload: Dict) -> None:
+        """Called after each optimizer step; payload has ``step``,
+        ``epoch``, ``loss``, ``batch_size`` plus trainer extras."""
+
+    def on_epoch_end(self, trainer, payload: Dict) -> None:
+        """Called after each epoch; payload has ``epoch`` and ``loss``."""
+
+    def on_fit_end(self, trainer, payload: Dict) -> None:
+        """Called once after the last epoch; payload has ``history``."""
+
+
+class EventBus:
+    """Fan one trainer's events out to an ordered list of callbacks."""
+
+    def __init__(self, callbacks: Iterable = ()) -> None:
+        self.callbacks: List = list(callbacks)
+        for callback in self.callbacks:
+            if not any(callable(getattr(callback, e, None)) for e in EVENTS):
+                raise TypeError(
+                    f"{type(callback).__name__} implements none of {EVENTS}; "
+                    "is it a telemetry callback?"
+                )
+
+    def __len__(self) -> int:
+        return len(self.callbacks)
+
+    def emit(self, event: str, trainer, payload: Dict) -> None:
+        """Dispatch ``event`` to every callback, in registration order."""
+        if event not in EVENTS:
+            raise ValueError(f"unknown event {event!r}; expected one of {EVENTS}")
+        for callback in self.callbacks:
+            handler = getattr(callback, event, None)
+            if handler is not None:
+                handler(trainer, payload)

@@ -1,0 +1,264 @@
+"""Labeled metric series: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` owns every metric for one trainer/run.  Metrics
+are identified by ``(name, labels)`` so the same logical quantity can be
+tracked per series — e.g. ``loss{term="NCE(f1, f1+)"}`` alongside
+``loss{term="NCE(f2, f2+)"}`` — in the style of Prometheus client
+libraries, but storing full in-process history (this stack has no scrape
+loop; benchmarks and the run reporter read the snapshot directly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type, Union
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SeriesView",
+    "format_series_name",
+]
+
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def format_series_name(name: str, labels: Labels) -> str:
+    """Prometheus-style ``name{key="value", ...}`` rendering."""
+    if not labels:
+        return name
+    inner = ", ".join(f'{key}="{value}"' for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+class SeriesView(Sequence):
+    """Read-only live view over a metric's recorded values.
+
+    Used to expose internal telemetry series (e.g. the CQ trainer's
+    ``grad_norms``) without letting callers mutate them.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: List[float]) -> None:
+        self._values = values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getitem__(self, index):
+        result = self._values[index]
+        return list(result) if isinstance(index, slice) else result
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._values)
+
+    def __repr__(self) -> str:
+        return f"SeriesView({self._values!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SeriesView):
+            return self._values == other._values
+        if isinstance(other, (list, tuple)):
+            return list(self._values) == list(other)
+        return NotImplemented
+
+
+class _Metric:
+    """Common identity plumbing for all metric kinds."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+
+    @property
+    def full_name(self) -> str:
+        return format_series_name(self.name, self.labels)
+
+    def snapshot(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (steps, images, events)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> float:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self._value += amount
+        return self._value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Gauge(_Metric):
+    """Point-in-time value that also remembers its full series.
+
+    ``set()`` appends to the series; ``value`` is the latest sample.  The
+    series makes gauges double as per-step traces (grad norm, epoch loss)
+    without a separate time-series store.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        super().__init__(name, labels)
+        self._series: List[float] = []
+
+    def set(self, value: float) -> None:
+        self._series.append(float(value))
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._series[-1] if self._series else None
+
+    @property
+    def series(self) -> Tuple[float, ...]:
+        return tuple(self._series)
+
+    def view(self) -> SeriesView:
+        """Live read-only view (tracks future ``set()`` calls)."""
+        return SeriesView(self._series)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "value": self.value,
+            "count": len(self._series),
+        }
+
+
+class Histogram(_Metric):
+    """Distribution of observed values with exact percentiles.
+
+    Observations are kept in full (runs here are small enough that exact
+    quantiles beat bucketed approximations); ``percentile`` uses linear
+    interpolation like ``numpy.percentile``.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        super().__init__(name, labels)
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return float(np.sum(self._values)) if self._values else 0.0
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self._values)) if self._values else float("nan")
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self._values)) if self._values else float("nan")
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self._values)) if self._values else float("nan")
+
+    def percentile(self, q: float) -> float:
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._values:
+            return float("nan")
+        return float(np.percentile(self._values, q))
+
+    def snapshot(self) -> Dict[str, object]:
+        if not self._values:
+            return {"kind": self.kind, "count": 0}
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+MetricType = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Factory and store for one run's metric series.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: requesting
+    the same ``(name, labels)`` twice returns the same object, so trainers
+    and callbacks can share series without passing references around.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, Labels], MetricType] = {}
+
+    @staticmethod
+    def _key(name: str, labels: Dict[str, object]) -> Tuple[str, Labels]:
+        return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def _get_or_create(
+        self, cls: Type[MetricType], name: str, labels: Dict[str, object]
+    ) -> MetricType:
+        key = self._key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(key[0], key[1])
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {metric.full_name!r} already registered as "
+                f"{metric.kind}, not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, /, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, /, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, /, **labels) -> Histogram:
+        return self._get_or_create(Histogram, name, labels)
+
+    def series(self, name: str) -> List[MetricType]:
+        """Every metric registered under ``name`` (across label sets)."""
+        return [m for (n, _), m in self._metrics.items() if n == name]
+
+    def __iter__(self) -> Iterator[MetricType]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return any(n == name for n, _ in self._metrics)
+
+    def collect(self) -> Dict[str, Dict[str, object]]:
+        """Snapshot of every series keyed by its rendered full name."""
+        return {m.full_name: m.snapshot() for m in self._metrics.values()}

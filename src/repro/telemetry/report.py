@@ -1,0 +1,139 @@
+"""Summarize a JSONL run log directory::
+
+    python -m repro.telemetry.report runs/            # latest run
+    python -m repro.telemetry.report runs/run-x.jsonl # specific run
+
+Prints final loss, throughput, and (when the log contains a ``profile``
+record) the op-level wall-clock breakdown — the machine-readable summary
+benchmark jobs grep out of CI logs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence, Union
+
+from .callbacks import iter_records
+
+__all__ = ["latest_run", "summarize", "format_summary", "main"]
+
+
+def latest_run(directory: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Most recently modified ``*.jsonl`` file under ``directory``."""
+    directory = pathlib.Path(directory)
+    runs = sorted(directory.glob("*.jsonl"), key=lambda p: p.stat().st_mtime)
+    if not runs:
+        raise FileNotFoundError(f"no .jsonl run logs under {directory}")
+    return runs[-1]
+
+
+def summarize(records: List[Dict]) -> Dict[str, object]:
+    """Reduce one run's records to the headline numbers."""
+    steps = [r for r in records if r.get("event") == "step"]
+    epochs = [r for r in records if r.get("event") == "epoch_end"]
+    fit_start = next((r for r in records if r.get("event") == "fit_start"), None)
+    fit_end = next(
+        (r for r in records if r.get("event") == "fit_end"), None
+    )
+    profile = next(
+        (r for r in records if r.get("event") == "profile"), None
+    )
+
+    summary: Dict[str, object] = {
+        "trainer": (fit_start or {}).get("trainer")
+        or (steps[0].get("trainer") if steps else None),
+        "epochs": len(epochs),
+        "steps": len(steps),
+        "images": sum(int(r.get("batch_size", 0)) for r in steps),
+        "final_loss": epochs[-1].get("loss") if epochs else None,
+    }
+    if steps and fit_start is not None:
+        elapsed = float(steps[-1]["time"]) - float(fit_start["time"])
+        summary["elapsed_seconds"] = elapsed
+        if elapsed > 0:
+            summary["steps_per_sec"] = summary["steps"] / elapsed
+            summary["images_per_sec"] = summary["images"] / elapsed
+    last_step = steps[-1] if steps else {}
+    if "q1" in last_step:
+        summary["last_precisions"] = (last_step["q1"], last_step["q2"])
+    if "loss_terms" in last_step:
+        summary["loss_terms"] = last_step["loss_terms"]
+    if fit_end is not None and "history" in fit_end:
+        summary["history_keys"] = sorted(fit_end["history"])
+    if profile is not None:
+        summary["op_categories"] = profile.get("categories", {})
+        summary["top_ops"] = profile.get("ops", [])[:5]
+    return summary
+
+
+def format_summary(path: pathlib.Path, summary: Dict[str, object]) -> str:
+    lines = [f"run log: {path}"]
+    lines.append(
+        f"trainer: {summary.get('trainer', '?')}  "
+        f"epochs: {summary.get('epochs', 0)}  steps: {summary.get('steps', 0)}"
+    )
+    final_loss = summary.get("final_loss")
+    if final_loss is not None:
+        lines.append(f"final loss: {final_loss:.6f}")
+    if "images_per_sec" in summary:
+        lines.append(
+            f"throughput: {summary['images_per_sec']:.1f} images/s "
+            f"({summary['steps_per_sec']:.2f} steps/s over "
+            f"{summary['elapsed_seconds']:.2f}s)"
+        )
+    if "last_precisions" in summary:
+        q1, q2 = summary["last_precisions"]
+        lines.append(f"last sampled precisions: (q1={q1}, q2={q2})")
+    if "loss_terms" in summary:
+        terms = ", ".join(
+            f"{name}={value:.4f}"
+            for name, value in summary["loss_terms"].items()
+        )
+        lines.append(f"last loss terms: {terms}")
+    if "op_categories" in summary:
+        cats = ", ".join(
+            f"{name}={1e3 * seconds:.1f}ms"
+            for name, seconds in summary["op_categories"].items()
+        )
+        lines.append(f"op time by category: {cats}")
+    if summary.get("top_ops"):
+        lines.append("top ops by wall-clock:")
+        for op in summary["top_ops"]:
+            lines.append(
+                f"  {op['name']:<18} {1e3 * op['total_seconds']:>9.2f} ms "
+                f"({op['calls']} fwd calls)"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report",
+        description="Summarize the latest JSONL run log in a directory.",
+    )
+    parser.add_argument(
+        "path",
+        help="a runs/ directory (latest run is picked) or a .jsonl file",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    path = pathlib.Path(args.path)
+    try:
+        run = path if path.is_file() else latest_run(path)
+    except FileNotFoundError as exc:
+        parser.exit(2, f"{parser.prog}: error: {exc}\n")
+    summary = summarize(list(iter_records(run)))
+    if args.json:
+        print(json.dumps({"run": str(run), **summary}, indent=2))
+    else:
+        print(format_summary(run, summary))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,256 @@
+"""Wall-clock tracing: timers, spans, and an autograd op profiler.
+
+Two layers of granularity:
+
+- :class:`Timer` / :func:`span` measure arbitrary code regions and can
+  feed a :class:`~repro.telemetry.metrics.MetricsRegistry` histogram.
+- :func:`profile` hooks :meth:`repro.nn.autograd.Function.apply` for the
+  duration of a ``with`` block and aggregates per-op forward/backward
+  wall-clock and call counts — the conv vs matmul vs elementwise
+  breakdown needed to see where a quantized training step actually
+  spends its time.  The hook is process-global (one profiler at a time)
+  and is guaranteed to restore the original ``Function.apply`` on exit.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import time
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry
+
+__all__ = ["Timer", "span", "OpProfiler", "OpStat", "profile"]
+
+
+class Timer:
+    """Re-usable wall-clock stopwatch (also a context manager).
+
+    ``elapsed`` accumulates across start/stop cycles so one Timer can
+    measure a recurring region (e.g. "data loading" across an epoch).
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started: Optional[float] = None
+
+    @property
+    def running(self) -> bool:
+        return self._started is not None
+
+    def start(self) -> "Timer":
+        if self._started is not None:
+            raise RuntimeError("Timer is already running")
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._started
+        self._started = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started = None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+@contextlib.contextmanager
+def span(name: str, registry: Optional[MetricsRegistry] = None):
+    """Time a code region; optionally record it as a histogram sample.
+
+    With a registry, each completed span observes its duration (seconds)
+    into ``span_seconds{name=...}`` so repeated spans build a
+    distribution (p50/p99 of an epoch, a checkpoint write, ...).
+    """
+    timer = Timer().start()
+    try:
+        yield timer
+    finally:
+        timer.stop()
+        if registry is not None:
+            registry.histogram("span_seconds", name=name).observe(timer.elapsed)
+
+
+@dataclasses.dataclass
+class OpStat:
+    """Aggregated timings for one autograd op class."""
+
+    name: str
+    category: str
+    calls: int = 0
+    forward_seconds: float = 0.0
+    backward_calls: int = 0
+    backward_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.forward_seconds + self.backward_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "calls": self.calls,
+            "forward_seconds": self.forward_seconds,
+            "backward_calls": self.backward_calls,
+            "backward_seconds": self.backward_seconds,
+            "total_seconds": self.total_seconds,
+        }
+
+
+def _category(cls) -> str:
+    """Bucket an op class by its defining module (conv/matmul/...)."""
+    return cls.__module__.rsplit(".", 1)[-1].lstrip("_")
+
+
+class OpProfiler:
+    """Aggregate per-op forward/backward wall-clock via ``Function.apply``.
+
+    ``install`` replaces :meth:`Function.apply` with a timing wrapper;
+    the wrapper additionally shims each recorded graph node's
+    ``backward`` so the backward pass is attributed to the op that
+    created the node.  Exactly one profiler may be installed at a time.
+    """
+
+    def __init__(self) -> None:
+        self.stats: Dict[str, OpStat] = {}
+        self._original = None  # the classmethod object we displaced
+
+    # -- recording ---------------------------------------------------------
+    def _stat(self, cls) -> OpStat:
+        stat = self.stats.get(cls.__name__)
+        if stat is None:
+            stat = OpStat(name=cls.__name__, category=_category(cls))
+            self.stats[cls.__name__] = stat
+        return stat
+
+    def _record_forward(self, cls, seconds: float) -> None:
+        stat = self._stat(cls)
+        stat.calls += 1
+        stat.forward_seconds += seconds
+
+    def _record_backward(self, cls, seconds: float) -> None:
+        stat = self._stat(cls)
+        stat.backward_calls += 1
+        stat.backward_seconds += seconds
+
+    # -- hook management ---------------------------------------------------
+    @property
+    def installed(self) -> bool:
+        return self._original is not None
+
+    def install(self) -> None:
+        from ..nn.autograd import Function
+
+        if self._original is not None:
+            raise RuntimeError("OpProfiler is already installed")
+        current = Function.__dict__["apply"]
+        if getattr(current, "_telemetry_profiler", None) is not None:
+            raise RuntimeError(
+                "another OpProfiler is already hooked into Function.apply"
+            )
+        self._original = current
+        original_func = current.__func__
+        profiler = self
+
+        def apply(cls, *inputs, **kwargs):
+            start = time.perf_counter()
+            out = original_func(cls, *inputs, **kwargs)
+            profiler._record_forward(cls, time.perf_counter() - start)
+            ctx = getattr(out, "_ctx", None)
+            if ctx is not None:
+                original_backward = ctx.backward
+
+                def backward(grad_output):
+                    t0 = time.perf_counter()
+                    result = original_backward(grad_output)
+                    profiler._record_backward(
+                        cls, time.perf_counter() - t0
+                    )
+                    return result
+
+                ctx.backward = backward
+            return out
+
+        wrapped = classmethod(apply)
+        wrapped._telemetry_profiler = self
+        Function.apply = wrapped
+
+    def uninstall(self) -> None:
+        from ..nn.autograd import Function
+
+        if self._original is None:
+            return
+        Function.apply = self._original
+        self._original = None
+
+    # -- reporting ---------------------------------------------------------
+    def top(self, n: Optional[int] = None, by: str = "total") -> List[OpStat]:
+        """Ops sorted by wall-clock (``total``, ``forward`` or ``backward``)."""
+        keys = {
+            "total": lambda s: s.total_seconds,
+            "forward": lambda s: s.forward_seconds,
+            "backward": lambda s: s.backward_seconds,
+            "calls": lambda s: s.calls,
+        }
+        if by not in keys:
+            raise ValueError(f"unknown sort key {by!r}; choose from {sorted(keys)}")
+        ranked = sorted(self.stats.values(), key=keys[by], reverse=True)
+        return ranked if n is None else ranked[:n]
+
+    def by_category(self) -> Dict[str, float]:
+        """Total seconds per op category (conv, matmul, elementwise, ...)."""
+        totals: Dict[str, float] = {}
+        for stat in self.stats.values():
+            totals[stat.category] = (
+                totals.get(stat.category, 0.0) + stat.total_seconds
+            )
+        return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serialisable dump (used by run logs and the reporter)."""
+        return {
+            "ops": [s.as_dict() for s in self.top()],
+            "categories": self.by_category(),
+        }
+
+    def format_table(self, n: Optional[int] = None) -> str:
+        """Human-readable top-N table of op timings."""
+        header = f"{'op':<18} {'cat':<12} {'calls':>6} {'fwd ms':>9} {'bwd ms':>9} {'total ms':>9}"
+        lines = [header, "-" * len(header)]
+        for stat in self.top(n):
+            lines.append(
+                f"{stat.name:<18} {stat.category:<12} {stat.calls:>6d} "
+                f"{1e3 * stat.forward_seconds:>9.2f} "
+                f"{1e3 * stat.backward_seconds:>9.2f} "
+                f"{1e3 * stat.total_seconds:>9.2f}"
+            )
+        return "\n".join(lines)
+
+
+@contextlib.contextmanager
+def profile():
+    """Profile every autograd op executed inside the block.
+
+    Yields the :class:`OpProfiler`; ``Function.apply`` is restored even
+    if the block raises::
+
+        with telemetry.profile() as prof:
+            trainer.train_step(v1, v2)
+        print(prof.format_table(n=5))
+    """
+    profiler = OpProfiler()
+    profiler.install()
+    try:
+        yield profiler
+    finally:
+        profiler.uninstall()

@@ -64,6 +64,14 @@ class TestParser:
         assert args.precisions == ["fp", "4"]
         assert args.fractions == [0.5]
 
+    def test_telemetry_dir_defaults_off(self):
+        args = build_parser().parse_args([])
+        assert args.telemetry_dir is None
+
+    def test_telemetry_dir_parsed(self):
+        args = build_parser().parse_args(["--telemetry-dir", "runs/exp1"])
+        assert args.telemetry_dir == "runs/exp1"
+
 
 class TestMain:
     def test_tiny_end_to_end(self, capsys):
@@ -96,3 +104,26 @@ class TestMain:
         ])
         assert exit_code == 0
         assert "Linear" in capsys.readouterr().out
+
+    def test_telemetry_dir_writes_run_logs(self, capsys, tmp_path):
+        exit_code = main([
+            "--methods", "simclr",
+            "--classes", "3",
+            "--image-size", "8",
+            "--per-class", "8",
+            "--epochs", "1",
+            "--batch-size", "8",
+            "--fractions", "0.5",
+            "--finetune-epochs", "1",
+            "--telemetry-dir", str(tmp_path),
+        ])
+        assert exit_code == 0
+        logs = list(tmp_path.glob("*.jsonl"))
+        summaries = list(tmp_path.glob("*-summary.json"))
+        assert len(logs) == 1 and len(summaries) == 1
+
+        from repro.telemetry import iter_records
+
+        records = list(iter_records(logs[0]))
+        assert records[0]["event"] == "fit_start"
+        assert records[-1]["event"] == "fit_end"

@@ -90,6 +90,60 @@ class TestPretrain:
         assert not np.array_equal(fresh.state[name], trained.state[name])
 
 
+class TestTelemetryWiring:
+    def test_telemetry_dir_writes_run_log_and_summary(self, data, config,
+                                                      tmp_path):
+        import json
+
+        from repro.telemetry import iter_records
+
+        outcome = pretrain(
+            MethodSpec("CQ-C", variant="C", precision_set="2-8"),
+            data.train, config, telemetry_dir=tmp_path,
+        )
+        logs = sorted(tmp_path.glob("*.jsonl"))
+        summaries = sorted(tmp_path.glob("*-summary.json"))
+        assert len(logs) == 1 and len(summaries) == 1
+
+        records = list(iter_records(logs[0]))
+        events = [r["event"] for r in records]
+        assert events[0] == "fit_start" and events[-1] == "fit_end"
+        assert events.count("epoch_end") == config.epochs
+        step = next(r for r in records if r["event"] == "step")
+        assert {"q1", "q2", "loss_terms"} <= set(step)
+
+        summary = json.loads(summaries[0].read_text())
+        assert summary["method"] == "CQ-C"
+        assert summary["epochs"] == config.epochs
+        assert summary["final_loss"] == pytest.approx(
+            outcome.history["loss"][-1])
+        assert summary["steps"] > 0 and summary["images"] > 0
+
+    def test_colliding_run_names_get_unique_files(self, data, config,
+                                                  tmp_path):
+        for _ in range(2):
+            pretrain(MethodSpec("SimCLR"), data.train, config,
+                     telemetry_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.jsonl"))) == 2
+
+    def test_extra_callbacks_forwarded(self, data, config, tmp_path):
+        seen = []
+
+        class Spy:
+            def on_fit_end(self, trainer, payload):
+                seen.append(payload["history"])
+
+        pretrain(MethodSpec("SimCLR"), data.train, config,
+                 telemetry_dir=tmp_path, callbacks=(Spy(),))
+        assert len(seen) == 1 and "loss" in seen[0]
+
+    def test_no_telemetry_dir_writes_nothing(self, data, config, tmp_path,
+                                             monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pretrain(MethodSpec("SimCLR"), data.train, config)
+        assert not list(tmp_path.rglob("*.jsonl"))
+
+
 class TestGrids:
     def test_finetune_grid_keys_and_range(self, data, config, protocol):
         outcome = pretrain(MethodSpec("SimCLR"), data.train, config)

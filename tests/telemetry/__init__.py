@@ -1,0 +1,1 @@
+"""Telemetry subsystem tests."""

@@ -1,0 +1,227 @@
+"""EventBus dispatch, JSONL round-trip, guards, and throughput meters."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry import (
+    EVENTS,
+    Callback,
+    ConsoleProgress,
+    EarlyDivergenceGuard,
+    EventBus,
+    JsonlLogger,
+    MetricsRegistry,
+    ThroughputMeter,
+    TrainingDiverged,
+    iter_records,
+)
+
+
+class FakeTrainer:
+    """Stands in for a TrainerBase subclass in bus-level tests."""
+
+    def __init__(self):
+        self.metrics = MetricsRegistry()
+
+
+class Recorder(Callback):
+    def __init__(self, name, log):
+        self.name = name
+        self.log = log
+
+    def on_step(self, trainer, payload):
+        self.log.append((self.name, "on_step"))
+
+    def on_epoch_end(self, trainer, payload):
+        self.log.append((self.name, "on_epoch_end"))
+
+
+class TestEventBus:
+    def test_dispatch_in_registration_order(self):
+        log = []
+        bus = EventBus([Recorder("a", log), Recorder("b", log)])
+        trainer = FakeTrainer()
+        bus.emit("on_step", trainer, {"loss": 1.0})
+        bus.emit("on_epoch_end", trainer, {"loss": 1.0})
+        assert log == [
+            ("a", "on_step"),
+            ("b", "on_step"),
+            ("a", "on_epoch_end"),
+            ("b", "on_epoch_end"),
+        ]
+
+    def test_unknown_event_rejected(self):
+        bus = EventBus(())
+        with pytest.raises(ValueError, match="unknown event"):
+            bus.emit("on_teardown", FakeTrainer(), {})
+
+    def test_non_callback_object_rejected(self):
+        with pytest.raises(TypeError, match="telemetry callback"):
+            EventBus([object()])
+
+    def test_duck_typed_partial_callback_accepted(self):
+        class StepOnly:
+            def __init__(self):
+                self.steps = 0
+
+            def on_step(self, trainer, payload):
+                self.steps += 1
+
+        cb = StepOnly()
+        bus = EventBus([cb])
+        bus.emit("on_step", FakeTrainer(), {})
+        bus.emit("on_epoch_end", FakeTrainer(), {})  # silently skipped
+        assert cb.steps == 1
+
+    def test_events_tuple_is_the_contract(self):
+        assert EVENTS == (
+            "on_fit_start",
+            "on_epoch_start",
+            "on_step",
+            "on_epoch_end",
+            "on_fit_end",
+        )
+
+
+class TestJsonlLogger:
+    def test_round_trip(self, tmp_path):
+        logger = JsonlLogger(tmp_path, run_name="trip")
+        trainer = FakeTrainer()
+        logger.on_fit_start(trainer, {"epochs": 2})
+        logger.on_epoch_start(trainer, {"epoch": 0})
+        logger.on_step(trainer, {"epoch": 0, "step": 0, "loss": 0.5,
+                                 "batch_size": 8})
+        logger.on_epoch_end(trainer, {"epoch": 0, "loss": 0.5})
+        logger.on_fit_end(trainer, {"history": {"loss": [0.5]}})
+
+        records = list(iter_records(logger.path))
+        assert [r["event"] for r in records] == [
+            "fit_start", "epoch_start", "step", "epoch_end", "fit_end",
+        ]
+        assert all(r["trainer"] == "FakeTrainer" for r in records)
+        assert all("time" in r for r in records)
+        step = records[2]
+        assert step["loss"] == 0.5 and step["batch_size"] == 8
+        assert records[-1]["history"] == {"loss": [0.5]}
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        logger = JsonlLogger(tmp_path, run_name="valid")
+        trainer = FakeTrainer()
+        for i in range(5):
+            logger.on_step(trainer, {"step": i, "loss": float(i)})
+        with open(logger.path) as fh:
+            for line in fh:
+                json.loads(line)
+
+    def test_numpy_payloads_serialised(self, tmp_path):
+        import numpy as np
+
+        logger = JsonlLogger(tmp_path, run_name="np")
+        logger.on_step(FakeTrainer(), {
+            "loss": np.float32(0.25),
+            "bits": np.int64(8),
+            "vec": np.arange(3),
+        })
+        record = next(iter_records(logger.path))
+        assert record["loss"] == 0.25
+        assert record["bits"] == 8
+        assert record["vec"] == [0, 1, 2]
+
+    def test_default_run_names_unique(self, tmp_path):
+        a = JsonlLogger(tmp_path)
+        b = JsonlLogger(tmp_path)
+        assert a.path != b.path
+
+    def test_extra_log_records(self, tmp_path):
+        logger = JsonlLogger(tmp_path, run_name="extra")
+        logger.log("profile", {"categories": {"conv": 0.5}})
+        record = next(iter_records(logger.path))
+        assert record["event"] == "profile"
+        assert record["categories"] == {"conv": 0.5}
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "runs"
+        logger = JsonlLogger(target, run_name="x")
+        assert target.is_dir()
+        assert logger.path.parent == target
+
+
+class TestConsoleProgress:
+    def test_epoch_lines(self, capsys):
+        progress = ConsoleProgress(every=2)
+        trainer = FakeTrainer()
+        progress.on_fit_start(trainer, {"epochs": 4})
+        for epoch in range(4):
+            progress.on_epoch_end(trainer, {"epoch": epoch, "loss": 1.0})
+        progress.on_fit_end(trainer, {"history": {"loss": [1.0]}})
+        out = capsys.readouterr().out
+        assert "epoch 2" in out and "epoch 4" in out
+        assert "epoch 1" not in out and "epoch 3" not in out
+        assert "final loss=1.0000" in out
+
+    def test_every_validated(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ConsoleProgress(every=0)
+
+
+class TestEarlyDivergenceGuard:
+    def test_nan_loss_aborts(self):
+        guard = EarlyDivergenceGuard()
+        with pytest.raises(TrainingDiverged, match="nan"):
+            guard.on_step(FakeTrainer(), {"epoch": 0, "step": 3,
+                                          "loss": float("nan")})
+
+    def test_inf_loss_aborts(self):
+        guard = EarlyDivergenceGuard()
+        with pytest.raises(TrainingDiverged, match="inf"):
+            guard.on_epoch_end(FakeTrainer(), {"epoch": 1,
+                                               "loss": math.inf})
+
+    def test_exploding_loss_aborts_with_location(self):
+        guard = EarlyDivergenceGuard(max_loss=10.0)
+        with pytest.raises(TrainingDiverged, match="epoch 2 step 7"):
+            guard.on_step(FakeTrainer(), {"epoch": 2, "step": 7,
+                                          "loss": 1e9})
+
+    def test_finite_loss_passes(self):
+        guard = EarlyDivergenceGuard(max_loss=10.0)
+        guard.on_step(FakeTrainer(), {"epoch": 0, "step": 0, "loss": 9.9})
+
+    def test_max_loss_validated(self):
+        with pytest.raises(ValueError, match="> 0"):
+            EarlyDivergenceGuard(max_loss=0)
+
+
+class TestThroughputMeter:
+    def test_counts_steps_and_images(self):
+        meter = ThroughputMeter()
+        trainer = FakeTrainer()
+        meter.on_fit_start(trainer, {"epochs": 1})
+        for step in range(4):
+            meter.on_step(trainer, {"step": step, "batch_size": 8})
+        meter.on_fit_end(trainer, {"history": {}})
+        assert meter.steps == 4
+        assert meter.images == 32
+        assert meter.images_per_sec > 0
+        summary = meter.summary()
+        assert summary["steps"] == 4 and summary["images"] == 32
+
+    def test_pushes_gauges_into_trainer_metrics(self):
+        meter = ThroughputMeter()
+        trainer = FakeTrainer()
+        meter.on_fit_start(trainer, {})
+        meter.on_step(trainer, {"batch_size": 4})
+        meter.on_fit_end(trainer, {})
+        assert trainer.metrics.gauge("throughput_images_per_sec").value > 0
+        assert trainer.metrics.gauge("throughput_steps_per_sec").value > 0
+
+    def test_resets_between_fits(self):
+        meter = ThroughputMeter()
+        trainer = FakeTrainer()
+        meter.on_fit_start(trainer, {})
+        meter.on_step(trainer, {"batch_size": 4})
+        meter.on_fit_end(trainer, {})
+        meter.on_fit_start(trainer, {})
+        assert meter.steps == 0 and meter.images == 0

@@ -1,0 +1,113 @@
+"""The run-log reporter CLI (python -m repro.telemetry.report)."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.telemetry import JsonlLogger
+from repro.telemetry.report import format_summary, latest_run, main, summarize
+
+
+class FakeTrainer:
+    pass
+
+
+def write_run(tmp_path, run_name="run-a", with_profile=False):
+    logger = JsonlLogger(tmp_path, run_name=run_name)
+    trainer = FakeTrainer()
+    logger.on_fit_start(trainer, {"epochs": 2})
+    for epoch in range(2):
+        logger.on_epoch_start(trainer, {"epoch": epoch})
+        for step in range(3):
+            logger.on_step(trainer, {
+                "epoch": epoch,
+                "step": 3 * epoch + step,
+                "loss": 1.0 / (step + 1),
+                "batch_size": 4,
+                "q1": 6,
+                "q2": 16,
+                "loss_terms": {"NCE(f1, f1+)": 0.5},
+            })
+        logger.on_epoch_end(trainer, {"epoch": epoch, "loss": 0.5 - epoch * 0.1})
+    logger.on_fit_end(trainer, {"history": {"loss": [0.5, 0.4]}})
+    if with_profile:
+        logger.log("profile", {
+            "categories": {"conv": 0.9, "matmul": 0.1},
+            "ops": [
+                {"name": "Conv2d", "category": "conv", "calls": 10,
+                 "forward_seconds": 0.6, "backward_calls": 10,
+                 "backward_seconds": 0.3, "total_seconds": 0.9},
+            ],
+        })
+    return logger.path
+
+
+class TestSummarize:
+    def test_headline_numbers(self, tmp_path):
+        path = write_run(tmp_path)
+        records = [json.loads(line) for line in open(path)]
+        summary = summarize(records)
+        assert summary["trainer"] == "FakeTrainer"
+        assert summary["epochs"] == 2
+        assert summary["steps"] == 6
+        assert summary["images"] == 24
+        assert summary["final_loss"] == pytest.approx(0.4)
+        assert summary["last_precisions"] == (6, 16)
+        assert summary["loss_terms"] == {"NCE(f1, f1+)": 0.5}
+        assert summary["history_keys"] == ["loss"]
+
+    def test_profile_breakdown_included(self, tmp_path):
+        path = write_run(tmp_path, with_profile=True)
+        records = [json.loads(line) for line in open(path)]
+        summary = summarize(records)
+        assert summary["op_categories"]["conv"] == 0.9
+        assert summary["top_ops"][0]["name"] == "Conv2d"
+
+    def test_empty_records(self):
+        summary = summarize([])
+        assert summary["steps"] == 0
+        assert summary["final_loss"] is None
+
+
+class TestLatestRun:
+    def test_picks_most_recent(self, tmp_path):
+        older = write_run(tmp_path, "run-old")
+        newer = write_run(tmp_path, "run-new")
+        past = time.time() - 100
+        os.utime(older, (past, past))
+        assert latest_run(tmp_path) == newer
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no .jsonl run logs"):
+            latest_run(tmp_path)
+
+
+class TestCli:
+    def test_directory_argument(self, tmp_path, capsys):
+        write_run(tmp_path, with_profile=True)
+        assert main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "final loss: 0.4" in out
+        assert "images/s" in out
+        assert "(q1=6, q2=16)" in out
+        assert "Conv2d" in out
+
+    def test_file_argument(self, tmp_path, capsys):
+        path = write_run(tmp_path)
+        assert main([str(path)]) == 0
+        assert "FakeTrainer" in capsys.readouterr().out
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        write_run(tmp_path)
+        assert main([str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["steps"] == 6
+        assert payload["final_loss"] == pytest.approx(0.4)
+
+
+class TestFormatSummary:
+    def test_handles_minimal_summary(self, tmp_path):
+        text = format_summary(tmp_path / "x.jsonl", {"epochs": 0, "steps": 0})
+        assert "x.jsonl" in text
