@@ -1,0 +1,36 @@
+"""Fault-tolerant checkpoint/resume for training runs.
+
+The subsystem has three layers:
+
+- :mod:`repro.checkpoint.rng` — capture/restore numpy ``Generator``
+  streams so a resumed run draws the exact same random sequence.
+- :mod:`repro.checkpoint.checkpointer` — :class:`Checkpointer`, an
+  atomic (temp + fsync + rename), sha256-verified, retention-managed
+  checkpoint store whose ``load_latest()`` falls back past corrupt
+  files instead of crashing.
+- :class:`~repro.telemetry.CheckpointCallback` (re-exported here) —
+  the EventBus callback that saves trainer state at epoch boundaries.
+
+Trainers integrate through ``TrainerBase.state_dict()`` /
+``load_state_dict()`` and ``fit(..., resume_from=...)``; the CLI wires
+it up via ``--checkpoint-dir`` / ``--resume``.
+"""
+
+from ..telemetry.callbacks import CheckpointCallback
+from .checkpointer import (
+    CheckpointError,
+    Checkpointer,
+    LoadedCheckpoint,
+    resolve_resume_state,
+)
+from .rng import get_rng_state, set_rng_state
+
+__all__ = [
+    "CheckpointCallback",
+    "CheckpointError",
+    "Checkpointer",
+    "LoadedCheckpoint",
+    "get_rng_state",
+    "set_rng_state",
+    "resolve_resume_state",
+]

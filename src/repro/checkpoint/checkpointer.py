@@ -1,0 +1,361 @@
+"""Crash-safe training checkpoints with integrity verification.
+
+A :class:`Checkpointer` owns one directory of ``ckpt-<step>.npz`` files
+plus a ``MANIFEST.json`` recording each file's sha256, step, and metric.
+Guarantees:
+
+- **Atomicity** — every file (checkpoint and manifest) is written to a
+  temp path, flushed, fsynced, and ``os.replace``d into place, so a
+  crash mid-write never leaves a half-written file under the final name.
+- **Integrity** — loads verify the manifest sha256 before parsing; a
+  truncated or bit-flipped file is detected and skipped.
+- **Fallback** — :meth:`load_latest` walks checkpoints newest-first and
+  returns the first one that verifies and parses, so resume never
+  crashes on a corrupt file.  Corruption is reported through telemetry
+  (``checkpoint_corrupt`` counter + optional JSONL log records).
+- **Retention** — ``keep_last`` newest checkpoints are kept, plus the
+  best-metric one when ``keep_best`` is set; older files are deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import re
+import tempfile
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple, Union
+
+import numpy as np
+
+from ..nn.serialization import pack_state, unpack_state
+from ..telemetry import MetricsRegistry
+
+__all__ = [
+    "CheckpointError",
+    "Checkpointer",
+    "LoadedCheckpoint",
+    "resolve_resume_state",
+]
+
+MANIFEST_NAME = "MANIFEST.json"
+_CKPT_PATTERN = re.compile(r"^ckpt-(\d+)\.npz$")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file failed verification or parsing."""
+
+
+class LoadedCheckpoint(NamedTuple):
+    """A successfully loaded checkpoint: its state tree and provenance."""
+
+    state: Any
+    path: pathlib.Path
+    step: int
+    metadata: Dict[str, Any]
+
+
+def _sha256(path: pathlib.Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _fsync_write(path: pathlib.Path, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data`` (temp + fsync + rename)."""
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=str(path.parent)
+    )
+    tmp = pathlib.Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+class Checkpointer:
+    """Atomic, integrity-checked, retention-managed checkpoint store.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints and the manifest live; created if missing.
+    keep_last:
+        How many of the newest checkpoints to retain (>= 1).
+    keep_best:
+        Also retain the checkpoint with the best metric seen so far.
+    mode:
+        ``"min"`` (loss-like metrics) or ``"max"`` (accuracy-like).
+    telemetry:
+        Optional sink with a ``log(event, payload)`` method (e.g.
+        :class:`repro.telemetry.JsonlLogger`); receives
+        ``checkpoint_saved`` / ``checkpoint_corrupt`` /
+        ``checkpoint_fallback`` records.
+    metrics:
+        Optional :class:`~repro.telemetry.MetricsRegistry`; defaults to a
+        private registry.  Counters: ``checkpoints_saved``,
+        ``checkpoints_corrupt``, ``checkpoints_pruned``.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, pathlib.Path],
+        keep_last: int = 3,
+        keep_best: bool = True,
+        mode: str = "min",
+        telemetry=None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep_last = keep_last
+        self.keep_best = keep_best
+        self.mode = mode
+        self.telemetry = telemetry
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # -- telemetry ---------------------------------------------------------
+    def _log(self, event: str, payload: Dict[str, Any]) -> None:
+        if self.telemetry is not None:
+            self.telemetry.log(event, payload)
+
+    # -- manifest ----------------------------------------------------------
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        return self.directory / MANIFEST_NAME
+
+    def read_manifest(self) -> Dict[str, Any]:
+        """Parse the manifest; a missing/corrupt manifest yields an empty one.
+
+        The manifest is an optimisation and an integrity record, never a
+        single point of failure: checkpoints written before a manifest
+        corruption remain loadable (unverified) via directory listing.
+        """
+        try:
+            raw = self.manifest_path.read_text(encoding="utf-8")
+            manifest = json.loads(raw)
+            if not isinstance(manifest.get("checkpoints"), list):
+                raise ValueError("manifest has no checkpoint list")
+            return manifest
+        except FileNotFoundError:
+            return {"checkpoints": [], "best": None}
+        except (ValueError, OSError) as exc:
+            self.metrics.counter("checkpoints_corrupt").inc()
+            self._log(
+                "checkpoint_corrupt",
+                {"file": MANIFEST_NAME, "reason": f"manifest unreadable: {exc}"},
+            )
+            return {"checkpoints": [], "best": None}
+
+    def _write_manifest(self, manifest: Dict[str, Any]) -> None:
+        data = (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode()
+        _fsync_write(self.manifest_path, data)
+
+    # -- save --------------------------------------------------------------
+    def save(
+        self,
+        state: Any,
+        step: int,
+        metric: Optional[float] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> pathlib.Path:
+        """Write one checkpoint atomically and update manifest + retention.
+
+        ``state`` is any tree acceptable to
+        :func:`repro.nn.serialization.pack_state`.  ``step`` orders
+        checkpoints (epoch index or global step); saving the same step
+        twice overwrites.  ``metric`` drives keep-best retention.
+        """
+        step = int(step)
+        if step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        path = self.directory / f"ckpt-{step:08d}.npz"
+        packed = pack_state(state)
+
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=str(self.directory)
+        )
+        tmp = pathlib.Path(tmp_name)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez_compressed(fh, **packed)
+                fh.flush()
+                os.fsync(fh.fileno())
+            digest = _sha256(tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+
+        manifest = self.read_manifest()
+        entries = [
+            e for e in manifest["checkpoints"] if e.get("file") != path.name
+        ]
+        entries.append(
+            {
+                "file": path.name,
+                "step": step,
+                "sha256": digest,
+                "metric": None if metric is None else float(metric),
+                "metadata": dict(metadata or {}),
+            }
+        )
+        entries.sort(key=lambda e: e.get("step", -1))
+        manifest["checkpoints"] = entries
+        manifest["best"] = self._best_entry(entries)
+        self._prune(manifest)
+        self._write_manifest(manifest)
+
+        self.metrics.counter("checkpoints_saved").inc()
+        self._log(
+            "checkpoint_saved",
+            {"file": path.name, "step": step, "metric": metric},
+        )
+        return path
+
+    def _best_entry(self, entries: List[Dict[str, Any]]) -> Optional[str]:
+        scored = [e for e in entries if e.get("metric") is not None]
+        if not scored:
+            return None
+        pick = min if self.mode == "min" else max
+        return pick(scored, key=lambda e: e["metric"])["file"]
+
+    def _prune(self, manifest: Dict[str, Any]) -> None:
+        entries = manifest["checkpoints"]
+        keep = {e["file"] for e in entries[-self.keep_last:]}
+        if self.keep_best and manifest.get("best"):
+            keep.add(manifest["best"])
+        pruned = [e for e in entries if e["file"] not in keep]
+        for entry in pruned:
+            (self.directory / entry["file"]).unlink(missing_ok=True)
+            self.metrics.counter("checkpoints_pruned").inc()
+        manifest["checkpoints"] = [e for e in entries if e["file"] in keep]
+
+    # -- load --------------------------------------------------------------
+    def _verify(self, path: pathlib.Path, expected_sha: Optional[str]) -> None:
+        if not path.exists():
+            raise CheckpointError(f"{path.name}: file missing")
+        if expected_sha is not None:
+            actual = _sha256(path)
+            if actual != expected_sha:
+                raise CheckpointError(
+                    f"{path.name}: sha256 mismatch "
+                    f"(manifest {expected_sha[:12]}…, file {actual[:12]}…)"
+                )
+
+    def load(
+        self, path: Union[str, pathlib.Path], verify: bool = True
+    ) -> Any:
+        """Load one checkpoint file, verifying its manifest digest.
+
+        Raises :class:`CheckpointError` on any verification or parse
+        failure (use :meth:`load_latest` for fallback semantics).
+        """
+        path = pathlib.Path(path)
+        expected = None
+        if verify:
+            for entry in self.read_manifest()["checkpoints"]:
+                if entry.get("file") == path.name:
+                    expected = entry.get("sha256")
+                    break
+        self._verify(path, expected)
+        try:
+            with np.load(path) as archive:
+                return unpack_state(archive)
+        except CheckpointError:
+            raise
+        except Exception as exc:  # zip/json/format damage of any kind
+            raise CheckpointError(f"{path.name}: unreadable ({exc})") from exc
+
+    def _candidates(self) -> List[Tuple[int, pathlib.Path, Optional[Dict]]]:
+        """Every potential checkpoint, newest-first, manifest-joined.
+
+        Includes files present on disk but absent from the manifest (a
+        crash between the checkpoint rename and the manifest update must
+        not lose the newest checkpoint).
+        """
+        manifest = self.read_manifest()
+        by_name = {e["file"]: e for e in manifest["checkpoints"]}
+        found: List[Tuple[int, pathlib.Path, Optional[Dict]]] = []
+        for path in self.directory.glob("ckpt-*.npz"):
+            match = _CKPT_PATTERN.match(path.name)
+            if not match:
+                continue
+            entry = by_name.get(path.name)
+            step = entry["step"] if entry else int(match.group(1))
+            found.append((step, path, entry))
+        found.sort(key=lambda item: item[0], reverse=True)
+        return found
+
+    def load_latest(self) -> Optional[LoadedCheckpoint]:
+        """Newest checkpoint that verifies and parses, or None.
+
+        Corrupt files are skipped (counted and logged), falling back to
+        progressively older checkpoints — resume never crashes on disk
+        damage.
+        """
+        for step, path, entry in self._candidates():
+            expected = entry.get("sha256") if entry else None
+            try:
+                self._verify(path, expected)
+                with np.load(path) as archive:
+                    state = unpack_state(archive)
+            except Exception as exc:
+                self.metrics.counter("checkpoints_corrupt").inc()
+                self._log(
+                    "checkpoint_corrupt",
+                    {"file": path.name, "reason": str(exc)},
+                )
+                continue
+            metadata = dict(entry.get("metadata", {})) if entry else {}
+            return LoadedCheckpoint(state, path, step, metadata)
+        return None
+
+    def latest_path(self) -> Optional[pathlib.Path]:
+        """Path of the newest checkpoint on disk (no verification)."""
+        candidates = self._candidates()
+        return candidates[0][1] if candidates else None
+
+    def best_path(self) -> Optional[pathlib.Path]:
+        """Path of the best-metric checkpoint per the manifest."""
+        best = self.read_manifest().get("best")
+        return self.directory / best if best else None
+
+
+def resolve_resume_state(source) -> Optional[LoadedCheckpoint]:
+    """Turn a ``resume_from`` argument into a loaded checkpoint.
+
+    Accepts a :class:`Checkpointer`, a checkpoint directory, or a single
+    checkpoint file path.  A file that fails verification falls back to
+    the newest valid sibling in its directory.  Returns None when
+    nothing valid exists (callers then start fresh).
+    """
+    if isinstance(source, Checkpointer):
+        return source.load_latest()
+    path = pathlib.Path(source)
+    if path.is_dir():
+        return Checkpointer(path).load_latest()
+    checkpointer = Checkpointer(path.parent)
+    try:
+        state = checkpointer.load(path)
+    except CheckpointError as exc:
+        checkpointer.metrics.counter("checkpoints_corrupt").inc()
+        checkpointer._log(
+            "checkpoint_fallback", {"file": path.name, "reason": str(exc)}
+        )
+        return checkpointer.load_latest()
+    match = _CKPT_PATTERN.match(path.name)
+    step = int(match.group(1)) if match else -1
+    return LoadedCheckpoint(state, path, step, {})

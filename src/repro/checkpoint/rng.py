@@ -1,0 +1,39 @@
+"""Capture and restore numpy random generator streams.
+
+Bit-exact resume requires every RNG in the training loop — the precision
+sampler, the loader's shuffle/augmentation stream — to continue from the
+exact draw it would have made in the uninterrupted run.  numpy exposes
+that through ``Generator.bit_generator.state``, a JSON-friendly dict
+(PCG64 state integers exceed 64 bits, which Python ints and JSON both
+handle losslessly).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = ["get_rng_state", "set_rng_state"]
+
+
+def get_rng_state(rng: np.random.Generator) -> Dict[str, Any]:
+    """JSON-serializable snapshot of a generator's position."""
+    return rng.bit_generator.state
+
+
+def set_rng_state(rng: np.random.Generator, state: Dict[str, Any]) -> None:
+    """Restore a snapshot from :func:`get_rng_state` into ``rng``.
+
+    The generator keeps its identity (callers holding references see the
+    restored stream); the underlying bit generator must match the one the
+    snapshot came from.
+    """
+    expected = rng.bit_generator.state.get("bit_generator")
+    saved = state.get("bit_generator")
+    if saved != expected:
+        raise ValueError(
+            f"RNG state is for bit generator {saved!r}, "
+            f"this generator uses {expected!r}"
+        )
+    rng.bit_generator.state = state

@@ -43,6 +43,10 @@ _FIT_KWARG_ALIASES = {
 }
 
 
+#: Version tag for the trainer checkpoint tree layout.
+TRAINER_STATE_FORMAT = 1
+
+
 class TrainerBase:
     """Mixin giving trainers the unified fit/event/metrics contract."""
 
@@ -51,6 +55,14 @@ class TrainerBase:
         self.history: List[float] = []
         self.metrics = MetricsRegistry()
         self._global_step = 0
+        # Stashed during fit() so state_dict() can capture loader/scheduler
+        # state when a CheckpointCallback fires at an epoch boundary.
+        self._active_loader = None
+        self._active_scheduler = None
+        # Loader-RNG / scheduler state loaded from a checkpoint before the
+        # owning fit() call made those objects known.
+        self._pending_loader_rng = None
+        self._pending_scheduler_state = None
 
     # -- hooks for subclasses ----------------------------------------------
     def train_step(self, view1: np.ndarray, view2: np.ndarray) -> float:
@@ -67,6 +79,79 @@ class TrainerBase:
     def _history_dict(self) -> Dict[str, List[float]]:
         """The dict ``fit()`` returns; always contains ``"loss"``."""
         return {"loss": list(self.history)}
+
+    def _aux_state(self) -> Dict[str, object]:
+        """Trainer-specific auxiliary state beyond model/optimizer.
+
+        Overridden by trainers owning extra randomness or schedules (the
+        CQ trainer's precision sampler, MoCo/SimSiam's view-shuffling
+        RNG).  Must return a JSON-friendly tree (numpy arrays allowed).
+        """
+        return {}
+
+    def _load_aux_state(self, aux: Dict[str, object]) -> None:
+        """Restore the tree produced by :meth:`_aux_state`."""
+
+    # -- checkpoint state --------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Everything needed to resume training bit-exactly.
+
+        Captures model parameters/buffers (including EMA targets and
+        queues registered as submodules/buffers), optimizer slots, the
+        scheduler position and loader RNG of an in-flight ``fit()``, the
+        full metrics registry, loss history, the global step counter,
+        and trainer-specific auxiliary state.
+        """
+        from ..checkpoint import get_rng_state
+
+        state: Dict[str, object] = {
+            "format": TRAINER_STATE_FORMAT,
+            "trainer": type(self).__name__,
+            "model": self._training_module().state_dict(),
+            "history": [float(v) for v in self.history],
+            "global_step": int(self._global_step),
+            "metrics": self.metrics.state_dict(),
+            "aux": self._aux_state(),
+        }
+        optimizer = getattr(self, "optimizer", None)
+        if optimizer is not None:
+            state["optimizer"] = optimizer.state_dict()
+        if self._active_scheduler is not None:
+            state["scheduler"] = self._active_scheduler.state_dict()
+        loader_rng = getattr(self._active_loader, "rng", None)
+        if loader_rng is not None:
+            state["loader_rng"] = get_rng_state(loader_rng)
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` tree into this trainer.
+
+        The loader RNG and scheduler position are stashed and applied by
+        ``fit(resume_from=...)`` once it knows which loader/scheduler the
+        resumed run uses; everything else is restored immediately.
+        """
+        saved = state.get("trainer")
+        if saved is not None and saved != type(self).__name__:
+            raise ValueError(
+                f"checkpoint is for {saved}, not {type(self).__name__}"
+            )
+        fmt = state.get("format", TRAINER_STATE_FORMAT)
+        if fmt != TRAINER_STATE_FORMAT:
+            raise ValueError(
+                f"unsupported trainer state format {fmt} "
+                f"(this build reads format {TRAINER_STATE_FORMAT})"
+            )
+        self._training_module().load_state_dict(state["model"])
+        optimizer = getattr(self, "optimizer", None)
+        if optimizer is not None and "optimizer" in state:
+            optimizer.load_state_dict(state["optimizer"])
+        self.history[:] = [float(v) for v in state.get("history", [])]
+        self._global_step = int(state.get("global_step", 0))
+        if "metrics" in state:
+            self.metrics.load_state_dict(state["metrics"])
+        self._load_aux_state(state.get("aux", {}))
+        self._pending_scheduler_state = state.get("scheduler")
+        self._pending_loader_rng = state.get("loader_rng")
 
     # -- epoch / fit loops -------------------------------------------------
     def train_epoch(self, loader) -> float:
@@ -104,6 +189,7 @@ class TrainerBase:
         *args,
         scheduler=None,
         callbacks: Tuple = (),
+        resume_from=None,
         **kwargs,
     ) -> Dict[str, List[float]]:
         """Run ``epochs`` of training, emitting telemetry events.
@@ -113,7 +199,8 @@ class TrainerBase:
         loader:
             Iterable of ``(view1, view2, labels)`` batches.
         epochs:
-            Number of passes over ``loader``.
+            Total passes over ``loader`` — when resuming, this is the
+            overall target, not the number of *additional* epochs.
         scheduler:
             Optional LR scheduler with a ``step()`` method, stepped once
             per epoch before the epoch runs (matching the historical
@@ -121,27 +208,76 @@ class TrainerBase:
         callbacks:
             Telemetry callbacks (see :mod:`repro.telemetry`); they
             receive the full event stream for this call.
+        resume_from:
+            Optional checkpoint source: a
+            :class:`repro.checkpoint.Checkpointer`, a checkpoint
+            directory, a single ``ckpt-*.npz`` path, or an
+            already-loaded trainer state tree.  The trainer restores it
+            (model, optimizer, RNG streams, history, metrics) and
+            continues from the epoch after the checkpoint; the resumed
+            run is bit-exact with the uninterrupted one.  An empty or
+            fully corrupt checkpoint directory starts from scratch.
         """
         scheduler, callbacks = self._resolve_fit_args(
             args, kwargs, scheduler, callbacks
         )
-        bus = EventBus(callbacks)
-        bus.emit(
-            "on_fit_start",
-            self,
-            {"epochs": int(epochs), "trainer": type(self).__name__},
+        resumed = (
+            resume_from is not None
+            and self._restore_resume_source(resume_from)
         )
-        for epoch in range(epochs):
-            if scheduler is not None:
-                scheduler.step()
-            bus.emit("on_epoch_start", self, {"epoch": epoch})
-            epoch_loss = self._run_epoch(loader, bus, epoch)
+        self._active_loader = loader
+        self._active_scheduler = scheduler
+        try:
+            if self._pending_loader_rng is not None:
+                if getattr(loader, "rng", None) is not None:
+                    from ..checkpoint import set_rng_state
+
+                    set_rng_state(loader.rng, self._pending_loader_rng)
+                self._pending_loader_rng = None
+            if self._pending_scheduler_state is not None:
+                if scheduler is not None:
+                    scheduler.load_state_dict(self._pending_scheduler_state)
+                self._pending_scheduler_state = None
+            # Without a resume, epochs count from zero even if the trainer
+            # has prior history (legacy repeated-fit behaviour).
+            start_epoch = len(self.history) if resumed else 0
+            bus = EventBus(callbacks)
             bus.emit(
-                "on_epoch_end", self, {"epoch": epoch, "loss": epoch_loss}
+                "on_fit_start",
+                self,
+                {
+                    "epochs": int(epochs),
+                    "trainer": type(self).__name__,
+                    "start_epoch": start_epoch,
+                },
             )
-        history = self._history_dict()
-        bus.emit("on_fit_end", self, {"history": history})
-        return history
+            for epoch in range(start_epoch, epochs):
+                if scheduler is not None:
+                    scheduler.step()
+                bus.emit("on_epoch_start", self, {"epoch": epoch})
+                epoch_loss = self._run_epoch(loader, bus, epoch)
+                bus.emit(
+                    "on_epoch_end", self, {"epoch": epoch, "loss": epoch_loss}
+                )
+            history = self._history_dict()
+            bus.emit("on_fit_end", self, {"history": history})
+            return history
+        finally:
+            self._active_loader = None
+            self._active_scheduler = None
+
+    def _restore_resume_source(self, resume_from) -> bool:
+        """Load whatever ``resume_from`` names; True if state was restored."""
+        if isinstance(resume_from, dict):
+            self.load_state_dict(resume_from)
+            return True
+        from ..checkpoint import resolve_resume_state
+
+        loaded = resolve_resume_state(resume_from)
+        if loaded is None:
+            return False
+        self.load_state_dict(loaded.state)
+        return True
 
     # -- backward-compatible argument handling -----------------------------
     def _resolve_fit_args(self, args, kwargs, scheduler, callbacks):

@@ -309,6 +309,35 @@ class ContrastiveQuantTrainer(TrainerBase):
     def _history_dict(self) -> Dict[str, List[float]]:
         return {"loss": list(self.history), "grad_norm": list(self.grad_norms)}
 
+    def _aux_state(self) -> Dict[str, object]:
+        """Precision-sampling randomness: trainer RNG + sampler position.
+
+        The sampled (q1, q2) sequence is part of the training trajectory,
+        so a bit-exact resume must continue these streams exactly.
+        """
+        from ..checkpoint import get_rng_state
+
+        aux: Dict[str, object] = {"rng": get_rng_state(self.rng)}
+        sampler = self.precision_sampler
+        if sampler is not None:
+            if getattr(sampler, "rng", None) is not None:
+                aux["sampler_rng"] = get_rng_state(sampler.rng)
+            if hasattr(sampler, "step_count"):
+                aux["sampler_step_count"] = int(sampler.step_count)
+        return aux
+
+    def _load_aux_state(self, aux: Dict[str, object]) -> None:
+        from ..checkpoint import set_rng_state
+
+        if "rng" in aux:
+            set_rng_state(self.rng, aux["rng"])
+        sampler = self.precision_sampler
+        if sampler is not None:
+            if "sampler_rng" in aux and getattr(sampler, "rng", None) is not None:
+                set_rng_state(sampler.rng, aux["sampler_rng"])
+            if "sampler_step_count" in aux and hasattr(sampler, "step_count"):
+                sampler.step_count = int(aux["sampler_step_count"])
+
     def finalize(self) -> None:
         """Restore the encoder to full precision after pre-training."""
         set_precision(self._encoder(), None)

@@ -170,6 +170,17 @@ class MoCoTrainer(TrainerBase):
             return {}
         return {"bits": self._last_bits}
 
+    def _aux_state(self) -> Dict[str, object]:
+        from ..checkpoint import get_rng_state
+
+        return {"rng": get_rng_state(self.rng)}
+
+    def _load_aux_state(self, aux: Dict[str, object]) -> None:
+        from ..checkpoint import set_rng_state
+
+        if "rng" in aux:
+            set_rng_state(self.rng, aux["rng"])
+
     def finalize(self) -> None:
         """Restore the query encoder to full precision."""
         if self.precision_set is not None:

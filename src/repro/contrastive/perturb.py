@@ -118,3 +118,14 @@ class NoiseContrastiveTrainer(TrainerBase):
         loss.backward()
         self.optimizer.step()
         return float(loss.data)
+
+    def _aux_state(self):
+        from ..checkpoint import get_rng_state
+
+        return {"rng": get_rng_state(self.rng)}
+
+    def _load_aux_state(self, aux) -> None:
+        from ..checkpoint import set_rng_state
+
+        if "rng" in aux:
+            set_rng_state(self.rng, aux["rng"])

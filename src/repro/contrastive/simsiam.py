@@ -111,6 +111,17 @@ class SimSiamTrainer(TrainerBase):
         q1, q2 = self._last_pair
         return {"q1": q1, "q2": q2}
 
+    def _aux_state(self) -> Dict[str, object]:
+        from ..checkpoint import get_rng_state
+
+        return {"rng": get_rng_state(self.rng)}
+
+    def _load_aux_state(self, aux: Dict[str, object]) -> None:
+        from ..checkpoint import set_rng_state
+
+        if "rng" in aux:
+            set_rng_state(self.rng, aux["rng"])
+
     def finalize(self) -> None:
         if self.precision_set is not None:
             set_precision(self.model.encoder, None)

@@ -83,12 +83,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write JSONL run logs and machine-readable "
                              "run summaries under this directory "
                              "(summarize with python -m repro.telemetry.report)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="save pre-training checkpoints under this "
+                             "directory (one subdirectory per method; "
+                             "atomic writes + sha256 manifest)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume each method's pre-training from the "
+                             "newest valid checkpoint in --checkpoint-dir "
+                             "(bit-exact; corrupt files are skipped)")
+    parser.add_argument("--checkpoint-every", type=int, default=1,
+                        help="checkpoint every N epochs (default 1)")
+    parser.add_argument("--keep-last", type=int, default=3,
+                        help="retain the newest N checkpoints per method "
+                             "(best-loss checkpoint is always kept)")
     parser.add_argument("--seed", type=int, default=0)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.resume and args.checkpoint_dir is None:
+        raise SystemExit("--resume requires --checkpoint-dir")
 
     maker = make_cifar100_like if args.dataset == "cifar" else make_imagenet_like
     data = maker(
@@ -129,7 +144,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for method in methods:
         print(f"pre-training {method.name} ...", flush=True)
         outcome = pretrain(method, data.train, config,
-                           telemetry_dir=args.telemetry_dir)
+                           telemetry_dir=args.telemetry_dir,
+                           checkpoint_dir=args.checkpoint_dir,
+                           resume=args.resume,
+                           checkpoint_every=args.checkpoint_every,
+                           keep_last=args.keep_last)
         grid = finetune_grid(outcome, data.train, data.test, protocol)
         row: List[object] = [method.name]
         for precision in protocol.precisions:

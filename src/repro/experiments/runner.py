@@ -98,6 +98,10 @@ def pretrain(
     config: PretrainConfig,
     telemetry_dir: Optional[Union[str, pathlib.Path]] = None,
     callbacks: Tuple = (),
+    checkpoint_dir: Optional[Union[str, pathlib.Path]] = None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
+    keep_last: int = 3,
 ) -> PretrainOutcome:
     """Pre-train one method and capture the encoder state.
 
@@ -109,6 +113,12 @@ def pretrain(
     directory (one ``<method>.jsonl`` per method) and a machine-readable
     ``<method>-summary.json`` with final loss and throughput is written
     alongside; extra ``callbacks`` are forwarded to ``fit()`` as-is.
+
+    With ``checkpoint_dir``, trainer state is saved every
+    ``checkpoint_every`` epochs into ``<checkpoint_dir>/<method-slug>/``
+    (atomic, sha256-manifested, ``keep_last`` retained).  ``resume=True``
+    continues from the newest valid checkpoint there, bit-exact with the
+    uninterrupted run; an empty or fully corrupt directory starts fresh.
     """
     rng = np.random.default_rng(config.seed)
     encoder = create_encoder(
@@ -166,8 +176,24 @@ def pretrain(
         meter = ThroughputMeter()
         fit_callbacks += [logger, meter]
 
+    resume_from = None
+    if checkpoint_dir is not None:
+        from ..checkpoint import CheckpointCallback, Checkpointer
+
+        checkpointer = Checkpointer(
+            pathlib.Path(checkpoint_dir) / _run_slug(method.name),
+            keep_last=keep_last,
+            telemetry=logger,
+        )
+        fit_callbacks.append(
+            CheckpointCallback(checkpointer, every=checkpoint_every)
+        )
+        if resume:
+            resume_from = checkpointer
+
     history = trainer.fit(loader, epochs=config.epochs,
-                          callbacks=tuple(fit_callbacks))
+                          callbacks=tuple(fit_callbacks),
+                          resume_from=resume_from)
     if isinstance(trainer, ContrastiveQuantTrainer):
         trainer.finalize()
 

@@ -36,6 +36,9 @@ class Adam(Optimizer):
         self._v = [np.zeros(p.data.shape, dtype=np.float64)
                    for p in self.parameters]
 
+    def _slot_arrays(self):
+        return {"m": self._m, "v": self._v}
+
     def step(self) -> None:
         self.step_count += 1
         b1, b2 = self.betas

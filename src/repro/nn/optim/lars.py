@@ -34,6 +34,9 @@ class LARS(Optimizer):
         self.eps = eps
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
+    def _slot_arrays(self):
+        return {"velocity": self._velocity}
+
     def step(self) -> None:
         for i, param in enumerate(self.parameters):
             if param.grad is None:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Dict, Sequence
 
 from .optimizer import Optimizer
 
@@ -34,6 +34,27 @@ class LRScheduler:
         lr = self.get_lr(self.last_epoch)
         self.optimizer.lr = lr
         return lr
+
+    def state_dict(self) -> Dict[str, object]:
+        """Snapshot of the scheduler position (JSON-friendly)."""
+        return {
+            "type": type(self).__name__,
+            "base_lr": float(self.base_lr),
+            "last_epoch": int(self.last_epoch),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot; the next ``step()`` continues the schedule."""
+        saved_type = state.get("type")
+        if saved_type is not None and saved_type != type(self).__name__:
+            raise ValueError(
+                f"scheduler state is for {saved_type}, not "
+                f"{type(self).__name__}"
+            )
+        self.base_lr = float(state["base_lr"])
+        self.last_epoch = int(state["last_epoch"])
+        if self.last_epoch >= 0:
+            self.optimizer.lr = self.get_lr(self.last_epoch)
 
 
 class ConstantLR(LRScheduler):

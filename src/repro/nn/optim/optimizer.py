@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 import numpy as np
 
@@ -35,6 +35,72 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # -- checkpointing -----------------------------------------------------
+    def _slot_arrays(self) -> Dict[str, List[np.ndarray]]:
+        """Per-parameter state arrays (momentum buffers, moments, ...).
+
+        Subclasses return ``{"slot_name": [array per parameter]}``; the
+        lists must be the live buffers so :meth:`load_state_dict` can
+        restore into them in place.
+        """
+        return {}
+
+    def state_dict(self) -> Dict[str, object]:
+        """Snapshot of the optimizer's mutable state (JSON + arrays).
+
+        The result round-trips through
+        :func:`repro.nn.serialization.pack_state`; restoring it into a
+        same-configuration optimizer reproduces subsequent steps
+        bit-exactly (slot arrays are copied at full dtype fidelity).
+        """
+        return {
+            "type": type(self).__name__,
+            "lr": float(self.lr),
+            "step_count": int(self.step_count),
+            "slots": {
+                name: [np.array(a, copy=True) for a in arrays]
+                for name, arrays in self._slot_arrays().items()
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore state produced by :meth:`state_dict`.
+
+        Validates the optimizer type and every slot array's shape so a
+        checkpoint from a different run configuration fails loudly
+        instead of silently corrupting training.
+        """
+        saved_type = state.get("type")
+        if saved_type is not None and saved_type != type(self).__name__:
+            raise ValueError(
+                f"optimizer state is for {saved_type}, not "
+                f"{type(self).__name__}"
+            )
+        slots = state.get("slots", {})
+        own = self._slot_arrays()
+        if set(slots) != set(own):
+            raise ValueError(
+                f"optimizer slot mismatch: state has {sorted(slots)}, "
+                f"{type(self).__name__} expects {sorted(own)}"
+            )
+        for name, arrays in slots.items():
+            targets = own[name]
+            if len(arrays) != len(targets):
+                raise ValueError(
+                    f"slot {name!r} has {len(arrays)} arrays for "
+                    f"{len(targets)} parameters"
+                )
+            for i, (array, target) in enumerate(zip(arrays, targets)):
+                array = np.asarray(array)
+                if array.shape != target.shape:
+                    raise ValueError(
+                        f"slot {name!r}[{i}] shape {array.shape} does not "
+                        f"match parameter shape {target.shape}"
+                    )
+                target[...] = array.astype(target.dtype, copy=False)
+        self.lr = float(state["lr"])
+        self.step_count = int(state["step_count"])
 
     def _grads(self):
         """Yield (param, grad) for parameters that received a gradient."""

@@ -37,6 +37,9 @@ class SGD(Optimizer):
         self.nesterov = nesterov
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
+    def _slot_arrays(self):
+        return {"velocity": self._velocity}
+
     def step(self) -> None:
         for i, param in enumerate(self.parameters):
             if param.grad is None:

@@ -1,17 +1,48 @@
-"""Checkpoint serialization: state dicts to/from ``.npz`` files."""
+"""Checkpoint serialization: state dicts and nested state trees to ``.npz``.
+
+Two layers:
+
+- flat state dicts (``save_state`` / ``load_state``) and model checkpoints
+  with scalar metadata (``save_checkpoint`` / ``load_checkpoint``);
+- nested *state trees* (``pack_state`` / ``unpack_state``): arbitrarily
+  nested dicts/lists mixing numpy arrays with JSON-friendly scalars
+  (ints, floats, strs, bools, None).  Arrays are stored as native npz
+  entries (bit-exact, including float64 optimizer moments); everything
+  else round-trips through a JSON skeleton stored alongside them.  This
+  is the on-disk format of :mod:`repro.checkpoint` full-training
+  checkpoints (model + optimizer + scheduler + RNG streams).
+"""
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict
+from typing import Any, Dict, List
 
 import numpy as np
 
 from .module import Module
 
-__all__ = ["save_state", "load_state", "save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "save_state",
+    "load_state",
+    "save_checkpoint",
+    "load_checkpoint",
+    "pack_state",
+    "unpack_state",
+]
 
 _META_PREFIX = "__meta__"
+_META_JSON_KEY = "__meta_json__"
+
+#: Reserved npz entry holding the JSON skeleton of a packed state tree.
+_TREE_KEY = "__state_tree__"
+#: Prefix for npz entries holding the arrays extracted from the tree.
+_ARRAY_PREFIX = "__arr_"
+#: JSON marker object referencing an extracted array by index.
+_ARRAY_MARKER = "__ndarray__"
+#: Current pack_state format version (bump on incompatible layout changes).
+PACK_FORMAT_VERSION = 1
 
 
 def save_state(state: Dict[str, np.ndarray], path: str) -> None:
@@ -29,32 +60,146 @@ def load_state(path: str) -> Dict[str, np.ndarray]:
         return {name: archive[name] for name in archive.files}
 
 
-def save_checkpoint(model: Module, path: str, **metadata: float) -> None:
+def _check_metadata_value(key: str, value: Any) -> None:
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return
+    raise TypeError(
+        f"metadata {key!r} must be a scalar (int/float/str/bool/None), "
+        f"got {type(value).__name__}"
+    )
+
+
+def _json_scalar(value: Any) -> Any:
+    """Convert numpy scalar types to their Python equivalents."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def save_checkpoint(model: Module, path: str, **metadata: Any) -> None:
     """Save a model checkpoint with optional scalar metadata.
 
-    Metadata values (e.g. ``epoch=10, loss=1.5``) are stored under reserved
-    keys and returned separately by :func:`load_checkpoint`.
+    Metadata values (e.g. ``epoch=10, run_id="cq-c"``) may be ints,
+    floats, strings, bools, or None; they are stored as JSON under a
+    reserved key and returned separately by :func:`load_checkpoint`
+    with their types preserved (``epoch=10`` comes back as ``int``).
     """
     state = dict(model.state_dict())
+    if _META_JSON_KEY in state:
+        raise ValueError(
+            f"model state uses the reserved key {_META_JSON_KEY!r}"
+        )
     for key, value in metadata.items():
-        meta_key = f"{_META_PREFIX}{key}"
-        if meta_key in state:
+        _check_metadata_value(key, value)
+        if f"{_META_PREFIX}{key}" in state:
             raise ValueError(f"metadata key collides with parameter: {key}")
-        state[meta_key] = np.asarray(float(value))
+    if metadata:
+        payload = json.dumps(
+            {key: _json_scalar(value) for key, value in metadata.items()}
+        )
+        state[_META_JSON_KEY] = np.array(payload)
     save_state(state, path)
 
 
-def load_checkpoint(model: Module, path: str) -> Dict[str, float]:
-    """Load a checkpoint into ``model``; returns the scalar metadata."""
+def load_checkpoint(model: Module, path: str) -> Dict[str, Any]:
+    """Load a checkpoint into ``model``; returns the metadata dict.
+
+    Reads both the current JSON metadata format and the legacy format
+    that stored every value as a float array.
+    """
     state = load_state(path)
-    metadata = {
-        key[len(_META_PREFIX):]: float(value)
-        for key, value in state.items()
-        if key.startswith(_META_PREFIX)
-    }
-    model_state = {
-        key: value for key, value in state.items()
-        if not key.startswith(_META_PREFIX)
-    }
+    metadata: Dict[str, Any] = {}
+    json_blob = state.pop(_META_JSON_KEY, None)
+    if json_blob is not None:
+        metadata.update(json.loads(str(json_blob)))
+    model_state = {}
+    for key, value in state.items():
+        if key.startswith(_META_PREFIX):
+            # Legacy checkpoints stored metadata as scalar float arrays.
+            metadata.setdefault(key[len(_META_PREFIX):], float(value))
+        else:
+            model_state[key] = value
     model.load_state_dict(model_state)
     return metadata
+
+
+def pack_state(tree: Any) -> Dict[str, np.ndarray]:
+    """Flatten a nested state tree into an npz-ready mapping.
+
+    The tree may nest dicts (string keys) and lists/tuples, with numpy
+    arrays and JSON scalars (int/float/str/bool/None) at the leaves.
+    Tuples are returned as lists by :func:`unpack_state`.
+    """
+    arrays: List[np.ndarray] = []
+
+    def encode(node: Any) -> Any:
+        if isinstance(node, np.ndarray):
+            arrays.append(node)
+            return {_ARRAY_MARKER: len(arrays) - 1}
+        if isinstance(node, dict):
+            out = {}
+            for key, value in node.items():
+                if not isinstance(key, str):
+                    raise TypeError(
+                        f"state tree keys must be strings, got "
+                        f"{type(key).__name__}: {key!r}"
+                    )
+                if key == _ARRAY_MARKER:
+                    raise ValueError(
+                        f"state tree uses the reserved key {_ARRAY_MARKER!r}"
+                    )
+                out[key] = encode(value)
+            return out
+        if isinstance(node, (list, tuple)):
+            return [encode(item) for item in node]
+        scalar = _json_scalar(node)
+        if scalar is None or isinstance(scalar, (bool, int, float, str)):
+            return scalar
+        raise TypeError(
+            f"state tree leaves must be arrays or JSON scalars, got "
+            f"{type(node).__name__}"
+        )
+
+    skeleton = {"format": PACK_FORMAT_VERSION, "tree": encode(tree)}
+    packed: Dict[str, np.ndarray] = {
+        _TREE_KEY: np.array(json.dumps(skeleton))
+    }
+    for i, array in enumerate(arrays):
+        packed[f"{_ARRAY_PREFIX}{i}"] = np.asarray(array)
+    return packed
+
+
+def unpack_state(mapping: Dict[str, np.ndarray]) -> Any:
+    """Inverse of :func:`pack_state` (accepts a dict or an open NpzFile)."""
+    if _TREE_KEY not in mapping:
+        raise ValueError(
+            f"not a packed state tree: missing {_TREE_KEY!r} entry"
+        )
+    skeleton = json.loads(str(mapping[_TREE_KEY][()]))
+    version = skeleton.get("format")
+    if version != PACK_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported packed state format {version!r} "
+            f"(expected {PACK_FORMAT_VERSION})"
+        )
+
+    def decode(node: Any) -> Any:
+        if isinstance(node, dict):
+            if set(node) == {_ARRAY_MARKER}:
+                index = node[_ARRAY_MARKER]
+                key = f"{_ARRAY_PREFIX}{index}"
+                if key not in mapping:
+                    raise ValueError(f"packed state missing array entry {key}")
+                return np.array(mapping[key], copy=True)
+            return {key: decode(value) for key, value in node.items()}
+        if isinstance(node, list):
+            return [decode(item) for item in node]
+        return node
+
+    return decode(skeleton["tree"])

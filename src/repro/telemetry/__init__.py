@@ -18,6 +18,7 @@ Run logs written by ``JsonlLogger`` are summarised by
 """
 
 from .callbacks import (
+    CheckpointCallback,
     ConsoleProgress,
     EarlyDivergenceGuard,
     JsonlLogger,
@@ -51,6 +52,7 @@ __all__ = [
     "Callback",
     "EventBus",
     "TrainingDiverged",
+    "CheckpointCallback",
     "JsonlLogger",
     "ConsoleProgress",
     "EarlyDivergenceGuard",

@@ -16,6 +16,7 @@ import numpy as np
 from .events import Callback, TrainingDiverged
 
 __all__ = [
+    "CheckpointCallback",
     "ConsoleProgress",
     "EarlyDivergenceGuard",
     "JsonlLogger",
@@ -167,6 +168,59 @@ class EarlyDivergenceGuard(Callback):
 
     def on_epoch_end(self, trainer, payload: Dict) -> None:
         self._check(trainer, payload, "epoch")
+
+
+class CheckpointCallback(Callback):
+    """Save trainer state through a checkpoint store at epoch boundaries.
+
+    ``checkpointer`` is duck-typed — anything with a
+    ``save(state, step, metric=..., metadata=...)`` method works; in
+    practice it is a :class:`repro.checkpoint.Checkpointer`.  The trainer
+    must expose ``state_dict()`` (all trainers derived from
+    :class:`~repro.contrastive.base.TrainerBase` do).
+
+    Saves every ``every`` epochs, plus the final epoch at fit end unless
+    it was just saved.  The step index is the number of *completed*
+    epochs, which is also the resume point ``fit(resume_from=...)``
+    continues from.
+    """
+
+    def __init__(self, checkpointer, every: int = 1, save_final: bool = True) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.checkpointer = checkpointer
+        self.every = every
+        self.save_final = save_final
+        self._last_saved: Optional[int] = None
+
+    def _save(self, trainer, epoch: int, loss) -> None:
+        metadata = {"epoch": epoch, "trainer": type(trainer).__name__}
+        self.checkpointer.save(
+            trainer.state_dict(),
+            step=epoch + 1,
+            metric=None if loss is None else float(loss),
+            metadata=metadata,
+        )
+        self._last_saved = epoch
+
+    def on_fit_start(self, trainer, payload: Dict) -> None:
+        self._last_saved = None
+
+    def on_epoch_end(self, trainer, payload: Dict) -> None:
+        epoch = int(payload.get("epoch", 0))
+        if (epoch + 1) % self.every == 0:
+            self._save(trainer, epoch, payload.get("loss"))
+
+    def on_fit_end(self, trainer, payload: Dict) -> None:
+        if not self.save_final:
+            return
+        history = payload.get("history", {})
+        losses = history.get("loss", [])
+        if not losses:
+            return
+        epoch = len(losses) - 1
+        if self._last_saved != epoch:
+            self._save(trainer, epoch, losses[-1])
 
 
 class ThroughputMeter(Callback):

@@ -262,3 +262,47 @@ class MetricsRegistry:
     def collect(self) -> Dict[str, Dict[str, object]]:
         """Snapshot of every series keyed by its rendered full name."""
         return {m.full_name: m.snapshot() for m in self._metrics.values()}
+
+    # -- checkpointing ----------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Full JSON-friendly dump of every metric's recorded data.
+
+        Unlike :meth:`collect` (a summary snapshot), this preserves the
+        complete gauge/histogram series so a resumed run's metrics — and
+        anything derived from them, like the CQ trainer's ``grad_norms``
+        history — continue exactly where they left off.
+        """
+        entries = []
+        for metric in self._metrics.values():
+            entry: Dict[str, object] = {
+                "name": metric.name,
+                "labels": [list(pair) for pair in metric.labels],
+                "kind": metric.kind,
+            }
+            if isinstance(metric, Counter):
+                entry["value"] = metric._value
+            elif isinstance(metric, Gauge):
+                entry["series"] = list(metric._series)
+            else:
+                entry["values"] = list(metric._values)
+            entries.append(entry)
+        return {"metrics": entries}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` dump.
+
+        Metrics are get-or-created and refilled *in place*, so live
+        :class:`SeriesView` objects handed out before the restore keep
+        tracking the restored series.
+        """
+        kinds = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+        for entry in state["metrics"]:
+            cls = kinds[entry["kind"]]
+            labels = {key: value for key, value in entry["labels"]}
+            metric = self._get_or_create(cls, entry["name"], labels)
+            if cls is Counter:
+                metric._value = float(entry["value"])
+            elif cls is Gauge:
+                metric._series[:] = [float(v) for v in entry["series"]]
+            else:
+                metric._values[:] = [float(v) for v in entry["values"]]

@@ -1,0 +1,190 @@
+"""Checkpointer unit tests: atomicity, integrity, retention, fallback."""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import CheckpointError, Checkpointer
+
+
+def tree(value=1.0):
+    return {
+        "weights": np.full((3, 2), value, dtype=np.float32),
+        "moments": [np.arange(4, dtype=np.float64)],
+        "meta": {"epoch": 3, "name": "run", "lr": 0.1, "flag": True},
+        "rng": {"bit_generator": "PCG64", "state": {"state": 2 ** 100}},
+    }
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_tree(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        path = ck.save(tree(), step=1)
+        loaded = ck.load(path)
+        np.testing.assert_array_equal(loaded["weights"], tree()["weights"])
+        assert loaded["weights"].dtype == np.float32
+        np.testing.assert_array_equal(loaded["moments"][0],
+                                      tree()["moments"][0])
+        assert loaded["moments"][0].dtype == np.float64
+        assert loaded["meta"] == tree()["meta"]
+        # 128-bit PCG64 state integers survive without truncation
+        assert loaded["rng"]["state"]["state"] == 2 ** 100
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        ck.save(tree(), step=1)
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_same_step_overwrites(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        ck.save(tree(1.0), step=1)
+        ck.save(tree(2.0), step=1)
+        manifest = ck.read_manifest()
+        assert len(manifest["checkpoints"]) == 1
+        loaded = ck.load_latest()
+        assert float(loaded.state["weights"][0, 0]) == 2.0
+
+    def test_negative_step_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="step"):
+            Checkpointer(tmp_path).save(tree(), step=-1)
+
+    def test_metadata_recorded_in_manifest(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        ck.save(tree(), step=2, metric=0.5,
+                metadata={"epoch": 2, "trainer": "SimCLRTrainer"})
+        loaded = ck.load_latest()
+        assert loaded.step == 2
+        assert loaded.metadata == {"epoch": 2, "trainer": "SimCLRTrainer"}
+
+
+class TestManifestIntegrity:
+    def test_sha256_matches_file(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        path = ck.save(tree(), step=1)
+        entry = ck.read_manifest()["checkpoints"][0]
+        assert entry["sha256"] == hashlib.sha256(path.read_bytes()).hexdigest()
+
+    def test_load_detects_tamper(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        path = ck.save(tree(), step=1)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="sha256 mismatch"):
+            ck.load(path)
+
+    def test_load_detects_truncation(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        path = ck.save(tree(), step=1)
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(CheckpointError):
+            ck.load(path)
+
+    def test_corrupt_manifest_tolerated(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        ck.save(tree(), step=1)
+        ck.manifest_path.write_text("{ not json", encoding="utf-8")
+        loaded = ck.load_latest()  # falls back to directory listing
+        assert loaded is not None and loaded.step == 1
+        assert ck.metrics.counter("checkpoints_corrupt").value >= 1
+
+    def test_missing_manifest_tolerated(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        ck.save(tree(), step=3)
+        ck.manifest_path.unlink()
+        loaded = Checkpointer(tmp_path).load_latest()
+        assert loaded is not None and loaded.step == 3
+
+
+class TestFallback:
+    def test_skips_corrupt_newest(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        ck.save(tree(1.0), step=1)
+        newest = ck.save(tree(2.0), step=2)
+        newest.write_bytes(b"garbage")
+        loaded = ck.load_latest()
+        assert loaded.step == 1
+        assert float(loaded.state["weights"][0, 0]) == 1.0
+        assert ck.metrics.counter("checkpoints_corrupt").value == 1
+
+    def test_returns_none_when_all_corrupt(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        for step in (1, 2):
+            ck.save(tree(), step=step).write_bytes(b"x")
+        assert ck.load_latest() is None
+
+    def test_returns_none_on_empty_directory(self, tmp_path):
+        assert Checkpointer(tmp_path).load_latest() is None
+
+    def test_unmanifested_file_still_found(self, tmp_path):
+        """A crash between checkpoint rename and manifest write must not
+        lose the newest checkpoint."""
+        ck = Checkpointer(tmp_path)
+        path = ck.save(tree(7.0), step=9)
+        orphan = tmp_path / "ckpt-00000010.npz"
+        orphan.write_bytes(path.read_bytes())
+        loaded = ck.load_latest()
+        assert loaded.step == 10
+        assert float(loaded.state["weights"][0, 0]) == 7.0
+
+    def test_corruption_logged_to_telemetry(self, tmp_path):
+        class Sink:
+            def __init__(self):
+                self.records = []
+
+            def log(self, event, payload):
+                self.records.append((event, payload))
+
+        sink = Sink()
+        ck = Checkpointer(tmp_path, telemetry=sink)
+        ck.save(tree(), step=1).write_bytes(b"zap")
+        ck.load_latest()
+        events = [e for e, _ in sink.records]
+        assert "checkpoint_corrupt" in events
+
+
+class TestRetention:
+    def test_keep_last_prunes_oldest(self, tmp_path):
+        ck = Checkpointer(tmp_path, keep_last=2, keep_best=False)
+        for step in range(1, 5):
+            ck.save(tree(), step=step)
+        names = sorted(p.name for p in tmp_path.glob("ckpt-*.npz"))
+        assert names == ["ckpt-00000003.npz", "ckpt-00000004.npz"]
+        assert ck.metrics.counter("checkpoints_pruned").value == 2
+
+    def test_best_checkpoint_survives_pruning(self, tmp_path):
+        ck = Checkpointer(tmp_path, keep_last=1, keep_best=True, mode="min")
+        ck.save(tree(), step=1, metric=0.1)  # best loss
+        ck.save(tree(), step=2, metric=0.5)
+        ck.save(tree(), step=3, metric=0.9)
+        names = sorted(p.name for p in tmp_path.glob("ckpt-*.npz"))
+        assert names == ["ckpt-00000001.npz", "ckpt-00000003.npz"]
+        assert ck.best_path().name == "ckpt-00000001.npz"
+
+    def test_mode_max_tracks_highest(self, tmp_path):
+        ck = Checkpointer(tmp_path, keep_last=3, mode="max")
+        ck.save(tree(), step=1, metric=0.2)
+        ck.save(tree(), step=2, metric=0.9)
+        ck.save(tree(), step=3, metric=0.4)
+        assert ck.best_path().name == "ckpt-00000002.npz"
+
+    def test_invalid_options_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            Checkpointer(tmp_path, keep_last=0)
+        with pytest.raises(ValueError):
+            Checkpointer(tmp_path, mode="median")
+
+
+class TestManifestFormat:
+    def test_manifest_is_valid_sorted_json(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        ck.save(tree(), step=2, metric=1.5)
+        ck.save(tree(), step=1, metric=2.5)
+        manifest = json.loads(ck.manifest_path.read_text(encoding="utf-8"))
+        steps = [e["step"] for e in manifest["checkpoints"]]
+        assert steps == sorted(steps)
+        assert manifest["best"] == "ckpt-00000002.npz"

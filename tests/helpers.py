@@ -59,6 +59,29 @@ def check_gradients(
         )
 
 
+def gradcheck(
+    func: Callable[[], Tensor],
+    tensors: Sequence[Tensor],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    eps: float = 1e-6,
+) -> None:
+    """Numerical gradient check for a ``func`` of any output shape.
+
+    Non-scalar outputs are scalarized as ``sum(out * out)``, which feeds a
+    non-uniform upstream gradient into the op under test (a plain ``sum``
+    would mask bugs that only show with varying ``grad_output``).  This is
+    the promoted form of the per-module ``test_gradcheck`` pattern.
+    """
+    from repro.nn import functional as F
+
+    def scalarized() -> Tensor:
+        out = func()
+        return F.sum(out * out)
+
+    check_gradients(scalarized, tensors, atol=atol, rtol=rtol, eps=eps)
+
+
 def tensor64(array, requires_grad: bool = True) -> Tensor:
     """Float64 tensor for numerically tight gradient checks."""
     return Tensor(np.asarray(array, dtype=np.float64), requires_grad=requires_grad,

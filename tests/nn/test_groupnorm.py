@@ -5,7 +5,7 @@ import pytest
 
 from repro import nn
 
-from ..helpers import check_gradients, tensor64
+from ..helpers import gradcheck, tensor64
 
 
 class TestGroupNorm:
@@ -56,9 +56,7 @@ class TestGroupNorm:
     def test_gradcheck(self, rng):
         gn = nn.GroupNorm(2, 4, affine=False)
         x = tensor64(rng.normal(size=(2, 4, 3, 3)))
-        check_gradients(
-            lambda: nn.functional.sum(gn(x) ** 2.0), [x], atol=1e-4
-        )
+        gradcheck(lambda: gn(x), [x], atol=1e-4)
 
 
 class TestLayerNorm:
@@ -92,6 +90,4 @@ class TestLayerNorm:
     def test_gradcheck(self, rng):
         ln = nn.LayerNorm(5, affine=False)
         x = tensor64(rng.normal(size=(3, 5)))
-        check_gradients(
-            lambda: nn.functional.sum(ln(x) ** 2.0), [x], atol=1e-4
-        )
+        gradcheck(lambda: ln(x), [x], atol=1e-4)

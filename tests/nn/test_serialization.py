@@ -65,6 +65,43 @@ class TestCheckpoint:
         save_checkpoint(m, path)
         assert load_checkpoint(model(1), path) == {}
 
+    def test_metadata_types_preserved(self, tmp_path):
+        """Regression: ints and strings used to be lossily cast to float
+        (``epoch=7`` came back as ``7.0``; ``run_id="cq-c"`` crashed)."""
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(model(), path, epoch=7, run_id="cq-c",
+                        loss=1.25, resumed=True, note=None)
+        meta = load_checkpoint(model(1), path)
+        assert meta == {"epoch": 7, "run_id": "cq-c", "loss": 1.25,
+                        "resumed": True, "note": None}
+        assert isinstance(meta["epoch"], int)
+        assert isinstance(meta["loss"], float)
+        assert isinstance(meta["resumed"], bool)
+
+    def test_metadata_numpy_scalars_accepted(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(model(), path, epoch=np.int64(3),
+                        loss=np.float32(0.5))
+        meta = load_checkpoint(model(1), path)
+        assert meta["epoch"] == 3 and isinstance(meta["epoch"], int)
+        assert meta["loss"] == pytest.approx(0.5)
+
+    def test_metadata_non_scalar_rejected(self, tmp_path):
+        with pytest.raises(TypeError, match="scalar"):
+            save_checkpoint(model(), str(tmp_path / "x.npz"),
+                            history=[1.0, 2.0])
+
+    def test_legacy_float_metadata_still_readable(self, tmp_path):
+        """Checkpoints from before the JSON metadata format stored each
+        value as a ``__meta__``-prefixed float array."""
+        m = model()
+        path = str(tmp_path / "legacy.npz")
+        state = dict(m.state_dict())
+        state["__meta__epoch"] = np.array(7.0)
+        save_state(state, path)
+        meta = load_checkpoint(model(1), path)
+        assert meta == {"epoch": 7.0}
+
     def test_quantized_model_checkpoint(self, tmp_path, rng):
         from repro.quant import quantize_model
 

@@ -1,7 +1,7 @@
 """Hypothesis property tests for quantizer invariants."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -61,10 +61,26 @@ def test_shape_and_dtype_preserved(x, bits):
     assert q.dtype == x.dtype
 
 
+def _away_from_rounding_ties(x, bits, margin=1e-3):
+    """True when no element of x/step sits within ``margin`` of a .5 tie.
+
+    Exactly-on-tie values (e.g. x = [-1e4, 1e4] at 3 bits) round either
+    way depending on float roundoff, so equivariance legitimately breaks
+    there; the property is only claimed away from ties.
+    """
+    step = quantization_step(x.min(), x.max(), bits)
+    if step == 0.0:
+        return True
+    frac = np.abs(np.mod(x / step, 1.0) - 0.5)
+    return float(frac.min()) > margin
+
+
 @settings(max_examples=40, deadline=None)
 @given(finite_arrays, bit_widths, st.floats(0.1, 10.0))
 def test_scale_equivariance(x, bits, scale):
     """Quantization commutes with positive scaling: Q(cx) == c Q(x)."""
+    assume(_away_from_rounding_ties(x, bits))
+    assume(_away_from_rounding_ties(scale * x, bits))
     q_scaled = linear_quantize(scale * x, bits)
     scaled_q = scale * linear_quantize(x, bits)
     tol = 1e-7 * max(1.0, float(np.abs(x).max())) * scale
