@@ -108,6 +108,12 @@ class TrainerBase:
             "format": TRAINER_STATE_FORMAT,
             "trainer": type(self).__name__,
             "model": self._training_module().state_dict(),
+            # Monotonic per-parameter version counters (quant-cache keys);
+            # an optional key so format-1 checkpoints stay readable.
+            "param_versions": {
+                name: int(param.version)
+                for name, param in self._training_module().named_parameters()
+            },
             "history": [float(v) for v in self.history],
             "global_step": int(self._global_step),
             "metrics": self.metrics.state_dict(),
@@ -142,6 +148,17 @@ class TrainerBase:
                 f"(this build reads format {TRAINER_STATE_FORMAT})"
             )
         self._training_module().load_state_dict(state["model"])
+        versions = state.get("param_versions")
+        if versions:
+            params = dict(self._training_module().named_parameters())
+            for name, version in versions.items():
+                if name in params:
+                    params[name]._version = int(version)
+        # Cached quantized weights derive from pre-restore parameter data;
+        # drop them so the next forward recomputes from the loaded values.
+        cache = getattr(self, "quant_cache", None)
+        if cache is not None:
+            cache.clear()
         optimizer = getattr(self, "optimizer", None)
         if optimizer is not None and "optimizer" in state:
             optimizer.load_state_dict(state["optimizer"])
@@ -177,7 +194,12 @@ class TrainerBase:
             payload.update(self.step_info())
             self._global_step += 1
             bus.emit("on_step", self, payload)
-        epoch_loss = float(np.mean(losses)) if losses else float("nan")
+        if not losses:
+            # A silent nan in the history poisons every downstream mean
+            # and comparison; an exhausted or misconstructed loader is a
+            # caller bug and must fail loudly.
+            raise ValueError("empty loader")
+        epoch_loss = float(np.mean(losses))
         self.history.append(epoch_loss)
         self.metrics.gauge("epoch_loss").set(epoch_loss)
         return epoch_loss

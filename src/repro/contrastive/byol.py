@@ -17,6 +17,8 @@ import numpy as np
 
 from .. import nn
 from ..models.heads import PredictionHead, ProjectionHead
+from ..nn import functional as F
+from ..nn.layers import contains_batch_statistics
 from ..nn.optim import Optimizer
 from ..nn.tensor import Tensor
 from .base import TrainerBase
@@ -39,6 +41,7 @@ class BYOL(nn.Module):
         projection_hidden: Optional[int] = None,
         momentum: float = 0.99,
         rng: Optional[np.random.Generator] = None,
+        head_norm: str = "batch",
     ) -> None:
         super().__init__()
         if not 0.0 <= momentum < 1.0:
@@ -47,10 +50,12 @@ class BYOL(nn.Module):
         self.momentum = momentum
         self.online_encoder = encoder
         self.online_projector = ProjectionHead(
-            encoder.feature_dim, projection_hidden, projection_dim, rng=rng
+            encoder.feature_dim, projection_hidden, projection_dim, rng=rng,
+            norm=head_norm,
         )
         self.predictor = PredictionHead(
-            projection_dim, projection_dim, projection_dim, rng=rng
+            projection_dim, projection_dim, projection_dim, rng=rng,
+            norm=head_norm,
         )
         self.target_encoder = copy.deepcopy(encoder)
         self.target_projector = copy.deepcopy(self.online_projector)
@@ -103,14 +108,36 @@ class BYOL(nn.Module):
 class BYOLTrainer(TrainerBase):
     """Vanilla BYOL pre-training loop (symmetric two-view loss)."""
 
-    def __init__(self, model: BYOL, optimizer: Optimizer) -> None:
+    def __init__(
+        self, model: BYOL, optimizer: Optimizer, fuse_views: bool = True
+    ) -> None:
         self.model = model
         self.optimizer = optimizer
+        #: run each branch once on the concatenated views instead of twice;
+        #: vetoed by batch-statistics layers (see SimCLRTrainer).
+        self.fuse_views = bool(fuse_views)
         self._init_telemetry()
+
+    @property
+    def fusion_active(self) -> bool:
+        return self.fuse_views and not contains_batch_statistics(self.model)
 
     def compute_loss(self, view1: np.ndarray, view2: np.ndarray) -> Tensor:
         v1, v2 = Tensor(view1), Tensor(view2)
-        # Symmetric: each view is predicted from the other.
+        if self.fusion_active:
+            n = v1.shape[0]
+            both = F.concat([v1, v2], axis=0)
+            self.metrics.counter("encoder_forwards").inc()
+            p = self.model.online_forward(both)
+            self.metrics.counter("target_forwards").inc()
+            t = self.model.target_forward(both)
+            # Symmetric: each view is predicted from the other.
+            loss = byol_loss(p[:n], t[n:]) + byol_loss(p[n:], t[:n])
+            return 0.5 * loss
+        self.metrics.counter("encoder_forwards").inc(2)
+        self.metrics.counter("target_forwards").inc(2)
+        # Symmetric: each view is predicted from the other (historical
+        # interleaved order — BatchNorm running stats depend on it).
         loss = byol_loss(self.model.online_forward(v1),
                          self.model.target_forward(v2))
         loss = loss + byol_loss(self.model.online_forward(v2),

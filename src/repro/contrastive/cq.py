@@ -41,9 +41,18 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..nn import functional as F
+from ..nn.layers import contains_batch_statistics
 from ..nn.optim import Optimizer
 from ..nn.tensor import Tensor
-from ..quant import PrecisionSet, count_quantized_modules, quantize_model, set_precision
+from ..quant import (
+    PrecisionSet,
+    QuantCache,
+    apply_precision,
+    count_quantized_modules,
+    precision,
+    quantize_model,
+)
 from ..telemetry import SeriesView
 from .base import TrainerBase
 from .byol import BYOL
@@ -114,6 +123,18 @@ class ContrastiveQuantTrainer(TrainerBase):
         Optional global-norm gradient clipping — the paper observes CQ-B can
         diverge with exploding gradients; clipping is off by default so the
         phenomenon is observable, and benches may enable it.
+    fuse_views:
+        Encode both views of a same-precision pair as one concatenated
+        2N-batch forward (SimCLR-style), halving forward count for CQ-B/C.
+        Auto-disabled while the method contains batch-statistics layers
+        (BatchNorm, Dropout), whose fused numerics would differ from two
+        separate forwards; on batch-statistics-free models fused and
+        unfused losses are byte-identical (activations are fake-quantized
+        per view).
+    weight_cache:
+        Memoize fake-quantized weights across same-step forwards (see
+        :class:`repro.quant.QuantCache`).  When False, lookups still count
+        as misses so quant-sweep telemetry stays comparable.
     """
 
     def __init__(
@@ -126,6 +147,8 @@ class ContrastiveQuantTrainer(TrainerBase):
         temperature: float = 0.5,
         max_grad_norm: Optional[float] = None,
         precision_sampler=None,
+        fuse_views: bool = True,
+        weight_cache: bool = True,
     ) -> None:
         if not isinstance(method, (SimCLRModel, BYOL)):
             raise TypeError(
@@ -142,8 +165,11 @@ class ContrastiveQuantTrainer(TrainerBase):
         #: None the paper's uniform per-iteration sampling is used (see
         #: repro.quant.schedule for the CPT-style alternative).
         self.precision_sampler = precision_sampler
+        self.fuse_views = bool(fuse_views)
+        self.quant_cache = QuantCache(enabled=bool(weight_cache))
         self._last_pair: Optional[Tuple[int, int]] = None
         self._last_terms: Dict[str, float] = {}
+        self._last_cache: Optional[Tuple[int, int]] = None
         self._init_telemetry()
 
         encoder = self._encoder()
@@ -173,19 +199,66 @@ class ContrastiveQuantTrainer(TrainerBase):
             self.method.online_encoder if self.is_byol else self.method.encoder
         )
 
-    def _project(self, x: Tensor, bits: int) -> Tensor:
-        """Forward at precision ``bits`` through the full (SimCLR) model."""
-        set_precision(self._encoder(), bits)
+    @property
+    def fusion_active(self) -> bool:
+        """Whether two-view forwards currently fuse into one 2N batch.
+
+        ``fuse_views`` requests fusion; batch-statistics layers anywhere in
+        the method (BatchNorm coupling samples, Dropout consuming RNG per
+        call) veto it so numerics stay identical to the unfused path.
+        """
+        return self.fuse_views and not contains_batch_statistics(self.method)
+
+    def _forward_online(self, x: Tensor) -> Tensor:
+        self.metrics.counter("encoder_forwards").inc()
         if self.is_byol:
             return self.method.online_forward(x)
         return self.method(x)
+
+    def _project(self, x: Tensor, bits: int) -> Tensor:
+        """Forward at precision ``bits`` through the full (SimCLR) model."""
+        with precision(self._encoder(), bits, cache=self.quant_cache):
+            return self._forward_online(x)
+
+    def _project_pair(
+        self, xa: Tensor, xb: Tensor, bits: int
+    ) -> Tuple[Tensor, Tensor]:
+        """Encode two views at the same precision.
+
+        Fused: one 2N-batch forward, split back into the two views
+        (activations fake-quantize per view chunk, so values match the
+        unfused path exactly).  Unfused: two sequential forwards in the
+        historical ``xa``-then-``xb`` order.
+        """
+        if self.fusion_active:
+            fused = F.concat([xa, xb], axis=0)
+            with precision(
+                self._encoder(), bits, cache=self.quant_cache, views=2
+            ):
+                out = self._forward_online(fused)
+            n = xa.shape[0]
+            return out[:n], out[n:]
+        return self._project(xa, bits), self._project(xb, bits)
 
     def _target(self, x: Tensor) -> Tensor:
         """BYOL target projection at full precision, detached."""
         target_encoder = self.method.target_encoder
         if count_quantized_modules(target_encoder) > 0:
-            set_precision(target_encoder, None)
+            apply_precision(target_encoder, None)
+        self.metrics.counter("target_forwards").inc()
         return self.method.target_forward(x)
+
+    def _target_pair(self, xa: Tensor, xb: Tensor) -> Tuple[Tensor, Tensor]:
+        """Both BYOL target projections; fused into one forward if safe."""
+        if self.fusion_active:
+            target_encoder = self.method.target_encoder
+            if count_quantized_modules(target_encoder) > 0:
+                apply_precision(target_encoder, None)
+            self.metrics.counter("target_forwards").inc()
+            out = self.method.target_forward(F.concat([xa, xb], axis=0))
+            n = xa.shape[0]
+            return out[:n], out[n:]
+        return self._target(xa), self._target(xb)
 
     def _pair_loss(self, a: Tensor, b: Tensor) -> Tensor:
         """NT-Xent for SimCLR; symmetric detached regression for BYOL."""
@@ -230,9 +303,8 @@ class ContrastiveQuantTrainer(TrainerBase):
         f = self._project(v1, q1)
         f_pos = self._project(v2, q2)
         if self.is_byol:
-            loss = 0.5 * (
-                byol_loss(f, self._target(v2)) + byol_loss(f_pos, self._target(v1))
-            )
+            t2, t1 = self._target_pair(v2, v1)
+            loss = 0.5 * (byol_loss(f, t2) + byol_loss(f_pos, t1))
         else:
             loss = nt_xent(f, f_pos, self.temperature)
         return self._term("NCE(F_q1(Aug1(x)), F_q2(Aug2(x)))", loss)
@@ -243,13 +315,11 @@ class ContrastiveQuantTrainer(TrainerBase):
         return self._term("NCE(F_q1(x), F_q2(x))", self._pair_loss(f1, f2))
 
     def _loss_bc(self, v1, v2, q1, q2) -> Tensor:
-        f1 = self._project(v1, q1)
-        f1_pos = self._project(v2, q1)
-        f2 = self._project(v1, q2)
-        f2_pos = self._project(v2, q2)
+        f1, f1_pos = self._project_pair(v1, v2, q1)
+        f2, f2_pos = self._project_pair(v1, v2, q2)
 
         if self.is_byol:
-            t1, t2 = self._target(v1), self._target(v2)
+            t1, t2 = self._target_pair(v1, v2)
             loss = self._term(
                 "NCE(f1, f1+)",
                 0.25 * (byol_loss(f1, t2) + byol_loss(f1_pos, t1)),
@@ -281,7 +351,14 @@ class ContrastiveQuantTrainer(TrainerBase):
         from ..nn.optim import clip_grad_norm, global_grad_norm
 
         self.optimizer.zero_grad()
+        hits0, misses0 = self.quant_cache.hits, self.quant_cache.misses
         loss = self.compute_loss(view1, view2)
+        self._last_cache = (
+            self.quant_cache.hits - hits0,
+            self.quant_cache.misses - misses0,
+        )
+        self.metrics.counter("quant_cache_hits").inc(self._last_cache[0])
+        self.metrics.counter("quant_cache_misses").inc(self._last_cache[1])
         loss.backward()
         params = self._parameters()
         if self.max_grad_norm is not None:
@@ -301,6 +378,10 @@ class ContrastiveQuantTrainer(TrainerBase):
             info["q1"], info["q2"] = self._last_pair
         if self._last_terms:
             info["loss_terms"] = dict(self._last_terms)
+        if self._last_cache is not None:
+            info["quant_cache_hits"], info["quant_cache_misses"] = (
+                self._last_cache
+            )
         grad_norm = self.metrics.gauge("grad_norm").value
         if grad_norm is not None:
             info["grad_norm"] = grad_norm
@@ -317,7 +398,10 @@ class ContrastiveQuantTrainer(TrainerBase):
         """
         from ..checkpoint import get_rng_state
 
-        aux: Dict[str, object] = {"rng": get_rng_state(self.rng)}
+        aux: Dict[str, object] = {
+            "rng": get_rng_state(self.rng),
+            "quant_cache": self.quant_cache.stats(),
+        }
         sampler = self.precision_sampler
         if sampler is not None:
             if getattr(sampler, "rng", None) is not None:
@@ -331,6 +415,10 @@ class ContrastiveQuantTrainer(TrainerBase):
 
         if "rng" in aux:
             set_rng_state(self.rng, aux["rng"])
+        cache_stats = aux.get("quant_cache")
+        if cache_stats is not None:
+            self.quant_cache.hits = int(cache_stats.get("hits", 0))
+            self.quant_cache.misses = int(cache_stats.get("misses", 0))
         sampler = self.precision_sampler
         if sampler is not None:
             if "sampler_rng" in aux and getattr(sampler, "rng", None) is not None:
@@ -340,6 +428,7 @@ class ContrastiveQuantTrainer(TrainerBase):
 
     def finalize(self) -> None:
         """Restore the encoder to full precision after pre-training."""
-        set_precision(self._encoder(), None)
+        apply_precision(self._encoder(), None)
         if self.is_byol and count_quantized_modules(self.method.target_encoder):
-            set_precision(self.method.target_encoder, None)
+            apply_precision(self.method.target_encoder, None)
+        self.quant_cache.clear()

@@ -25,7 +25,13 @@ from ..models.heads import ProjectionHead
 from ..nn import functional as F
 from ..nn.optim import Optimizer
 from ..nn.tensor import Tensor
-from ..quant import PrecisionSet, count_quantized_modules, quantize_model, set_precision
+from ..quant import (
+    PrecisionSet,
+    apply_precision,
+    count_quantized_modules,
+    precision,
+    quantize_model,
+)
 from .base import TrainerBase
 
 __all__ = ["MoCo", "MoCoTrainer"]
@@ -145,8 +151,11 @@ class MoCoTrainer(TrainerBase):
         if self.precision_set is not None:
             self._last_bits = self.precision_set.sample(self.rng)
             self.metrics.gauge("precision_bits").set(self._last_bits)
-            set_precision(self.model.query_encoder, self._last_bits)
-        q = F.normalize(self.model.query_forward(Tensor(view1)), axis=1)
+            with precision(self.model.query_encoder, self._last_bits):
+                q = self.model.query_forward(Tensor(view1))
+        else:
+            q = self.model.query_forward(Tensor(view1))
+        q = F.normalize(q, axis=1)
         k = F.normalize(self.model.key_forward(Tensor(view2)), axis=1)
         self._last_keys = k.data
 
@@ -184,4 +193,4 @@ class MoCoTrainer(TrainerBase):
     def finalize(self) -> None:
         """Restore the query encoder to full precision."""
         if self.precision_set is not None:
-            set_precision(self.model.query_encoder, None)
+            apply_precision(self.model.query_encoder, None)

@@ -13,6 +13,8 @@ import numpy as np
 
 from .. import nn
 from ..models.heads import ProjectionHead
+from ..nn import functional as F
+from ..nn.layers import contains_batch_statistics
 from ..nn.optim import Optimizer
 from ..nn.tensor import Tensor
 from .base import TrainerBase
@@ -30,6 +32,7 @@ class SimCLRModel(nn.Module):
         projection_dim: int = 32,
         projection_hidden: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        head_norm: str = "batch",
     ) -> None:
         super().__init__()
         self.encoder = encoder
@@ -38,6 +41,7 @@ class SimCLRModel(nn.Module):
             hidden_dim=projection_hidden,
             out_dim=projection_dim,
             rng=rng,
+            norm=head_norm,
         )
 
     def forward(self, x) -> Tensor:
@@ -63,15 +67,32 @@ class SimCLRTrainer(TrainerBase):
         model: SimCLRModel,
         optimizer: Optimizer,
         temperature: float = 0.5,
+        fuse_views: bool = True,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
         self.temperature = temperature
+        #: encode both views as one concatenated 2N batch (the original
+        #: SimCLR formulation); vetoed by batch-statistics layers so the
+        #: numerics match the per-view path exactly.
+        self.fuse_views = bool(fuse_views)
         self._init_telemetry()
 
+    @property
+    def fusion_active(self) -> bool:
+        return self.fuse_views and not contains_batch_statistics(self.model)
+
     def compute_loss(self, view1: np.ndarray, view2: np.ndarray) -> Tensor:
-        z1 = self.model(Tensor(view1))
-        z2 = self.model(Tensor(view2))
+        v1, v2 = Tensor(view1), Tensor(view2)
+        if self.fusion_active:
+            self.metrics.counter("encoder_forwards").inc()
+            z = self.model(F.concat([v1, v2], axis=0))
+            n = v1.shape[0]
+            z1, z2 = z[:n], z[n:]
+        else:
+            self.metrics.counter("encoder_forwards").inc(2)
+            z1 = self.model(v1)
+            z2 = self.model(v2)
         return nt_xent(z1, z2, self.temperature)
 
     def train_step(self, view1: np.ndarray, view2: np.ndarray) -> float:

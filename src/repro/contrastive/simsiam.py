@@ -15,9 +15,17 @@ import numpy as np
 
 from .. import nn
 from ..models.heads import PredictionHead, ProjectionHead
+from ..nn import functional as F
+from ..nn.layers import contains_batch_statistics
 from ..nn.optim import Optimizer
 from ..nn.tensor import Tensor
-from ..quant import PrecisionSet, count_quantized_modules, quantize_model, set_precision
+from ..quant import (
+    PrecisionSet,
+    apply_precision,
+    count_quantized_modules,
+    precision,
+    quantize_model,
+)
 from .base import TrainerBase
 from .losses import byol_loss
 
@@ -32,15 +40,18 @@ class SimSiam(nn.Module):
         encoder: nn.Module,
         projection_dim: int = 32,
         rng: Optional[np.random.Generator] = None,
+        head_norm: str = "batch",
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng()
         self.encoder = encoder
         self.projector = ProjectionHead(
-            encoder.feature_dim, out_dim=projection_dim, rng=rng
+            encoder.feature_dim, out_dim=projection_dim, rng=rng,
+            norm=head_norm,
         )
         self.predictor = PredictionHead(
-            projection_dim, projection_dim, projection_dim, rng=rng
+            projection_dim, projection_dim, projection_dim, rng=rng,
+            norm=head_norm,
         )
 
     def project(self, x) -> Tensor:
@@ -65,6 +76,7 @@ class SimSiamTrainer(TrainerBase):
         optimizer: Optimizer,
         precision_set: Optional[Union[str, PrecisionSet]] = None,
         rng: Optional[np.random.Generator] = None,
+        fuse_views: bool = True,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
@@ -75,13 +87,38 @@ class SimSiamTrainer(TrainerBase):
         if self.precision_set is not None:
             if count_quantized_modules(model.encoder) == 0:
                 quantize_model(model.encoder)
+        #: fuse same-precision view pairs into one 2N projection forward;
+        #: vetoed by batch-statistics layers (see SimCLRTrainer).  Views
+        #: sampled at different precisions always forward separately.
+        self.fuse_views = bool(fuse_views)
         self._last_pair: Optional[Tuple[int, int]] = None
         self._init_telemetry()
 
+    @property
+    def fusion_active(self) -> bool:
+        return self.fuse_views and not contains_batch_statistics(self.model)
+
     def _project(self, x: Tensor, bits: Optional[int]) -> Tensor:
+        self.metrics.counter("encoder_forwards").inc()
         if self.precision_set is not None:
-            set_precision(self.model.encoder, bits)
+            with precision(self.model.encoder, bits):
+                return self.model.project(x)
         return self.model.project(x)
+
+    def _project_views(
+        self, v1: Tensor, v2: Tensor, q1: Optional[int], q2: Optional[int]
+    ) -> Tuple[Tensor, Tensor]:
+        if self.fusion_active and q1 == q2:
+            both = F.concat([v1, v2], axis=0)
+            self.metrics.counter("encoder_forwards").inc()
+            if self.precision_set is not None:
+                with precision(self.model.encoder, q1, views=2):
+                    z = self.model.project(both)
+            else:
+                z = self.model.project(both)
+            n = v1.shape[0]
+            return z[:n], z[n:]
+        return self._project(v1, q1), self._project(v2, q2)
 
     def compute_loss(self, view1: np.ndarray, view2: np.ndarray) -> Tensor:
         if self.precision_set is not None:
@@ -92,8 +129,7 @@ class SimSiamTrainer(TrainerBase):
         else:
             q1 = q2 = None
         v1, v2 = Tensor(view1), Tensor(view2)
-        z1 = self._project(v1, q1)
-        z2 = self._project(v2, q2)
+        z1, z2 = self._project_views(v1, v2, q1, q2)
         p1 = self.model.predict(z1)
         p2 = self.model.predict(z2)
         return 0.5 * (byol_loss(p1, z2.detach()) + byol_loss(p2, z1.detach()))
@@ -124,4 +160,4 @@ class SimSiamTrainer(TrainerBase):
 
     def finalize(self) -> None:
         if self.precision_set is not None:
-            set_precision(self.model.encoder, None)
+            apply_precision(self.model.encoder, None)

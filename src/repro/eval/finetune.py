@@ -19,7 +19,7 @@ from .. import nn
 from ..data.datasets import ArrayDataset, DataLoader, Subset, stratified_label_fraction
 from ..nn.optim import SGD, CosineAnnealingLR
 from ..nn.tensor import Tensor
-from ..quant import count_quantized_modules, set_precision
+from ..quant import apply_precision, count_quantized_modules
 from .metrics import accuracy
 
 __all__ = ["attach_classifier", "finetune", "FinetuneResult", "evaluate_classifier"]
@@ -72,7 +72,7 @@ def evaluate_classifier(
     """Test accuracy of a classifier model over a dataset."""
     model.eval()
     if precision is not None:
-        set_precision(model.encoder, precision)
+        apply_precision(model.encoder, precision)
     logits_all, labels_all = [], []
     loader = DataLoader(dataset, batch_size=batch_size)
     with nn.no_grad():
@@ -112,9 +112,9 @@ def finetune(
                 "fixed-precision fine-tuning requires a quantized encoder "
                 "(run repro.quant.quantize_model first)"
             )
-        set_precision(encoder, precision)
+        apply_precision(encoder, precision)
     elif count_quantized_modules(encoder) > 0:
-        set_precision(encoder, None)
+        apply_precision(encoder, None)
 
     indices = stratified_label_fraction(train.labels, label_fraction, rng)
     subset = Subset(train, indices)

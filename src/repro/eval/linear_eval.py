@@ -15,7 +15,7 @@ from .. import nn
 from ..data.datasets import ArrayDataset, DataLoader
 from ..nn.optim import SGD, CosineAnnealingLR
 from ..nn.tensor import Tensor
-from ..quant import count_quantized_modules, set_precision
+from ..quant import apply_precision, count_quantized_modules
 from .metrics import accuracy
 
 __all__ = ["extract_features", "linear_evaluation"]
@@ -30,9 +30,9 @@ def extract_features(
     """Run the frozen encoder over a dataset; returns (features, labels)."""
     encoder.eval()
     if precision is not None and count_quantized_modules(encoder) > 0:
-        set_precision(encoder, precision)
+        apply_precision(encoder, precision)
     elif count_quantized_modules(encoder) > 0:
-        set_precision(encoder, None)
+        apply_precision(encoder, None)
     features, labels_all = [], []
     with nn.no_grad():
         for images, labels in DataLoader(dataset, batch_size=batch_size):

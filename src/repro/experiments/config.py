@@ -50,6 +50,11 @@ class PretrainConfig:
     augmentation_strength: float = 0.75
     byol_momentum: float = 0.99
     seed: int = 0
+    #: fuse same-precision view pairs into one 2N-batch encoder forward.
+    #: Safe to leave on: trainers auto-disable fusion whenever the model
+    #: contains batch-statistics layers (BatchNorm/Dropout), so reference
+    #: BatchNorm configurations are unaffected.
+    fuse_views: bool = True
 
     def __post_init__(self) -> None:
         if self.epochs < 1:

@@ -145,10 +145,12 @@ def pretrain(
     identity_views = False
     if method.is_baseline:
         if method.base == "byol":
-            trainer = BYOLTrainer(model, optimizer)
+            trainer = BYOLTrainer(model, optimizer,
+                                  fuse_views=config.fuse_views)
         else:
             trainer = SimCLRTrainer(model, optimizer,
-                                    temperature=config.temperature)
+                                    temperature=config.temperature,
+                                    fuse_views=config.fuse_views)
     else:
         trainer = ContrastiveQuantTrainer(
             model,
@@ -157,6 +159,7 @@ def pretrain(
             optimizer,
             rng=np.random.default_rng(config.seed + 7),
             temperature=config.temperature,
+            fuse_views=config.fuse_views,
         )
         identity_views = trainer.variant.name == "QUANT"
 

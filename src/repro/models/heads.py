@@ -17,6 +17,25 @@ from ..nn import functional as F
 __all__ = ["ProjectionHead", "PredictionHead"]
 
 
+def _head_norm(kind: str, dim: int) -> nn.Module:
+    """Hidden-layer normalization for the MLP heads.
+
+    ``"batch"`` is the reference SimCLR/BYOL choice; ``"layer"`` and
+    ``"none"`` are per-sample alternatives that keep the head free of
+    batch statistics, which is what allows fused multi-view forwards to
+    stay bit-identical to per-view ones (see ``fuse_views``).
+    """
+    if kind == "batch":
+        return nn.BatchNorm1d(dim)
+    if kind == "layer":
+        return nn.LayerNorm(dim)
+    if kind == "none":
+        return nn.Identity()
+    raise ValueError(
+        f"unknown head norm {kind!r}; expected 'batch', 'layer', or 'none'"
+    )
+
+
 class ProjectionHead(nn.Module):
     """2-layer MLP projection head (SimCLR's ``g(.)``)."""
 
@@ -26,12 +45,15 @@ class ProjectionHead(nn.Module):
         hidden_dim: Optional[int] = None,
         out_dim: int = 64,
         rng: Optional[np.random.Generator] = None,
+        norm: str = "batch",
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng()
         hidden_dim = hidden_dim or in_dim
         self.fc1 = nn.Linear(in_dim, hidden_dim, rng=rng)
-        self.bn = nn.BatchNorm1d(hidden_dim)
+        # Attribute stays "bn" whatever the norm kind so checkpoint
+        # parameter names are independent of the norm choice.
+        self.bn = _head_norm(norm, hidden_dim)
         self.fc2 = nn.Linear(hidden_dim, out_dim, bias=False, rng=rng)
         self.out_dim = out_dim
 

@@ -17,6 +17,7 @@ contrastive trainers.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -40,6 +41,20 @@ def _scaled(width: int, multiplier: float) -> int:
     return max(4, int(round(width * multiplier)))
 
 
+def _norm2d(kind: str, channels: int) -> nn.Module:
+    """2-D normalization layer factory.
+
+    ``"batch"`` is the reference choice; ``"group"`` (GroupNorm with up to
+    8 groups, degrading gracefully for narrow widths) normalizes per
+    sample, making the encoder safe for fused multi-view batching.
+    """
+    if kind == "batch":
+        return nn.BatchNorm2d(channels)
+    if kind == "group":
+        return nn.GroupNorm(math.gcd(8, channels), channels)
+    raise ValueError(f"unknown norm {kind!r}; expected 'batch' or 'group'")
+
+
 class BasicBlock(nn.Module):
     """Two 3x3 convolutions with an identity (or projected) shortcut."""
 
@@ -51,23 +66,24 @@ class BasicBlock(nn.Module):
         out_channels: int,
         stride: int,
         rng: np.random.Generator,
+        norm: str = "batch",
     ) -> None:
         super().__init__()
         self.conv1 = nn.Conv2d(
             in_channels, out_channels, 3, stride=stride, padding=1,
             bias=False, rng=rng,
         )
-        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.bn1 = _norm2d(norm, out_channels)
         self.conv2 = nn.Conv2d(
             out_channels, out_channels, 3, stride=1, padding=1,
             bias=False, rng=rng,
         )
-        self.bn2 = nn.BatchNorm2d(out_channels)
+        self.bn2 = _norm2d(norm, out_channels)
         if stride != 1 or in_channels != out_channels:
             self.shortcut = nn.Sequential(
                 nn.Conv2d(in_channels, out_channels, 1, stride=stride,
                           bias=False, rng=rng),
-                nn.BatchNorm2d(out_channels),
+                _norm2d(norm, out_channels),
             )
         else:
             self.shortcut = nn.Identity()
@@ -102,6 +118,7 @@ class ResNet(nn.Module):
         width_multiplier: float = 1.0,
         in_channels: int = 3,
         rng: Optional[np.random.Generator] = None,
+        norm: str = "batch",
     ) -> None:
         super().__init__()
         if len(stage_blocks) != len(stage_widths):
@@ -125,7 +142,9 @@ class ResNet(nn.Module):
                 in_channels, stem_width, 3, stride=1, padding=1,
                 bias=False, rng=rng,
             )
-        self.stem_bn = nn.BatchNorm2d(stem_width)
+        # Attribute stays "stem_bn" whatever the norm kind so checkpoint
+        # parameter names are independent of the norm choice.
+        self.stem_bn = _norm2d(norm, stem_width)
 
         stages: List[nn.Sequential] = []
         current = stem_width
@@ -139,6 +158,7 @@ class ResNet(nn.Module):
                         width,
                         stride if block_index == 0 else 1,
                         rng,
+                        norm=norm,
                     )
                 )
                 current = width
@@ -168,43 +188,50 @@ def resnet18(
     stem: str = "cifar",
     width_multiplier: float = 1.0,
     rng: Optional[np.random.Generator] = None,
+    norm: str = "batch",
 ) -> ResNet:
     """ResNet-18: four stages of (2, 2, 2, 2) BasicBlocks."""
     return ResNet((2, 2, 2, 2), (64, 128, 256, 512), stem, width_multiplier,
-                  rng=rng)
+                  rng=rng, norm=norm)
 
 
 def resnet34(
     stem: str = "cifar",
     width_multiplier: float = 1.0,
     rng: Optional[np.random.Generator] = None,
+    norm: str = "batch",
 ) -> ResNet:
     """ResNet-34: four stages of (3, 4, 6, 3) BasicBlocks."""
     return ResNet((3, 4, 6, 3), (64, 128, 256, 512), stem, width_multiplier,
-                  rng=rng)
+                  rng=rng, norm=norm)
 
 
 def _cifar_deep(depth: int, width_multiplier: float,
-                rng: Optional[np.random.Generator]) -> ResNet:
+                rng: Optional[np.random.Generator],
+                norm: str = "batch") -> ResNet:
     if (depth - 2) % 6 != 0:
         raise ValueError(f"CIFAR ResNet depth must be 6n+2, got {depth}")
     n = (depth - 2) // 6
-    return ResNet((n, n, n), (16, 32, 64), "cifar", width_multiplier, rng=rng)
+    return ResNet((n, n, n), (16, 32, 64), "cifar", width_multiplier, rng=rng,
+                  norm=norm)
 
 
 def resnet74(width_multiplier: float = 1.0,
-             rng: Optional[np.random.Generator] = None) -> ResNet:
+             rng: Optional[np.random.Generator] = None,
+             norm: str = "batch") -> ResNet:
     """CIFAR-style ResNet-74 (6n+2 with n=12)."""
-    return _cifar_deep(74, width_multiplier, rng)
+    return _cifar_deep(74, width_multiplier, rng, norm)
 
 
 def resnet110(width_multiplier: float = 1.0,
-              rng: Optional[np.random.Generator] = None) -> ResNet:
+              rng: Optional[np.random.Generator] = None,
+              norm: str = "batch") -> ResNet:
     """CIFAR-style ResNet-110 (6n+2 with n=18)."""
-    return _cifar_deep(110, width_multiplier, rng)
+    return _cifar_deep(110, width_multiplier, rng, norm)
 
 
 def resnet152(width_multiplier: float = 1.0,
-              rng: Optional[np.random.Generator] = None) -> ResNet:
+              rng: Optional[np.random.Generator] = None,
+              norm: str = "batch") -> ResNet:
     """CIFAR-style ResNet-152 (6n+2 with n=25)."""
-    return _cifar_deep(152, width_multiplier, rng)
+    return _cifar_deep(152, width_multiplier, rng, norm)

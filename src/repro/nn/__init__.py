@@ -28,6 +28,7 @@ from .layers import (
     Sequential,
     Sigmoid,
     Tanh,
+    contains_batch_statistics,
 )
 from .module import Module, Parameter
 from .tensor import Tensor, as_tensor
@@ -62,4 +63,5 @@ __all__ = [
     "Sequential",
     "ModuleList",
     "Identity",
+    "contains_batch_statistics",
 ]

@@ -6,10 +6,25 @@ from .conv import Conv2d
 from .dropout import Dropout
 from .groupnorm import GroupNorm, LayerNorm
 from .linear import Linear
-from .norm import BatchNorm1d, BatchNorm2d
+from .norm import BatchNorm1d, BatchNorm2d, _BatchNorm
 from .pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
 
+
+def contains_batch_statistics(module) -> bool:
+    """True if any submodule couples samples within a batch or consumes
+    per-call randomness (BatchNorm statistics, Dropout masks).
+
+    Such modules make a fused multi-sample forward numerically different
+    from per-group forwards, so callers like the contrastive trainers'
+    ``fuse_views`` path use this to fall back to separate forwards.
+    """
+    return any(
+        isinstance(m, (_BatchNorm, Dropout)) for m in module.modules()
+    )
+
+
 __all__ = [
+    "contains_batch_statistics",
     "Linear",
     "Conv2d",
     "BatchNorm1d",

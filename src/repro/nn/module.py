@@ -12,11 +12,45 @@ from .tensor import Tensor
 __all__ = ["Parameter", "Module"]
 
 
+#: Slot descriptor of ``Tensor.data`` — the Parameter property below wraps
+#: it so that reassignment can be observed without changing storage.
+_TENSOR_DATA_SLOT = Tensor.__dict__["data"]
+
+
 class Parameter(Tensor):
-    """A Tensor registered as a trainable parameter of a Module."""
+    """A Tensor registered as a trainable parameter of a Module.
+
+    Every rebinding of ``.data`` (optimizer steps, ``load_state_dict``,
+    EMA updates) bumps a monotonic :attr:`version` counter, so derived
+    tensors — e.g. fake-quantized weight copies in
+    :class:`repro.quant.QuantCache` — can be cache-keyed on
+    ``(parameter, version)`` and invalidate exactly when the underlying
+    values change.  In-place writes through ``param.data[...] = ...`` are
+    *not* observed; call :meth:`bump_version` after such mutations.
+    """
 
     def __init__(self, data, requires_grad: bool = True) -> None:
+        self._version = 0
         super().__init__(data, requires_grad=requires_grad)
+
+    @property
+    def data(self) -> np.ndarray:
+        return _TENSOR_DATA_SLOT.__get__(self, Parameter)
+
+    @data.setter
+    def data(self, value: np.ndarray) -> None:
+        _TENSOR_DATA_SLOT.__set__(self, value)
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter identifying the current value of ``.data``."""
+        return self._version
+
+    def bump_version(self) -> int:
+        """Manually advance :attr:`version` (after in-place data edits)."""
+        self._version += 1
+        return self._version
 
     def __repr__(self) -> str:
         return f"Parameter(shape={self.shape}, requires_grad={self.requires_grad})"

@@ -3,30 +3,42 @@
 Implements Eq. 10 of the paper (dynamic-range linear quantization of weights
 and activations), fake quantization with a straight-through estimator so
 quantized forward passes remain trainable, precision sets for per-iteration
-sampling, and precision-switchable ``QConv2d`` / ``QLinear`` modules with a
-model-wide :func:`set_precision` switch.
+sampling, and precision-switchable ``QConv2d`` / ``QLinear`` modules.
+Precision is applied through the scoped :class:`PrecisionContext`
+(``with precision(model, bits): ...``), which also activates an optional
+:class:`QuantCache` memoizing fake-quantized weights across same-step
+forwards and a fused-view count for multi-view batching.
 """
 
+from .cache import QuantCache, active_cache, active_views, quant_execution_scope
+from .context import PrecisionContext, apply_precision, precision
 from .convert import count_quantized_modules, quantize_model, set_precision
-from .fake_quant import fake_quantize, fake_quantize_per_channel
+from .fake_quant import (
+    fake_quantize,
+    fake_quantize_per_channel,
+    fake_quantize_per_view,
+)
 from .observer import EmaMinMaxObserver, MinMaxObserver
-from .precision import FULL_PRECISION, PrecisionSet
+from .precision_set import FULL_PRECISION, PrecisionSet
 from .qmodules import QConv2d, QLinear, QuantizedModule
 from .quantizer import (
     LearnableQuantizer,
     LinearQuantizer,
     linear_quantize,
     linear_quantize_per_channel,
+    linear_quantize_per_view,
 )
 from .schedule import CyclicPrecisionSchedule, RandomPrecisionSampler
 
 __all__ = [
     "linear_quantize",
     "linear_quantize_per_channel",
+    "linear_quantize_per_view",
     "LinearQuantizer",
     "LearnableQuantizer",
     "fake_quantize",
     "fake_quantize_per_channel",
+    "fake_quantize_per_view",
     "MinMaxObserver",
     "EmaMinMaxObserver",
     "PrecisionSet",
@@ -36,6 +48,13 @@ __all__ = [
     "QLinear",
     "quantize_model",
     "set_precision",
+    "apply_precision",
+    "precision",
+    "PrecisionContext",
+    "QuantCache",
+    "quant_execution_scope",
+    "active_cache",
+    "active_views",
     "count_quantized_modules",
     "CyclicPrecisionSchedule",
     "RandomPrecisionSampler",

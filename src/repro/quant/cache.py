@@ -1,0 +1,148 @@
+"""Versioned quantized-weight cache and the scoped execution state.
+
+During CQ-B/C training each precision's weights were historically
+fake-quantized once per forward — twice per step per precision, since both
+views run through the same weights.  :class:`QuantCache` memoizes the
+fake-quantized weight Tensor keyed on ``(parameter, version, bits,
+per_channel, grad_mode)``: the :class:`~repro.nn.Parameter` version counter
+advances exactly when the underlying values change (optimizer step,
+``load_state_dict``, EMA update), so a hit is always byte-identical to a
+recompute.
+
+The cache — together with the number of fused views — is communicated to
+:class:`~repro.quant.qmodules.QConv2d` / ``QLinear`` through a thread-local
+*execution scope* rather than module attributes, so concurrent trainers
+sharing an encoder cannot observe each other's state.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "QuantCache",
+    "quant_execution_scope",
+    "active_cache",
+    "active_views",
+]
+
+
+class QuantCache:
+    """Memoizes fake-quantized weight tensors across same-step forwards.
+
+    Parameters
+    ----------
+    enabled:
+        When False the cache never stores entries but still counts every
+        lookup as a miss — baselines keep accurate quant-sweep telemetry
+        without paying for storage.
+
+    Entries are invalidated by the parameter's :attr:`version` counter;
+    stale entries are overwritten in place, so the cache holds at most one
+    tensor per ``(param, bits, per_channel, grad_mode)`` combination and
+    memory stays bounded by the precision set.  ``grad_mode`` is part of
+    the key because a tensor produced under ``no_grad`` carries no autograd
+    context and must never be reused where gradients are required.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[Tuple[int, ...], Tuple[Any, int, Any]] = {}
+
+    def fetch(
+        self,
+        param: Any,
+        bits: int,
+        per_channel: bool,
+        grad_mode: bool,
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Return the cached quantized tensor for ``param`` or compute it.
+
+        The stored parameter is compared by identity (not just ``id()``,
+        which can be reused after garbage collection) and by version before
+        a hit is declared.
+        """
+        key = (id(param), int(bits), bool(per_channel), bool(grad_mode))
+        entry = self._entries.get(key)
+        if entry is not None:
+            stored_param, version, tensor = entry
+            if stored_param is param and version == param.version:
+                self.hits += 1
+                return tensor
+        self.misses += 1
+        tensor = compute()
+        if self.enabled:
+            self._entries[key] = (param, param.version, tensor)
+        return tensor
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept; see :meth:`reset_stats`)."""
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantCache(enabled={self.enabled}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+class _ExecutionState(threading.local):
+    """Per-thread stack of (cache, views) scopes."""
+
+    def __init__(self) -> None:
+        self.stack = []
+
+
+_state = _ExecutionState()
+
+
+@contextlib.contextmanager
+def quant_execution_scope(
+    cache: Optional[QuantCache] = None, views: int = 1
+):
+    """Activate ``cache`` and a fused-view count for quantized forwards.
+
+    Inside the scope, ``QConv2d``/``QLinear`` consult :func:`active_cache`
+    for weight quantization and :func:`active_views` for per-view
+    activation quantization (a fused 2N batch is quantized per N-chunk so
+    its values match two separate N forwards exactly).  Scopes nest; the
+    innermost wins.
+    """
+    if views < 1:
+        raise ValueError(f"views must be >= 1, got {views}")
+    _state.stack.append((cache, int(views)))
+    try:
+        yield
+    finally:
+        _state.stack.pop()
+
+
+def active_cache() -> Optional[QuantCache]:
+    """The innermost scope's cache, or None outside any scope."""
+    return _state.stack[-1][0] if _state.stack else None
+
+
+def active_views() -> int:
+    """The innermost scope's fused-view count (1 outside any scope)."""
+    return _state.stack[-1][1] if _state.stack else 1

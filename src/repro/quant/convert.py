@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Optional
 
 from ..nn.layers.conv import Conv2d
 from ..nn.layers.linear import Linear
 from ..nn.module import Module
+from .context import apply_precision
 from .qmodules import QConv2d, QLinear, QuantizedModule
 
 __all__ = ["quantize_model", "set_precision", "count_quantized_modules"]
@@ -38,22 +40,21 @@ def quantize_model(
 
 
 def set_precision(model: Module, bits: Optional[int]) -> int:
-    """Set the precision of every quantized module; returns how many were set.
+    """Deprecated alias for :func:`repro.quant.apply_precision`.
 
-    ``bits=None`` restores full precision.  Raises if the model contains no
-    quantized modules — calling this on an unconverted model is always a bug.
+    Prefer the scoped ``with precision(model, bits):`` context
+    (:class:`repro.quant.PrecisionContext`), or ``apply_precision`` for
+    open-ended switches.  Kept as a shim for external callers; emits
+    ``DeprecationWarning``.
     """
-    count = 0
-    for module in model.modules():
-        if isinstance(module, QuantizedModule):
-            module.set_precision(bits)
-            count += 1
-    if count == 0:
-        raise ValueError(
-            "set_precision() found no quantized modules; "
-            "run quantize_model() first"
-        )
-    return count
+    warnings.warn(
+        "set_precision() is deprecated; use the scoped "
+        "'with repro.quant.precision(model, bits):' context or "
+        "repro.quant.apply_precision()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return apply_precision(model, bits)
 
 
 def count_quantized_modules(model: Module) -> int:

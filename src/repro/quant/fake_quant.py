@@ -5,9 +5,13 @@ from __future__ import annotations
 from typing import Optional
 
 from ..nn.tensor import Tensor, as_tensor
-from .quantizer import LinearQuantizer, _FakeQuantPerChannelSTE
+from .quantizer import (
+    LinearQuantizer,
+    _FakeQuantPerChannelSTE,
+    _FakeQuantPerViewSTE,
+)
 
-__all__ = ["fake_quantize", "fake_quantize_per_channel"]
+__all__ = ["fake_quantize", "fake_quantize_per_channel", "fake_quantize_per_view"]
 
 _default_quantizer = LinearQuantizer()
 
@@ -31,3 +35,17 @@ def fake_quantize_per_channel(
         return as_tensor(tensor)
     return _FakeQuantPerChannelSTE.apply(as_tensor(tensor), bits=bits,
                                          axis=axis)
+
+
+def fake_quantize_per_view(
+    tensor: Tensor, bits: Optional[int], views: int
+) -> Tensor:
+    """Fake-quantize each of ``views`` equal batch chunks independently.
+
+    Used by fused multi-view forwards so a concatenated 2N batch produces
+    exactly the activations of two separate N-batch forwards.
+    """
+    if bits is None:
+        return as_tensor(tensor)
+    return _FakeQuantPerViewSTE.apply(as_tensor(tensor), bits=bits,
+                                      views=views)

@@ -2,12 +2,17 @@
 
 Each module carries a mutable ``precision`` attribute (bit-width, or None
 for full precision).  During Contrastive Quant training the precision is
-re-set before every forward pass with :func:`repro.quant.set_precision`,
-which makes the same weights produce differently-augmented features.
+applied around each forward with :class:`repro.quant.PrecisionContext`
+(scoped; restores the previous bits on exit), which makes the same weights
+produce differently-augmented features.
 
 Both the weights and the input activations are fake-quantized (Eq. 10 +
 straight-through estimator), matching the paper's "weights and activations"
-augmentation.
+augmentation.  Weight quantization consults the active
+:class:`~repro.quant.QuantCache` (if any) so repeated same-precision
+forwards within one step reuse the memoized quantized weight; activation
+quantization honours the active fused-view count so concatenated
+multi-view batches quantize each view with its own dynamic range.
 """
 
 from __future__ import annotations
@@ -16,9 +21,16 @@ from typing import Optional
 
 import numpy as np
 
+from ..nn.autograd import is_grad_enabled
 from ..nn.layers.conv import Conv2d
 from ..nn.layers.linear import Linear
-from .fake_quant import fake_quantize, fake_quantize_per_channel
+from ..nn.module import Parameter
+from .cache import active_cache, active_views
+from .fake_quant import (
+    fake_quantize,
+    fake_quantize_per_channel,
+    fake_quantize_per_view,
+)
 
 __all__ = ["QuantizedModule", "QConv2d", "QLinear"]
 
@@ -47,11 +59,26 @@ class QuantizedModule:
     def _quantize_input(self, x):
         if self.precision is None or not self.quantize_activations:
             return x
+        views = active_views()
+        if views > 1:
+            return fake_quantize_per_view(x, self.precision, views)
         return fake_quantize(x, self.precision)
 
     def _quantize_weight(self, weight):
         if self.precision is None:
             return weight
+        cache = active_cache()
+        if cache is not None and isinstance(weight, Parameter):
+            return cache.fetch(
+                weight,
+                self.precision,
+                self.per_channel_weights,
+                is_grad_enabled(),
+                lambda: self._compute_quantized_weight(weight),
+            )
+        return self._compute_quantized_weight(weight)
+
+    def _compute_quantized_weight(self, weight):
         if self.per_channel_weights:
             return fake_quantize_per_channel(weight, self.precision, axis=0)
         return fake_quantize(weight, self.precision)

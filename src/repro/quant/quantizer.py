@@ -23,6 +23,7 @@ from ..nn.tensor import Tensor, as_tensor
 
 __all__ = [
     "linear_quantize",
+    "linear_quantize_per_view",
     "linear_quantize_per_channel",
     "LinearQuantizer",
     "LearnableQuantizer",
@@ -81,6 +82,34 @@ def linear_quantize_per_channel(
     return np.where(step == 0.0, array, quantized).astype(array.dtype)
 
 
+def linear_quantize_per_view(
+    array: np.ndarray, bits: int, views: int
+) -> np.ndarray:
+    """Eq. 10 applied independently to each of ``views`` equal batch chunks.
+
+    A fused multi-view batch (two augmented views concatenated along axis 0)
+    must quantize each view with *its own* dynamic range, otherwise the
+    fused forward would differ from two separate forwards.  Chunk ``v`` of
+    the result is bit-for-bit ``linear_quantize(array[v], bits)``.
+    """
+    array = np.asarray(array)
+    if views < 1:
+        raise ValueError(f"views must be >= 1, got {views}")
+    if views == 1:
+        return linear_quantize(array, bits)
+    n = array.shape[0]
+    if n % views != 0:
+        raise ValueError(
+            f"batch of {n} samples does not split into {views} equal views"
+        )
+    chunk = n // views
+    out = np.empty_like(array)
+    for v in range(views):
+        sl = slice(v * chunk, (v + 1) * chunk)
+        out[sl] = linear_quantize(array[sl], bits)
+    return out
+
+
 class _FakeQuantSTE(Function):
     """Quantized forward, straight-through (identity) backward.
 
@@ -100,6 +129,16 @@ class _FakeQuantPerChannelSTE(Function):
 
     def forward(self, a, bits, axis=0):
         return linear_quantize_per_channel(a, bits, axis)
+
+    def backward(self, grad):
+        return (grad,)
+
+
+class _FakeQuantPerViewSTE(Function):
+    """Per-view-chunk quantized forward, straight-through backward."""
+
+    def forward(self, a, bits, views):
+        return linear_quantize_per_view(a, bits, views)
 
     def backward(self, grad):
         return (grad,)

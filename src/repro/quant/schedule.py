@@ -15,7 +15,7 @@ from typing import Tuple
 
 import numpy as np
 
-from .precision import PrecisionSet
+from .precision_set import PrecisionSet
 
 __all__ = ["CyclicPrecisionSchedule", "RandomPrecisionSampler"]
 

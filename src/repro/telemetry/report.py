@@ -60,6 +60,14 @@ def summarize(records: List[Dict]) -> Dict[str, object]:
         summary["last_precisions"] = (last_step["q1"], last_step["q2"])
     if "loss_terms" in last_step:
         summary["loss_terms"] = last_step["loss_terms"]
+    cache_steps = [r for r in steps if "quant_cache_hits" in r]
+    if cache_steps:
+        hits = sum(int(r["quant_cache_hits"]) for r in cache_steps)
+        misses = sum(int(r.get("quant_cache_misses", 0)) for r in cache_steps)
+        summary["quant_cache_hits"] = hits
+        summary["quant_cache_misses"] = misses
+        total = hits + misses
+        summary["quant_cache_hit_rate"] = hits / total if total else 0.0
     if fit_end is not None and "history" in fit_end:
         summary["history_keys"] = sorted(fit_end["history"])
     if profile is not None:
@@ -86,6 +94,12 @@ def format_summary(path: pathlib.Path, summary: Dict[str, object]) -> str:
     if "last_precisions" in summary:
         q1, q2 = summary["last_precisions"]
         lines.append(f"last sampled precisions: (q1={q1}, q2={q2})")
+    if "quant_cache_hit_rate" in summary:
+        lines.append(
+            f"quant cache: {100.0 * summary['quant_cache_hit_rate']:.1f}% "
+            f"hit rate ({summary['quant_cache_hits']} hits, "
+            f"{summary['quant_cache_misses']} misses)"
+        )
     if "loss_terms" in summary:
         terms = ", ".join(
             f"{name}={value:.4f}"

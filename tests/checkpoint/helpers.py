@@ -56,6 +56,20 @@ def make_trainer(name="cq", seed=SEED):
             model, Adam(list(model.parameters()), lr=1e-3),
             precision_set="2-8", rng=trainer_rng,
         )
+    if name == "cq-fused":
+        # Batch-statistics-free model so fusion is actually active: the
+        # fused engine (one 2N forward per same-precision pair + quant
+        # cache) must resume bit-exactly too.
+        encoder = resnet18(width_multiplier=0.0625,
+                           rng=np.random.default_rng(seed), norm="group")
+        model = SimCLRModel(encoder, projection_dim=8, rng=model_rng,
+                            head_norm="layer")
+        trainer = ContrastiveQuantTrainer(
+            model, "C", "2-8", Adam(list(model.parameters()), lr=1e-3),
+            rng=trainer_rng, fuse_views=True, weight_cache=True,
+        )
+        assert trainer.fusion_active
+        return trainer
     model = SimCLRModel(encoder, projection_dim=8, rng=model_rng)
     return ContrastiveQuantTrainer(
         model, "C", "2-8", Adam(list(model.parameters()), lr=1e-3),

@@ -171,11 +171,23 @@ class TestLossSemantics:
             return original(x, bits)
 
         trainer._project = spy
+        # Probe the precision a quantized module actually runs with.
+        applied = []
+        probed = qconvs[0]
+        orig_forward = probed.forward
+
+        def probe(x):
+            applied.append(probed.precision)
+            return orig_forward(x)
+
+        probed.forward = probe
         v1, v2 = views(rng)
         trainer.compute_loss(v1, v2)
         assert len(seen) == 2
         assert all(b in trainer.precision_set for b in seen)
-        assert qconvs[0].precision == seen[-1]
+        assert applied == seen
+        # Scoped application: the context restores full precision on exit.
+        assert probed.precision is None
 
     def test_variant_bc_does_four_forwards(self, rng):
         trainer = make_trainer(rng, variant="C")

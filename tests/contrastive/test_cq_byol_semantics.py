@@ -88,7 +88,19 @@ class TestOnlineQuantizationScope:
     def test_online_encoder_precision_set_during_forward(self, rng):
         trainer = make_byol_trainer(rng)
         v1, v2 = views(rng)
-        trainer.compute_loss(v1, v2)
         qconvs = [m for m in trainer.method.online_encoder.modules()
                   if isinstance(m, QConv2d)]
-        assert qconvs[0].precision in trainer.precision_set
+        applied = []
+        probed = qconvs[0]
+        orig_forward = probed.forward
+
+        def probe(x):
+            applied.append(probed.precision)
+            return orig_forward(x)
+
+        probed.forward = probe
+        trainer.compute_loss(v1, v2)
+        assert applied
+        assert all(b in trainer.precision_set for b in applied)
+        # Scoped precision: restored to full precision after the loss.
+        assert probed.precision is None

@@ -257,3 +257,21 @@ class TestPerBaseStepExtras:
         trainer.fit(loader(rng), epochs=1, callbacks=(collector,))
         step = next(p for e, p in collector.events if e == "on_step")
         assert step["q1"] in range(6, 17) and step["q2"] in range(6, 17)
+
+
+class TestEmptyLoader:
+    """An empty loader used to append nan to history silently; it must
+    raise instead — a zero-batch epoch is always a data-pipeline bug."""
+
+    @pytest.mark.parametrize("name", TRAINERS)
+    def test_fit_raises_on_empty_loader(self, name, rng):
+        trainer = build(name, rng)
+        with pytest.raises(ValueError, match="empty loader"):
+            trainer.fit([], epochs=1)
+
+    def test_fit_with_data_still_works_after_failure(self, rng):
+        trainer = build("simclr", rng)
+        with pytest.raises(ValueError, match="empty loader"):
+            trainer.fit([], epochs=1)
+        history = trainer.fit(loader(rng), epochs=1)
+        assert len(history["loss"]) == 1

@@ -1,0 +1,62 @@
+"""Parameter version counters — the quant-cache invalidation backbone.
+
+Every in-place replacement of ``param.data`` (optimizer steps, EMA
+updates, ``load_state_dict``) must advance ``param.version`` so cached
+fake-quantized weights keyed on ``(id, version, ...)`` can never serve a
+stale tensor.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor
+
+
+def test_version_starts_positive_and_is_monotonic():
+    p = nn.Parameter(np.zeros(3, dtype=np.float32))
+    v0 = p.version
+    assert v0 >= 1
+    p.data = np.ones(3, dtype=np.float32)
+    assert p.version == v0 + 1
+    p.data = np.ones(3, dtype=np.float32)
+    assert p.version == v0 + 2
+
+
+def test_bump_version_is_manual_escape_hatch():
+    p = nn.Parameter(np.zeros(2, dtype=np.float32))
+    v0 = p.version
+    p.data[0] = 5.0  # in-place mutation bypasses the setter...
+    assert p.version == v0
+    p.bump_version()  # ...so callers must bump explicitly
+    assert p.version == v0 + 1
+
+
+def test_optimizer_step_bumps_every_trainable_parameter():
+    layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+    optimizer = SGD(list(layer.parameters()), lr=0.1)
+    before = {id(p): p.version for p in layer.parameters()}
+    x = Tensor(np.random.default_rng(1).normal(size=(2, 4)).astype(np.float32))
+    loss = (layer(x) ** 2).sum()
+    loss.backward()
+    optimizer.step()
+    for p in layer.parameters():
+        assert p.version > before[id(p)]
+
+
+def test_load_state_dict_bumps_versions():
+    layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+    state = {k: v.copy() for k, v in layer.state_dict().items()}
+    before = {id(p): p.version for p in layer.parameters()}
+    layer.load_state_dict(state)
+    for p in layer.parameters():
+        assert p.version > before[id(p)]
+
+
+def test_versions_are_per_parameter():
+    a = nn.Parameter(np.zeros(2, dtype=np.float32))
+    b = nn.Parameter(np.zeros(2, dtype=np.float32))
+    va, vb = a.version, b.version
+    a.data = np.ones(2, dtype=np.float32)
+    assert a.version == va + 1
+    assert b.version == vb

@@ -1,0 +1,134 @@
+"""QuantCache and the thread-local quant execution scope."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.quant import QuantCache
+from repro.quant.cache import active_cache, active_views, quant_execution_scope
+
+
+def _param(seed=0, shape=(4, 3)):
+    rng = np.random.default_rng(seed)
+    return nn.Parameter(rng.normal(size=shape).astype(np.float32))
+
+
+class TestQuantCache:
+    def test_miss_then_hit_returns_same_object(self):
+        cache = QuantCache()
+        p = _param()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "tensor"
+
+        first = cache.fetch(p, 4, False, True, compute)
+        second = cache.fetch(p, 4, False, True, compute)
+        assert first is second
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_version_change_invalidates(self):
+        cache = QuantCache()
+        p = _param()
+        cache.fetch(p, 4, False, True, lambda: "old")
+        p.data = p.data + 1.0  # bumps version
+        result = cache.fetch(p, 4, False, True, lambda: "new")
+        assert result == "new"
+        assert cache.misses == 2 and cache.hits == 0
+        # The stale entry is overwritten, not accumulated.
+        assert len(cache) == 1
+
+    def test_bits_per_channel_and_grad_mode_key_separately(self):
+        cache = QuantCache()
+        p = _param()
+        cache.fetch(p, 4, False, True, lambda: "a")
+        cache.fetch(p, 8, False, True, lambda: "b")
+        cache.fetch(p, 4, True, True, lambda: "c")
+        cache.fetch(p, 4, False, False, lambda: "d")
+        assert cache.misses == 4 and cache.hits == 0
+        assert len(cache) == 4
+        assert cache.fetch(p, 4, False, True, lambda: "x") == "a"
+        assert cache.fetch(p, 4, False, False, lambda: "x") == "d"
+        assert cache.hits == 2
+
+    def test_disabled_cache_counts_misses_without_storing(self):
+        cache = QuantCache(enabled=False)
+        p = _param()
+        cache.fetch(p, 4, False, True, lambda: "a")
+        cache.fetch(p, 4, False, True, lambda: "b")
+        assert cache.misses == 2 and cache.hits == 0
+        assert len(cache) == 0
+
+    def test_clear_keeps_stats_reset_stats_keeps_entries(self):
+        cache = QuantCache()
+        p = _param()
+        cache.fetch(p, 4, False, True, lambda: "a")
+        cache.fetch(p, 4, False, True, lambda: "a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"hits": 1, "misses": 1}
+        cache.fetch(p, 4, False, True, lambda: "a")
+        cache.reset_stats()
+        assert cache.stats() == {"hits": 0, "misses": 0}
+        assert len(cache) == 1
+
+    def test_hit_rate(self):
+        cache = QuantCache()
+        assert cache.hit_rate == 0.0
+        p = _param()
+        cache.fetch(p, 4, False, True, lambda: "a")
+        cache.fetch(p, 4, False, True, lambda: "a")
+        cache.fetch(p, 4, False, True, lambda: "a")
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+
+class TestExecutionScope:
+    def test_defaults_outside_any_scope(self):
+        assert active_cache() is None
+        assert active_views() == 1
+
+    def test_scope_sets_and_restores(self):
+        cache = QuantCache()
+        with quant_execution_scope(cache, views=2):
+            assert active_cache() is cache
+            assert active_views() == 2
+        assert active_cache() is None
+        assert active_views() == 1
+
+    def test_scopes_nest_innermost_wins(self):
+        outer, inner = QuantCache(), QuantCache()
+        with quant_execution_scope(outer, views=2):
+            with quant_execution_scope(inner, views=4):
+                assert active_cache() is inner
+                assert active_views() == 4
+            assert active_cache() is outer
+            assert active_views() == 2
+
+    def test_scope_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with quant_execution_scope(QuantCache(), views=2):
+                raise RuntimeError("boom")
+        assert active_cache() is None and active_views() == 1
+
+    def test_views_must_be_positive(self):
+        with pytest.raises(ValueError, match="views"):
+            with quant_execution_scope(None, views=0):
+                pass
+
+    def test_scope_is_thread_local(self):
+        cache = QuantCache()
+        seen = {}
+
+        def worker():
+            seen["cache"] = active_cache()
+            seen["views"] = active_views()
+
+        with quant_execution_scope(cache, views=2):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == {"cache": None, "views": 1}

@@ -111,3 +111,35 @@ class TestFormatSummary:
     def test_handles_minimal_summary(self, tmp_path):
         text = format_summary(tmp_path / "x.jsonl", {"epochs": 0, "steps": 0})
         assert "x.jsonl" in text
+
+
+class TestQuantCacheColumn:
+    def write_cache_run(self, tmp_path):
+        logger = JsonlLogger(tmp_path, run_name="cache-run")
+        trainer = FakeTrainer()
+        logger.on_fit_start(trainer, {"epochs": 1})
+        logger.on_epoch_start(trainer, {"epoch": 0})
+        for step, (hits, misses) in enumerate([(0, 40), (30, 10), (30, 10)]):
+            logger.on_step(trainer, {
+                "epoch": 0, "step": step, "loss": 1.0, "batch_size": 4,
+                "quant_cache_hits": hits, "quant_cache_misses": misses,
+            })
+        logger.on_epoch_end(trainer, {"epoch": 0, "loss": 1.0})
+        return logger.path
+
+    def test_hit_rate_summarized(self, tmp_path):
+        path = self.write_cache_run(tmp_path)
+        records = [json.loads(line) for line in open(path)]
+        summary = summarize(records)
+        assert summary["quant_cache_hits"] == 60
+        assert summary["quant_cache_misses"] == 60
+        assert summary["quant_cache_hit_rate"] == pytest.approx(0.5)
+        rendered = format_summary(path, summary)
+        assert "quant cache: 50.0% hit rate (60 hits, 60 misses)" in rendered
+
+    def test_absent_without_cache_fields(self, tmp_path):
+        path = write_run(tmp_path)
+        records = [json.loads(line) for line in open(path)]
+        summary = summarize(records)
+        assert "quant_cache_hit_rate" not in summary
+        assert "quant cache" not in format_summary(path, summary)
