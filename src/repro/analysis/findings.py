@@ -1,0 +1,90 @@
+"""Shared finding model for the static auditor and the invariant linter.
+
+Both pillars of :mod:`repro.analysis` — the model auditor
+(:mod:`repro.analysis.graph`) and the AST linter
+(:mod:`repro.analysis.lint`) — report through the same
+:class:`Finding` record so CLI rendering, JSON output, and CI gating
+are implemented once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "Finding",
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "render_text",
+    "render_json",
+    "exit_code",
+]
+
+#: Severity levels, ordered from most to least severe.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One diagnostic: where it is, what rule fired, and why it matters.
+
+    ``file`` is a path for lint findings and a synthetic location like
+    ``<model:resnet18>`` for model audits (which have no source file);
+    ``line`` is 0 when no source line applies.
+    """
+
+    file: str
+    line: int
+    code: str
+    severity: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITY_ORDER:
+            raise ValueError(
+                f"severity must be one of {sorted(_SEVERITY_ORDER)}, "
+                f"got {self.severity!r}"
+            )
+
+    def render(self) -> str:
+        return (
+            f"{self.file}:{self.line}: {self.code} "
+            f"[{self.severity}] {self.message}"
+        )
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Stable order: by file, line, then code."""
+    return sorted(findings, key=lambda f: (f.file, f.line, f.code))
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report, one finding per line plus a summary."""
+    findings = sort_findings(findings)
+    lines = [f.render() for f in findings]
+    errors = sum(1 for f in findings if f.severity == ERROR)
+    warnings = sum(1 for f in findings if f.severity == WARNING)
+    lines.append(
+        f"{len(findings)} finding(s): {errors} error(s), "
+        f"{warnings} warning(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (a JSON array of finding objects)."""
+    return json.dumps(
+        [dataclasses.asdict(f) for f in sort_findings(findings)], indent=2
+    )
+
+
+def exit_code(findings: Sequence[Finding]) -> int:
+    """CI gate: nonzero exactly when any error-severity finding exists."""
+    return 1 if any(f.severity == ERROR for f in findings) else 0

@@ -1,0 +1,56 @@
+"""Autograd-Function discovery for the gradcheck-coverage audit.
+
+The PR-2 gradcheck sweep iterates a hardcoded module tuple, which means
+a brand-new ``_ops`` file would silently escape the sweep.  This module
+discovers Functions by walking the ``repro.nn._ops`` package with
+:mod:`pkgutil` (plus ``repro.nn.autograd`` itself), so the coverage
+test in ``tests/analysis/test_gradcheck_coverage.py`` fails the moment
+an op lands without a gradcheck entry.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+from typing import Dict, Type
+
+from ..nn.autograd import Function
+
+__all__ = ["discover_autograd_functions"]
+
+
+def discover_autograd_functions() -> Dict[str, Type[Function]]:
+    """Map Function name -> class for every op defined in the framework.
+
+    Walks every module in ``repro.nn._ops`` plus ``repro.nn.autograd``,
+    keeping only Function subclasses *defined* in the visited module
+    (``__module__`` match) so re-exports are not double-counted.
+    Raises on a name collision — two ops with the same class name would
+    make gradcheck coverage ambiguous.
+    """
+    from ..nn import _ops
+
+    module_names = ["repro.nn.autograd"] + [
+        f"{_ops.__name__}.{info.name}"
+        for info in pkgutil.iter_modules(_ops.__path__)
+    ]
+    functions: Dict[str, Type[Function]] = {}
+    for module_name in sorted(module_names):
+        module = importlib.import_module(module_name)
+        for name, obj in sorted(vars(module).items()):
+            if (
+                inspect.isclass(obj)
+                and issubclass(obj, Function)
+                and obj is not Function
+                and obj.__module__ == module.__name__
+            ):
+                if name in functions and functions[name] is not obj:
+                    raise RuntimeError(
+                        f"two autograd Functions share the name {name!r} "
+                        f"({functions[name].__module__} and "
+                        f"{obj.__module__}); rename one so gradcheck "
+                        f"coverage stays unambiguous"
+                    )
+                functions[name] = obj
+    return functions

@@ -20,6 +20,7 @@ from ..models.heads import PredictionHead, ProjectionHead
 from ..nn import functional as F
 from ..nn.layers import contains_batch_statistics
 from ..nn.optim import Optimizer
+from ..nn.rng import ensure_rng
 from ..nn.tensor import Tensor
 from .base import TrainerBase
 from .losses import byol_loss
@@ -46,7 +47,7 @@ class BYOL(nn.Module):
         super().__init__()
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.momentum = momentum
         self.online_encoder = encoder
         self.online_projector = ProjectionHead(

@@ -44,6 +44,7 @@ import numpy as np
 from ..nn import functional as F
 from ..nn.layers import contains_batch_statistics
 from ..nn.optim import Optimizer
+from ..nn.rng import ensure_rng
 from ..nn.tensor import Tensor
 from ..quant import (
     PrecisionSet,
@@ -158,7 +159,7 @@ class ContrastiveQuantTrainer(TrainerBase):
         self.variant = CQVariant.parse(variant)
         self.precision_set = PrecisionSet.parse(precision_set)
         self.optimizer = optimizer
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.temperature = temperature
         self.max_grad_norm = max_grad_norm
         #: optional schedule object with ``next_pair() -> (q1, q2)``; when

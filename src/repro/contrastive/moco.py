@@ -24,6 +24,7 @@ from .. import nn
 from ..models.heads import ProjectionHead
 from ..nn import functional as F
 from ..nn.optim import Optimizer
+from ..nn.rng import ensure_rng
 from ..nn.tensor import Tensor
 from ..quant import (
     PrecisionSet,
@@ -53,7 +54,7 @@ class MoCo(nn.Module):
             raise ValueError(f"queue_size must be >= 2, got {queue_size}")
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.momentum = momentum
         self.query_encoder = encoder
         self.query_projector = ProjectionHead(
@@ -137,7 +138,7 @@ class MoCoTrainer(TrainerBase):
         self.model = model
         self.optimizer = optimizer
         self.temperature = temperature
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.precision_set = (
             PrecisionSet.parse(precision_set) if precision_set else None
         )

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..nn.module import Module
 from ..nn.optim import Optimizer
+from ..nn.rng import ensure_rng
 from ..nn.tensor import Tensor
 from .base import TrainerBase
 from .losses import nt_xent
@@ -85,7 +86,7 @@ class NoiseContrastiveTrainer(TrainerBase):
         self.model = model
         self.noise_set = levels
         self.optimizer = optimizer
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.temperature = temperature
         self.injector = GaussianWeightNoise(self.rng)
         self._init_telemetry()

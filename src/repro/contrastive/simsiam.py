@@ -18,6 +18,7 @@ from ..models.heads import PredictionHead, ProjectionHead
 from ..nn import functional as F
 from ..nn.layers import contains_batch_statistics
 from ..nn.optim import Optimizer
+from ..nn.rng import ensure_rng
 from ..nn.tensor import Tensor
 from ..quant import (
     PrecisionSet,
@@ -43,7 +44,7 @@ class SimSiam(nn.Module):
         head_norm: str = "batch",
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.encoder = encoder
         self.projector = ProjectionHead(
             encoder.feature_dim, out_dim=projection_dim, rng=rng,
@@ -80,7 +81,7 @@ class SimSiamTrainer(TrainerBase):
     ) -> None:
         self.model = model
         self.optimizer = optimizer
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.precision_set = (
             PrecisionSet.parse(precision_set) if precision_set else None
         )

@@ -7,6 +7,8 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..nn.rng import ensure_rng
+
 __all__ = [
     "Dataset",
     "ArrayDataset",
@@ -126,7 +128,7 @@ class DataLoader:
         self.shuffle = shuffle
         self.drop_last = drop_last
         self.transform = transform
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
 
     def __len__(self) -> int:
         n = len(self.dataset)

@@ -18,6 +18,7 @@ from ..data.detection import Box, SyntheticDetection
 from ..nn import functional as F
 from ..nn.losses import bce_with_logits, cross_entropy, mse_loss
 from ..nn.optim import SGD, CosineAnnealingLR
+from ..nn.rng import ensure_rng
 from ..nn.tensor import Tensor
 
 __all__ = [
@@ -75,7 +76,7 @@ class YoloLiteHead(nn.Module):
                  hidden: int = 32,
                  rng: Optional[np.random.Generator] = None) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.num_classes = num_classes
         self.conv1 = nn.Conv2d(in_channels, hidden, 3, padding=1, rng=rng)
         self.bn = nn.BatchNorm2d(hidden)
@@ -201,7 +202,7 @@ def train_detector(
     rng: Optional[np.random.Generator] = None,
 ) -> DetectionModel:
     """Fine-tune a detection model (backbone + fresh head) on scenes."""
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     model = DetectionModel(backbone, dataset.num_classes, rng=rng)
     optimizer = SGD(model.parameters(), lr=lr, momentum=0.9)
     scheduler = CosineAnnealingLR(optimizer, t_max=epochs)

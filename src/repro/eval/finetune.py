@@ -18,6 +18,7 @@ import numpy as np
 from .. import nn
 from ..data.datasets import ArrayDataset, DataLoader, Subset, stratified_label_fraction
 from ..nn.optim import SGD, CosineAnnealingLR
+from ..nn.rng import ensure_rng
 from ..nn.tensor import Tensor
 from ..quant import apply_precision, count_quantized_modules
 from .metrics import accuracy
@@ -102,7 +103,7 @@ def finetune(
     runs at full precision.  The encoder is modified in place — callers
     reload state dicts between runs.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     num_classes = train.num_classes
     model = attach_classifier(encoder, num_classes, rng=rng)
 

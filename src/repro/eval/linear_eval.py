@@ -14,6 +14,7 @@ import numpy as np
 from .. import nn
 from ..data.datasets import ArrayDataset, DataLoader
 from ..nn.optim import SGD, CosineAnnealingLR
+from ..nn.rng import ensure_rng
 from ..nn.tensor import Tensor
 from ..quant import apply_precision, count_quantized_modules
 from .metrics import accuracy
@@ -52,7 +53,7 @@ def linear_evaluation(
     rng: Optional[np.random.Generator] = None,
 ) -> float:
     """Train a linear probe on frozen features; return test accuracy."""
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     x_train, y_train = extract_features(encoder, train, batch_size, precision)
     x_test, y_test = extract_features(encoder, test, batch_size, precision)
 

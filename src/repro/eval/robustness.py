@@ -16,6 +16,7 @@ import numpy as np
 
 from .. import nn
 from ..data.datasets import ArrayDataset
+from ..nn.rng import ensure_rng
 from ..quant import count_quantized_modules
 from .linear_eval import linear_evaluation
 
@@ -41,7 +42,7 @@ def precision_sweep(
             "precision_sweep requires a quantized encoder "
             "(run repro.quant.quantize_model first)"
         )
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     curve: Dict[int, float] = {}
     for bits in bit_widths:
         seed = int(rng.integers(0, 2**31))

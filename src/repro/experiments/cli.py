@@ -96,6 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--keep-last", type=int, default=3,
                         help="retain the newest N checkpoints per method "
                              "(best-loss checkpoint is always kept)")
+    parser.add_argument("--no-preflight", action="store_true",
+                        help="skip the static shapecheck run before "
+                             "pre-training (on by default; see "
+                             "repro.analysis.shapecheck)")
     parser.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -118,6 +122,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         epochs=args.epochs,
         batch_size=args.batch_size,
         seed=args.seed,
+        preflight=not args.no_preflight,
     )
     protocol = EvalProtocol(
         label_fractions=tuple(args.fractions),

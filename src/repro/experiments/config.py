@@ -55,6 +55,10 @@ class PretrainConfig:
     #: contains batch-statistics layers (BatchNorm/Dropout), so reference
     #: BatchNorm configurations are unaffected.
     fuse_views: bool = True
+    #: shapecheck the assembled model against the training data shape
+    #: before fit() — a misconfigured encoder/head combination fails
+    #: immediately with a layer-by-layer report instead of mid-epoch.
+    preflight: bool = True
 
     def __post_init__(self) -> None:
         if self.epochs < 1:

@@ -140,6 +140,19 @@ def pretrain(
         model = SimCLRModel(encoder, projection_dim=config.projection_dim,
                             rng=rng)
         params = list(model.parameters())
+
+    if config.preflight:
+        # Symbolic shape propagation over the assembled model: a wrong
+        # encoder/head combination raises ShapeError (with the partial
+        # per-layer trace) here, before any forward pass or epoch runs.
+        from ..analysis import shapecheck
+
+        shapecheck(
+            model,
+            (config.batch_size,) + tuple(train.images.shape[1:]),
+            dtype=train.images.dtype,
+        )
+
     optimizer = Adam(params, lr=config.lr)
 
     identity_views = False

@@ -13,6 +13,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..nn.rng import ensure_rng
 
 __all__ = ["ProjectionHead", "PredictionHead"]
 
@@ -48,7 +49,7 @@ class ProjectionHead(nn.Module):
         norm: str = "batch",
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         hidden_dim = hidden_dim or in_dim
         self.fc1 = nn.Linear(in_dim, hidden_dim, rng=rng)
         # Attribute stays "bn" whatever the norm kind so checkpoint

@@ -8,6 +8,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..nn.rng import ensure_rng
 
 __all__ = ["InvertedResidual", "MobileNetV2", "mobilenet_v2"]
 
@@ -84,7 +85,7 @@ class MobileNetV2(nn.Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         stem_width = _make_divisible(32 * width_multiplier)
         last_width = _make_divisible(1280 * min(1.0, width_multiplier * 4))
 

@@ -24,6 +24,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..nn.rng import ensure_rng
 
 __all__ = [
     "BasicBlock",
@@ -127,7 +128,7 @@ class ResNet(nn.Module):
             )
         if stem not in ("imagenet", "cifar"):
             raise ValueError(f"unknown stem {stem!r}")
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         widths = [_scaled(w, width_multiplier) for w in stage_widths]
         stem_width = widths[0]
 

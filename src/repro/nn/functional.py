@@ -278,7 +278,15 @@ def dropout(a, p: float, training: bool, rng: Optional[np.random.Generator] = No
         return as_tensor(a)
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        # An ad-hoc generator here could never be captured by
+        # checkpoint get_rng_state(), silently breaking bit-exact
+        # resume — so demand a managed one instead of guessing.
+        raise ValueError(
+            "dropout requires an explicit np.random.Generator when "
+            "active; pass the trainer's managed rng so resume stays "
+            "bit-exact"
+        )
     t = as_tensor(a)
     mask = (rng.random(t.shape) >= p).astype(t.dtype) / (1.0 - p)
     return mul(t, Tensor(mask))

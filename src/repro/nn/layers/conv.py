@@ -9,6 +9,7 @@ import numpy as np
 from .. import functional as F
 from .. import init
 from ..module import Module, Parameter
+from ..rng import ensure_rng
 
 __all__ = ["Conv2d"]
 
@@ -42,7 +43,7 @@ class Conv2d(Module):
                 f"channels ({in_channels}->{out_channels}) must be divisible "
                 f"by groups={groups}"
             )
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = _pair(kernel_size)

@@ -20,9 +20,15 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
-        self._rng = rng or np.random.default_rng()
+        self._rng = rng
 
     def forward(self, x):
+        if self.training and self.p > 0.0 and self._rng is None:
+            raise ValueError(
+                "Dropout is active but was built without an rng; pass "
+                "Dropout(p, rng=...) a managed np.random.Generator so "
+                "checkpoint resume stays bit-exact"
+            )
         return F.dropout(x, self.p, training=self.training, rng=self._rng)
 
     def __repr__(self) -> str:

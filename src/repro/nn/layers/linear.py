@@ -9,6 +9,7 @@ import numpy as np
 from .. import functional as F
 from .. import init
 from ..module import Module, Parameter
+from ..rng import ensure_rng
 
 __all__ = ["Linear"]
 
@@ -39,7 +40,7 @@ class Linear(Module):
             raise ValueError(
                 f"features must be positive, got {in_features}x{out_features}"
             )
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))

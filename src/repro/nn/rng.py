@@ -1,0 +1,31 @@
+"""Managed-RNG helpers.
+
+Every stochastic component in the library threads an explicit
+:class:`numpy.random.Generator` so checkpoint resume can capture and
+restore RNG state bit-exactly (see ``repro.checkpoint``).  The one
+sanctioned fallback to a fresh OS-seeded generator lives here — lint
+rule RPR001 flags ``np.random.default_rng()`` anywhere else in
+``src/`` — so "who may mint an unseeded generator" is a one-line
+allowlist instead of a convention.
+
+Entry points (model constructors, eval harnesses) may call
+:func:`ensure_rng` for an optional ``rng=None`` convenience parameter.
+Code on the training path must *not* fall back: a silently-minted
+generator cannot be restored on resume.  ``F.dropout`` and the
+``Dropout`` layer therefore raise instead of calling this.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ensure_rng"]
+
+
+def ensure_rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    """Return ``rng``, or a fresh OS-seeded generator when ``None``."""
+    if rng is None:
+        return np.random.default_rng()
+    return rng

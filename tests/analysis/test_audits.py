@@ -1,0 +1,137 @@
+"""Module-tree audits: quant coverage, parameter hygiene, state-dict keys."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.analysis import (
+    audit_batch_statistics,
+    audit_model,
+    audit_parameters,
+    audit_quantization,
+    audit_state_dict,
+)
+from repro.models import available_encoders, create_encoder
+from repro.nn.module import Parameter
+from repro.quant import apply_precision, quantize_model
+
+WIDTH = 0.125
+
+
+def _encoder(name="resnet18"):
+    return create_encoder(name, width_multiplier=WIDTH,
+                          rng=np.random.default_rng(0))
+
+
+# -- quantization coverage ---------------------------------------------------
+
+@pytest.mark.parametrize("name", available_encoders())
+def test_converted_models_reach_full_coverage(name):
+    encoder = _encoder(name)
+    quantize_model(encoder)
+    report = audit_quantization(encoder, name)
+    assert report.coverage == 1.0
+    assert report.quantized == report.total > 0
+    assert report.findings() == []
+    # fresh conversion runs at full precision until a precision applies
+    assert all(e.precision is None for e in report.entries)
+    apply_precision(encoder, 8)
+    report = audit_quantization(encoder, name)
+    assert all(e.precision == 8 for e in report.entries)
+
+
+def test_unconverted_layers_are_flagged():
+    encoder = _encoder()
+    quantize_model(encoder)
+    model = nn.Sequential(encoder)
+    # hand-built extra head that never went through convert
+    model.extra_head = nn.Linear(encoder.feature_dim, 4,
+                                 rng=np.random.default_rng(1))
+    report = audit_quantization(model, "hand-built")
+    assert report.coverage < 1.0
+    assert [e.path for e in report.bypassing()] == ["extra_head"]
+    findings = report.findings()
+    assert len(findings) == 1
+    assert findings[0].code == "AUD001"
+    assert findings[0].severity == "error"
+    assert "extra_head" in findings[0].message
+    assert findings[0].file == "<model:hand-built>"
+
+
+def test_float_model_reports_zero_coverage():
+    report = audit_quantization(_encoder(), "float")
+    assert report.quantized == 0
+    assert report.coverage == 0.0
+    assert "BYPASS" in report.render()
+
+
+# -- parameter registration --------------------------------------------------
+
+def test_clean_model_has_no_parameter_findings():
+    assert audit_parameters(_encoder()) == []
+
+
+def test_duplicate_registration_flagged():
+    model = nn.Linear(3, 2, rng=np.random.default_rng(0))
+    model.alias = model.weight  # second name for the same Parameter
+    findings = audit_parameters(model, "dup")
+    assert [f.code for f in findings] == ["AUD002"]
+    assert "alias" in findings[0].message
+    assert "weight" in findings[0].message
+
+
+def test_parameter_hidden_in_container_flagged():
+    model = nn.Identity()
+    model.stash = [Parameter(np.zeros(3, dtype=np.float32))]
+    findings = audit_parameters(model, "hidden")
+    assert [f.code for f in findings] == ["AUD003"]
+    assert "stash" in findings[0].message
+
+
+# -- batch statistics --------------------------------------------------------
+
+def test_batchnorm_model_reports_fuse_views_veto():
+    findings = audit_batch_statistics(_encoder(), "bn-model")
+    assert findings, "BatchNorm resnet should report veto entries"
+    assert {f.code for f in findings} == {"AUD004"}
+    assert all(f.severity == "info" for f in findings)
+
+
+def test_groupnorm_model_is_fusion_safe():
+    from repro.models.resnet import resnet18
+
+    encoder = resnet18(width_multiplier=WIDTH,
+                       rng=np.random.default_rng(0), norm="group")
+    assert audit_batch_statistics(encoder) == []
+
+
+# -- state-dict symmetry -----------------------------------------------------
+
+def test_clean_model_round_trips():
+    assert audit_state_dict(_encoder()) == []
+
+
+def test_asymmetric_state_dict_flagged():
+    class Lossy(nn.Module):  # noqa: RPR005 - asymmetry under test
+        def __init__(self):
+            super().__init__()
+            self.fc = nn.Linear(2, 2, rng=np.random.default_rng(0))
+
+        def state_dict(self):
+            state = super().state_dict()
+            state.pop(next(iter(state)))  # drop a key the loader expects
+            return state
+
+    findings = audit_state_dict(Lossy(), "lossy")
+    assert findings
+    assert {f.code for f in findings} == {"AUD005"}
+
+
+# -- aggregate ---------------------------------------------------------------
+
+def test_audit_model_aggregates_and_scopes():
+    encoder = _encoder()
+    full = audit_model(encoder, "resnet18")
+    assert {f.code for f in full} == {"AUD004"}  # BN info only
+    quiet = audit_model(encoder, "resnet18", include_batch_statistics=False)
+    assert quiet == []

@@ -1,0 +1,54 @@
+"""Gradcheck-coverage audit: no autograd Function escapes the sweep.
+
+The PR-2 sweep discovers ops from a hardcoded module tuple, so a new
+file under ``src/repro/nn/_ops/`` would silently fall outside it.  The
+:func:`repro.analysis.discover_autograd_functions` walk is package-based
+(pkgutil over ``_ops`` plus ``autograd.py``), so cross-referencing it
+against the sweep's ``SPECS`` fails the moment an op lands without a
+gradcheck entry — even in a module the sweep has never heard of.
+"""
+
+from repro.analysis import discover_autograd_functions
+from repro.nn.autograd import Function
+
+from ..nn import test_gradcheck_sweep as sweep
+
+
+def test_discovery_finds_functions():
+    functions = discover_autograd_functions()
+    assert functions, "discovery returned no autograd Functions"
+    for name, cls in functions.items():
+        assert issubclass(cls, Function)
+        assert cls.__name__ == name
+
+
+def test_discovery_is_superset_of_sweep_modules():
+    """pkgutil discovery must see at least what the hardcoded tuple sees."""
+    discovered = discover_autograd_functions()
+    missing = sorted(set(sweep.FUNCTIONS) - set(discovered))
+    assert not missing, (
+        f"package walk missed Functions the sweep knows about: {missing}"
+    )
+
+
+def test_every_discovered_function_has_a_gradcheck_entry():
+    """The audit the sweep itself cannot perform: coverage of NEW modules.
+
+    ``sweep.SPECS`` holds the numerically-checked ops; the STE
+    quantizers are exercised analytically in ``TestQuantizerSTE``
+    (their forward is piecewise constant, so central differences are
+    meaningless) and live outside ``_ops``/``autograd`` anyway.
+    """
+    discovered = discover_autograd_functions()
+    uncovered = sorted(set(discovered) - set(sweep.SPECS))
+    assert not uncovered, (
+        f"autograd Functions without gradcheck coverage: {uncovered} — "
+        "add entries to SPECS in tests/nn/test_gradcheck_sweep.py "
+        "(or an analytic test if the op is piecewise constant)"
+    )
+
+
+def test_no_stale_specs():
+    discovered = discover_autograd_functions()
+    stale = sorted(set(sweep.SPECS) - set(discovered))
+    assert not stale, f"gradcheck specs for nonexistent Functions: {stale}"

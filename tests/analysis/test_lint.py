@@ -1,0 +1,315 @@
+"""Linter rules: positive hits, noqa suppression, allowlists, self-lint."""
+
+import json
+import pathlib
+import textwrap
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.lint import RULES, main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _codes(findings):
+    return [(f.code, f.line) for f in findings]
+
+
+def lint(snippet, path="pkg/somewhere.py", select=None):
+    return lint_source(textwrap.dedent(snippet), path, select=select)
+
+
+# -- RPR001: global RNG ------------------------------------------------------
+
+def test_rpr001_unseeded_default_rng():
+    findings = lint(
+        """\
+        import numpy as np
+        rng = np.random.default_rng()
+        """
+    )
+    assert _codes(findings) == [("RPR001", 2)]
+
+
+def test_rpr001_seeded_generators_pass():
+    assert lint(
+        """\
+        import numpy as np
+        a = np.random.default_rng(0)
+        b = np.random.default_rng(seed)
+        c = np.random.Generator(np.random.PCG64(7))
+        """
+    ) == []
+
+
+def test_rpr001_legacy_global_functions_always_flagged():
+    findings = lint(
+        """\
+        import numpy as np
+        np.random.seed(0)
+        x = np.random.rand(3)
+        """
+    )
+    assert _codes(findings) == [("RPR001", 2), ("RPR001", 3)]
+
+
+def test_rpr001_from_import_alias_tracked():
+    findings = lint(
+        """\
+        from numpy.random import default_rng as mk
+        rng = mk()
+        ok = mk(3)
+        """
+    )
+    assert _codes(findings) == [("RPR001", 2)]
+
+
+def test_rpr001_numpy_alias_tracked():
+    findings = lint(
+        """\
+        import numpy
+        from numpy import random as npr
+        a = numpy.random.default_rng()
+        b = npr.default_rng()
+        """
+    )
+    assert _codes(findings) == [("RPR001", 3), ("RPR001", 4)]
+
+
+def test_rpr001_unrelated_default_rng_name_ignored():
+    # someone else's default_rng (not numpy's) must not be flagged
+    assert lint(
+        """\
+        from mylib import default_rng
+        rng = default_rng()
+        """
+    ) == []
+
+
+def test_rpr001_sanctioned_module_allowed():
+    findings = lint(
+        """\
+        import numpy as np
+        rng = np.random.default_rng()
+        """,
+        path="src/repro/nn/rng.py",
+    )
+    assert findings == []
+
+
+# -- RPR002: raw .data assignment --------------------------------------------
+
+def test_rpr002_raw_data_assignment():
+    findings = lint(
+        """\
+        def step(param, update):
+            param.data = param.data - update
+        """
+    )
+    assert _codes(findings) == [("RPR002", 2)]
+
+
+def test_rpr002_augmented_and_tuple_targets():
+    findings = lint(
+        """\
+        p.data -= g
+        a.data, b.data = x, y
+        """
+    )
+    assert [c for c, _ in _codes(findings)] == ["RPR002"] * 3
+
+
+def test_rpr002_reads_are_fine():
+    assert lint("x = param.data * 2\nparam.grad = None\n") == []
+
+
+def test_rpr002_sanctioned_optimizer_path():
+    snippet = "param.data = param.data - update\n"
+    assert lint(snippet, path="src/repro/nn/optim/sgd.py") == []
+    assert _codes(lint(snippet, path="src/repro/quant/qmodules.py")) == [
+        ("RPR002", 1)
+    ]
+
+
+# -- RPR003: deprecated set_precision ----------------------------------------
+
+def test_rpr003_bare_call_and_import():
+    findings = lint(
+        """\
+        from repro.quant import set_precision
+        set_precision(model, 4)
+        """
+    )
+    assert _codes(findings) == [("RPR003", 1), ("RPR003", 2)]
+
+
+def test_rpr003_module_attribute_call():
+    findings = lint(
+        """\
+        from repro import quant
+        quant.set_precision(model, 4)
+        """
+    )
+    assert _codes(findings) == [("RPR003", 2)]
+
+
+def test_rpr003_method_call_not_flagged():
+    # QuantizedModule.set_precision is the supported per-module API
+    assert lint(
+        """\
+        module.set_precision(4)
+        self.set_precision(None)
+        """
+    ) == []
+
+
+def test_rpr003_shim_definition_site_sanctioned():
+    snippet = "from .convert import set_precision\n"
+    assert lint(snippet, path="src/repro/quant/__init__.py") == []
+
+
+# -- RPR004: mutable defaults ------------------------------------------------
+
+def test_rpr004_mutable_defaults():
+    findings = lint(
+        """\
+        def f(a, b=[]):
+            pass
+
+        def g(*, c={}):
+            pass
+
+        def h(d=set()):
+            pass
+        """
+    )
+    assert [c for c, _ in _codes(findings)] == ["RPR004"] * 3
+
+
+def test_rpr004_immutable_defaults_pass():
+    assert lint("def f(a=(), b=None, c=0, d='x'):\n    pass\n") == []
+
+
+# -- RPR005: state_dict symmetry ---------------------------------------------
+
+def test_rpr005_one_sided_override():
+    findings = lint(
+        """\
+        class Dumper:
+            def state_dict(self):
+                return {}
+        """
+    )
+    assert _codes(findings) == [("RPR005", 1)]
+    assert "load_state_dict" in findings[0].message
+
+
+def test_rpr005_both_sides_pass():
+    assert lint(
+        """\
+        class Round:
+            def state_dict(self):
+                return {}
+
+            def load_state_dict(self, state):
+                pass
+        """
+    ) == []
+
+
+# -- noqa, select, parse failures --------------------------------------------
+
+def test_noqa_with_code_suppresses():
+    findings = lint(
+        """\
+        import numpy as np
+        rng = np.random.default_rng()  # noqa: RPR001
+        """
+    )
+    assert findings == []
+
+
+def test_blanket_noqa_suppresses():
+    assert lint("p.data = x  # noqa\n") == []
+
+
+def test_noqa_with_other_code_does_not_suppress():
+    findings = lint("p.data = x  # noqa: RPR001\n")
+    assert _codes(findings) == [("RPR002", 1)]
+
+
+def test_select_filters_rules():
+    snippet = """\
+    import numpy as np
+    rng = np.random.default_rng()
+    p.data = x
+    """
+    assert [c for c, _ in _codes(lint(snippet, select=["RPR002"]))] == [
+        "RPR002"
+    ]
+
+
+def test_syntax_error_reports_rpr000():
+    findings = lint_source("def broken(:\n", "bad.py")
+    assert [f.code for f in findings] == ["RPR000"]
+
+
+# -- acceptance: re-introducing known bugs is caught -------------------------
+
+def test_reintroduced_unseeded_dropout_fails(tmp_path):
+    bad = tmp_path / "newmod.py"
+    bad.write_text(
+        "import numpy as np\n"
+        "\n"
+        "def dropout(a, p, training, rng=None):\n"
+        "    rng = rng or np.random.default_rng()\n"
+        "    return a\n"
+    )
+    assert main([str(tmp_path)]) == 1
+    findings = lint_paths([str(tmp_path)])
+    assert [(f.code, f.file, f.line) for f in findings] == [
+        ("RPR001", str(bad), 4)
+    ]
+
+
+def test_reintroduced_raw_data_assignment_fails(tmp_path):
+    bad = tmp_path / "ema.py"
+    bad.write_text("def ema(p, q, m):\n    p.data = m * p.data\n")
+    assert main([str(tmp_path)]) == 1
+    findings = lint_paths([str(tmp_path)])
+    assert [(f.code, f.file, f.line) for f in findings] == [
+        ("RPR002", str(bad), 2)
+    ]
+
+
+def test_sanctioned_allowlist_applies_under_any_checkout_root(tmp_path):
+    nested = tmp_path / "repro" / "nn" / "optim"
+    nested.mkdir(parents=True)
+    (nested / "custom.py").write_text("p.data = p.data - g\n")
+    assert main([str(tmp_path)]) == 0
+
+
+def test_cli_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("import numpy as np\n"
+                                    "rng = np.random.default_rng(0)\n")
+    assert main([str(tmp_path)]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_cli_json_format(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text("p.data = x\n")
+    assert main([str(tmp_path), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["code"] == "RPR002"
+    assert payload[0]["severity"] == "error"
+
+
+# -- repo-wide self-lint -----------------------------------------------------
+
+def test_src_tree_is_clean():
+    findings = lint_paths([str(REPO_ROOT / "src")])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_every_rule_documented():
+    assert sorted(RULES) == ["RPR001", "RPR002", "RPR003", "RPR004",
+                             "RPR005"]

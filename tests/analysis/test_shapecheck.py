@@ -1,0 +1,173 @@
+"""Symbolic shape propagation: correct traces, early failures, no forwards."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.analysis import ShapeError, register_shape_handler, shapecheck
+from repro.contrastive import BYOL, MoCo, SimCLRModel, SimSiam
+from repro.models import available_encoders, create_encoder
+from repro.models.heads import ProjectionHead
+from repro.nn.autograd import Function
+
+WIDTH = 0.125
+
+
+def _encoder(name, rng_seed=0):
+    return create_encoder(name, width_multiplier=WIDTH,
+                          rng=np.random.default_rng(rng_seed))
+
+
+@pytest.fixture(autouse=True)
+def _no_forward(monkeypatch):
+    """shapecheck must never execute an op: poison the autograd engine."""
+
+    def boom(cls, *args, **kwargs):  # pragma: no cover - only on failure
+        raise AssertionError("shapecheck executed a forward pass")
+
+    monkeypatch.setattr(Function, "apply", classmethod(boom))
+
+
+@pytest.mark.parametrize("name", available_encoders())
+def test_registry_models_trace_to_feature_dim(name):
+    encoder = _encoder(name)
+    report = shapecheck(encoder, (2, 3, 32, 32))
+    assert report.output_shape == (2, encoder.feature_dim)
+    assert report.entries, "expected a per-layer trace"
+    # the trace is in execution order: the root module comes last
+    assert report.entries[-1].path == "<root>"
+    assert report.entries[-1].output_shape == report.output_shape
+
+
+@pytest.mark.parametrize("name", available_encoders())
+def test_registry_models_reject_wrong_input_shape(name):
+    encoder = _encoder(name)
+    with pytest.raises(ShapeError) as excinfo:
+        shapecheck(encoder, (2, 4, 32, 32))
+    assert "channels" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("name", available_encoders())
+def test_registry_models_reject_head_dim_mismatch(name):
+    encoder = _encoder(name)
+    model = SimCLRModel(encoder, projection_dim=8,
+                        rng=np.random.default_rng(1))
+    # sabotage the head: its fc1 no longer matches encoder.feature_dim
+    model.projector.fc1 = nn.Linear(
+        encoder.feature_dim + 1, model.projector.fc1.out_features,
+        rng=np.random.default_rng(2),
+    )
+    with pytest.raises(ShapeError) as excinfo:
+        shapecheck(model, (2, 3, 32, 32))
+    assert excinfo.value.path.endswith("projector.fc1")
+    assert f"{encoder.feature_dim + 1}" in str(excinfo.value)
+
+
+def test_matching_head_passes():
+    encoder = _encoder("resnet18")
+    model = SimCLRModel(encoder, projection_dim=8,
+                        rng=np.random.default_rng(1))
+    report = shapecheck(model, (4, 3, 32, 32))
+    assert report.output_shape == (4, 8)
+
+
+@pytest.mark.parametrize("wrapper", [BYOL, MoCo, SimSiam])
+def test_contrastive_wrappers_trace(wrapper):
+    model = wrapper(_encoder("resnet18"), projection_dim=8,
+                    rng=np.random.default_rng(1))
+    report = shapecheck(model, (4, 3, 32, 32))
+    assert report.output_shape == (4, 8)
+
+
+def test_spatial_collapse_is_caught():
+    model = nn.Sequential(
+        nn.Conv2d(3, 4, kernel_size=5, rng=np.random.default_rng(0)),
+        nn.Conv2d(4, 4, kernel_size=5, rng=np.random.default_rng(0)),
+    )
+    # 6x6 -> 2x2 after the first k5 conv; the second k5 conv cannot fit
+    with pytest.raises(ShapeError) as excinfo:
+        shapecheck(model, (1, 3, 6, 6))
+    assert "collapses spatial size" in str(excinfo.value)
+    assert excinfo.value.path == "1"
+
+
+def test_error_carries_partial_trace():
+    model = nn.Sequential(
+        nn.Conv2d(3, 4, kernel_size=3, padding=1,
+                  rng=np.random.default_rng(0)),
+        nn.Linear(99, 5, rng=np.random.default_rng(0)),
+    )
+    with pytest.raises(ShapeError) as excinfo:
+        shapecheck(model, (1, 3, 8, 8))
+    # the conv that succeeded is in the partial trace
+    assert [e.path for e in excinfo.value.entries] == ["0"]
+    assert "layers traced before the failure" in str(excinfo.value)
+
+
+def test_projection_head_shape():
+    head = ProjectionHead(in_dim=12, hidden_dim=7, out_dim=5,
+                          rng=np.random.default_rng(0))
+    report = shapecheck(head, (3, 12))
+    assert report.output_shape == (3, 5)
+    with pytest.raises(ShapeError):
+        shapecheck(head, (3, 13))
+
+
+def test_pool_and_norm_handlers():
+    model = nn.Sequential(
+        nn.Conv2d(3, 8, kernel_size=3, padding=1,
+                  rng=np.random.default_rng(0)),
+        nn.BatchNorm2d(8),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(8, 4, rng=np.random.default_rng(0)),
+    )
+    report = shapecheck(model, (2, 3, 16, 16))
+    assert report.output_shape == (2, 4)
+    by_path = {e.path: e for e in report.entries}
+    assert by_path["3"].output_shape == (2, 8, 8, 8)
+    assert by_path["4"].output_shape == (2, 8)
+
+
+def test_dtype_propagates():
+    model = nn.Linear(4, 2, rng=np.random.default_rng(0))
+    report = shapecheck(model, (1, 4), dtype="float64")
+    # float64 input x float32 weights -> float64 activations
+    assert report.dtype == "float64"
+    assert shapecheck(model, (1, 4)).dtype == "float32"
+
+
+def test_unknown_module_mentions_registration():
+    class Exotic(nn.Module):
+        def forward(self, x):  # pragma: no cover
+            return x
+
+    with pytest.raises(ShapeError) as excinfo:
+        shapecheck(Exotic(), (1, 3))
+    assert "register_shape_handler" in str(excinfo.value)
+
+
+def test_custom_handler_registration():
+    class Doubler(nn.Module):
+        def forward(self, x):  # pragma: no cover
+            return x
+
+    @register_shape_handler(Doubler)
+    def _shape_doubler(module, shape, dtype, path, tracer):
+        return shape[:-1] + (2 * shape[-1],), dtype
+
+    report = shapecheck(Doubler(), (1, 3))
+    assert report.output_shape == (1, 6)
+
+
+def test_non_positive_input_rejected():
+    with pytest.raises(ShapeError):
+        shapecheck(nn.Identity(), (0, 3))
+
+
+def test_report_render_lists_every_layer():
+    encoder = _encoder("resnet18")
+    text = shapecheck(encoder, (2, 3, 32, 32)).render()
+    assert "stem_conv" in text
+    assert f"(2, {encoder.feature_dim})" in text

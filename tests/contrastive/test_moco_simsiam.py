@@ -52,7 +52,7 @@ class TestMoCoModel:
         model = MoCo(encoder(), momentum=0.5, rng=rng)
         query_first = next(model.query_encoder.parameters())
         key_first = next(model.key_encoder.parameters())
-        query_first.data = query_first.data + 1.0
+        query_first.data = query_first.data + 1.0  # noqa: RPR002 - version bump under test
         before = key_first.data.copy()
         model.update_key_encoder()
         np.testing.assert_allclose(

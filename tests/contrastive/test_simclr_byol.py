@@ -107,7 +107,7 @@ class TestBYOL:
         first = next(model.online_encoder.parameters())
         target_first = next(model.target_encoder.parameters())
         original = target_first.data.copy()
-        first.data = first.data + 1.0
+        first.data = first.data + 1.0  # noqa: RPR002 - version bump is the point
         model.update_target()
         np.testing.assert_allclose(
             target_first.data, 0.5 * original + 0.5 * first.data, rtol=1e-5

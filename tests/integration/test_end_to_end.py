@@ -109,9 +109,9 @@ class TestStatePortability:
         quant_enc = outcome.make_encoder(quantized=True)
         assert count_quantized_modules(quant_enc) > 0
         from repro import nn
-        from repro.quant import set_precision
+        from repro.quant import apply_precision
 
-        set_precision(quant_enc, None)
+        apply_precision(quant_enc, None)
         float_enc.eval(), quant_enc.eval()
         x = nn.Tensor(data.test.images[:4])
         np.testing.assert_allclose(

@@ -19,7 +19,7 @@ from repro.data import (
 )
 from repro.models import resnet18
 from repro.nn.optim import Adam
-from repro.quant import quantize_model, set_precision
+from repro.quant import apply_precision, quantize_model
 
 
 def _precision_consistency(encoder, images, bits_low=4, bits_high=16):
@@ -32,11 +32,11 @@ def _precision_consistency(encoder, images, bits_low=4, bits_high=16):
     encoder.eval()
     x = nn.Tensor(images)
     with nn.no_grad():
-        set_precision(encoder, bits_high)
+        apply_precision(encoder, bits_high)
         high = encoder(x).data
-        set_precision(encoder, bits_low)
+        apply_precision(encoder, bits_low)
         low = encoder(x).data
-    set_precision(encoder, None)
+    apply_precision(encoder, None)
     cos = (high * low).sum(axis=1) / (
         np.linalg.norm(high, axis=1) * np.linalg.norm(low, axis=1) + 1e-8
     )
@@ -113,9 +113,9 @@ class TestQuantizationAugmentationIsNontrivial:
         model.eval()
         x = nn.Tensor(data.test.images[:8])
         with nn.no_grad():
-            set_precision(encoder, 2)
+            apply_precision(encoder, 2)
             z_low = model(x).data
-            set_precision(encoder, 8)
+            apply_precision(encoder, 8)
             z_high = model(x).data
         gap = np.linalg.norm(z_low - z_high) / np.linalg.norm(z_high)
         assert gap > 0.01
@@ -130,11 +130,11 @@ class TestQuantizationAugmentationIsNontrivial:
         encoder.eval()
         x = nn.Tensor(data.test.images[:8])
         with nn.no_grad():
-            set_precision(encoder, None)
+            apply_precision(encoder, None)
             reference = encoder(x).data
             gaps = []
             for bits in (2, 4, 8, 12):
-                set_precision(encoder, bits)
+                apply_precision(encoder, bits)
                 gaps.append(
                     float(np.linalg.norm(encoder(x).data - reference))
                 )

@@ -6,7 +6,7 @@ import pytest
 from repro import nn
 from repro.models import resnet18, resnet34, resnet74, resnet110, resnet152
 from repro.models.resnet import BasicBlock, ResNet
-from repro.quant import count_quantized_modules, quantize_model, set_precision
+from repro.quant import count_quantized_modules, apply_precision, quantize_model
 
 
 SMALL = dict(width_multiplier=0.125)
@@ -120,15 +120,15 @@ class TestQuantizedResNet:
         model = quantize_model(resnet18(rng=rng, **SMALL))
         model.eval()
         x = nn.Tensor(rng.normal(size=(1, 3, 8, 8)))
-        set_precision(model, 4)
+        apply_precision(model, 4)
         low = model(x).data.copy()
-        set_precision(model, None)
+        apply_precision(model, None)
         full = model(x).data.copy()
         assert not np.allclose(low, full)
 
     def test_quantized_resnet_trains(self, rng):
         model = quantize_model(resnet18(rng=rng, **SMALL))
-        set_precision(model, 8)
+        apply_precision(model, 8)
         x = nn.Tensor(rng.normal(size=(2, 3, 8, 8)))
         model(x).sum().backward()
         grads = [p.grad for p in model.parameters() if p.grad is not None]

@@ -1,0 +1,85 @@
+"""Managed-generator contract for dropout (lint rule RPR001's runtime twin).
+
+Dropout used to fall back to an unseeded ``np.random.default_rng()``
+when no generator was supplied, which made its masks unobservable to
+``checkpoint.get_rng_state`` and silently broke bit-exact resume.  It
+now demands a managed generator whenever it is active, and stays a
+cheap identity when inactive.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.checkpoint import get_rng_state, set_rng_state
+from repro.nn import functional as F
+from repro.nn.rng import ensure_rng
+from repro.nn.tensor import Tensor
+
+
+def test_functional_dropout_requires_rng_when_active():
+    x = Tensor(np.ones((4, 4), dtype=np.float32))
+    with pytest.raises(ValueError, match="managed rng"):
+        F.dropout(x, 0.5, training=True)
+
+
+def test_functional_dropout_identity_paths_need_no_rng():
+    x = Tensor(np.ones((4, 4), dtype=np.float32))
+    assert np.array_equal(F.dropout(x, 0.5, training=False).data, x.data)
+    assert np.array_equal(F.dropout(x, 0.0, training=True).data, x.data)
+
+
+def test_functional_dropout_still_validates_p_first():
+    x = Tensor(np.ones((2, 2), dtype=np.float32))
+    with pytest.raises(ValueError, match="probability"):
+        F.dropout(x, 1.5, training=True)
+
+
+def test_layer_requires_rng_only_when_active():
+    layer = nn.Dropout(0.5)  # construction without rng stays legal
+    x = Tensor(np.ones((3, 3), dtype=np.float32))
+    layer.eval()
+    assert np.array_equal(layer(x).data, x.data)
+    layer.train()
+    with pytest.raises(ValueError, match="managed np.random.Generator"):
+        layer(x)
+
+
+def test_layer_with_rng_draws_masks():
+    layer = nn.Dropout(0.5, rng=np.random.default_rng(3))
+    layer.train()
+    x = Tensor(np.ones((64, 64), dtype=np.float32))
+    out = layer(x).data
+    assert set(np.unique(out)) == {0.0, 2.0}  # inverted dropout scaling
+
+
+def test_same_seed_gives_bit_exact_masks():
+    x = Tensor(np.ones((16, 16), dtype=np.float32))
+    a = [F.dropout(x, 0.3, True, rng=np.random.default_rng(9)).data
+         for _ in range(1)]
+    b = [F.dropout(x, 0.3, True, rng=np.random.default_rng(9)).data
+         for _ in range(1)]
+    assert np.array_equal(a[0], b[0])
+
+
+def test_rng_state_round_trip_reproduces_mask_stream():
+    """Mid-stream checkpoint capture/restore replays identical masks."""
+    x = Tensor(np.ones((8, 8), dtype=np.float32))
+    rng = np.random.default_rng(11)
+    F.dropout(x, 0.4, True, rng=rng)  # advance the stream
+    snapshot = get_rng_state(rng)
+    expected = [F.dropout(x, 0.4, True, rng=rng).data for _ in range(3)]
+
+    resumed = np.random.default_rng(0)  # wrong seed on purpose
+    set_rng_state(resumed, snapshot)
+    replayed = [F.dropout(x, 0.4, True, rng=resumed).data
+                for _ in range(3)]
+    for want, got in zip(expected, replayed):
+        assert np.array_equal(want, got)
+
+
+def test_ensure_rng_passthrough_and_fallback():
+    rng = np.random.default_rng(5)
+    assert ensure_rng(rng) is rng
+    minted = ensure_rng(None)
+    assert isinstance(minted, np.random.Generator)

@@ -35,7 +35,7 @@ class TestQuantCache:
         cache = QuantCache()
         p = _param()
         cache.fetch(p, 4, False, True, lambda: "old")
-        p.data = p.data + 1.0  # bumps version
+        p.data = p.data + 1.0  # bumps version  # noqa: RPR002 - version bump under test
         result = cache.fetch(p, 4, False, True, lambda: "new")
         assert result == "new"
         assert cache.misses == 2 and cache.hits == 0

@@ -5,7 +5,7 @@ import pytest
 
 from repro import nn
 from repro.nn.tensor import Tensor
-from repro.quant import (
+from repro.quant import (  # noqa: RPR003 - shim under test
     QuantCache,
     PrecisionContext,
     apply_precision,
@@ -103,7 +103,7 @@ class TestPrecisionContext:
                     out = model(x)
             else:
                 with pytest.deprecated_call():
-                    set_precision(model, 4)
+                    set_precision(model, 4)  # noqa: RPR003 - shim under test
                 out = model(x)
             (out ** 2).sum().backward()
             grads = [np.asarray(p.grad).tobytes()
@@ -135,6 +135,6 @@ class TestSetPrecisionShim:
     def test_warns_and_delegates(self):
         model = small_model()
         with pytest.deprecated_call():
-            count = set_precision(model, 4)
+            count = set_precision(model, 4)  # noqa: RPR003 - shim under test
         assert count == 2
         assert all(m.precision == 4 for m in qmodules(model))

@@ -7,10 +7,10 @@ from repro import nn
 from repro.quant import (
     QConv2d,
     QLinear,
+    apply_precision,
     count_quantized_modules,
     linear_quantize,
     quantize_model,
-    set_precision,
 )
 
 
@@ -137,29 +137,29 @@ class TestConversion:
         quantize_model(model)
         assert count_quantized_modules(model) == 2
 
-    def test_set_precision_all(self, rng):
+    def test_apply_precision_all(self, rng):
         model = quantize_model(small_model(rng))
-        assert set_precision(model, 8) == 2
+        assert apply_precision(model, 8) == 2
         assert model[0].precision == 8
         assert model[4].precision == 8
 
-    def test_set_precision_back_to_fp(self, rng):
+    def test_apply_precision_back_to_fp(self, rng):
         model = quantize_model(small_model(rng))
-        set_precision(model, 4)
-        set_precision(model, None)
+        apply_precision(model, 4)
+        apply_precision(model, None)
         assert model[0].precision is None
 
-    def test_set_precision_unconverted_raises(self, rng):
+    def test_apply_precision_unconverted_raises(self, rng):
         with pytest.raises(ValueError, match="no quantized modules"):
-            set_precision(small_model(rng), 8)
+            apply_precision(small_model(rng), 8)
 
     def test_precision_switch_changes_features(self, rng):
         model = quantize_model(small_model(rng))
         model.eval()
         x = nn.Tensor(rng.normal(size=(2, 3, 6, 6)))
-        set_precision(model, 4)
+        apply_precision(model, 4)
         low = model(x).data.copy()
-        set_precision(model, 16)
+        apply_precision(model, 16)
         high = model(x).data.copy()
         assert not np.allclose(low, high)
 
