@@ -28,6 +28,14 @@ RPR004 Mutable default argument (list/dict/set literal, comprehension,
 RPR005 A class defining ``state_dict`` without ``load_state_dict`` (or
        vice versa): checkpoints written by it cannot be read back, or
        the loader accepts keys the dumper never emits.
+RPR006 Parallelism outside the parallel layer: importing
+       ``multiprocessing``/``concurrent.futures`` anywhere but
+       :mod:`repro.parallel`, or a worker entrypoint (any function whose
+       name contains ``worker``) minting an RNG directly instead of
+       going through ``repro.nn.rng`` (``ensure_rng``/``derive_rng``).
+       Ad-hoc pools bypass the fork/thread fallback, crash isolation,
+       and — above all — the order-independent seeding contract that
+       keeps parallel batches byte-identical and resumable.
 ====== ==============================================================
 """
 
@@ -51,6 +59,8 @@ RULES: Dict[str, str] = {
     "RPR003": "deprecated module-level set_precision",
     "RPR004": "mutable default argument",
     "RPR005": "state_dict without load_state_dict (or vice versa)",
+    "RPR006": "ad-hoc parallelism outside repro.parallel / unmanaged "
+              "worker RNG",
 }
 
 # Modules allowed to break a rule, matched as a path suffix (so the
@@ -77,7 +87,13 @@ SANCTIONED: Dict[str, Tuple[str, ...]] = {
         "repro/quant/convert.py",
         "repro/quant/__init__.py",
     ),
+    # The parallel layer is the one place allowed to own pools/executors;
+    # everything else must go through PrefetchLoader / SweepExecutor.
+    "RPR006": ("repro/parallel/",),
 }
+
+# Module roots whose import anywhere else signals ad-hoc parallelism.
+_PARALLEL_MODULES = ("multiprocessing", "concurrent.futures")
 
 # np.random attributes that construct generator objects: calling them
 # *with a seed* is fine; only a bare call is a global-RNG smell.
@@ -123,6 +139,7 @@ class _RuleVisitor(ast.NodeVisitor):
         self._numpy_aliases: Set[str] = set()
         self._numpy_random_aliases: Set[str] = set()
         self._random_imports: Dict[str, str] = {}  # local name -> fn
+        self._function_stack: List[str] = []  # enclosing def names
 
     def _emit(self, node: ast.AST, code: str, message: str) -> None:
         self.findings.append(
@@ -139,7 +156,24 @@ class _RuleVisitor(ast.NodeVisitor):
                 self._numpy_aliases.add(local)
             if alias.name == "numpy.random":
                 self._numpy_random_aliases.add(alias.asname or "numpy")
+            if self._is_parallel_module(alias.name):
+                self._flag_parallel_import(node, alias.name)
         self.generic_visit(node)
+
+    @staticmethod
+    def _is_parallel_module(module: str) -> bool:
+        return any(
+            module == root or module.startswith(root + ".")
+            for root in _PARALLEL_MODULES
+        )
+
+    def _flag_parallel_import(self, node: ast.AST, module: str) -> None:
+        self._emit(
+            node, "RPR006",
+            f"import of {module} outside repro.parallel; pools belong "
+            f"behind PrefetchLoader/SweepExecutor so the seeding "
+            f"contract, fallback, and crash isolation hold",
+        )
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module == "numpy" and node.level == 0:
@@ -149,6 +183,13 @@ class _RuleVisitor(ast.NodeVisitor):
         if node.module == "numpy.random" and node.level == 0:
             for alias in node.names:
                 self._random_imports[alias.asname or alias.name] = alias.name
+        if node.module is not None and node.level == 0:
+            if self._is_parallel_module(node.module):
+                self._flag_parallel_import(node, node.module)
+            elif node.module == "concurrent":
+                for alias in node.names:
+                    if alias.name == "futures":
+                        self._flag_parallel_import(node, "concurrent.futures")
         for alias in node.names:
             if alias.name == "set_precision":
                 self._emit(
@@ -184,9 +225,21 @@ class _RuleVisitor(ast.NodeVisitor):
             return self._random_imports[func.id]
         return None
 
+    def _in_worker_function(self) -> bool:
+        """True inside a def whose name marks it as a pool worker."""
+        return any("worker" in name.lower() for name in self._function_stack)
+
     def visit_Call(self, node: ast.Call) -> None:
         fn = self._np_random_fn(node.func)
         if fn is not None:
+            if fn in _RNG_CONSTRUCTORS and self._in_worker_function():
+                self._emit(
+                    node, "RPR006",
+                    f"worker entrypoint mints np.random.{fn}(...) "
+                    f"directly; derive worker RNGs via "
+                    f"repro.nn.rng.derive_rng/ensure_rng so streams stay "
+                    f"order-independent across worker counts",
+                )
             if fn in _RNG_CONSTRUCTORS:
                 if not node.args and not node.keywords:
                     self._emit(
@@ -280,11 +333,15 @@ class _RuleVisitor(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._function_stack.append(node.name)
         self.generic_visit(node)
+        self._function_stack.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._function_stack.append(node.name)
         self.generic_visit(node)
+        self._function_stack.pop()
 
     # -- RPR005: state_dict / load_state_dict symmetry ------------------
 
@@ -373,7 +430,7 @@ def lint_paths(paths: Sequence[str],
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Repo-invariant linter (rules RPR001-RPR005; "
+        description="Repo-invariant linter (rules RPR001-RPR006; "
                     "suppress per line with '# noqa: RPRxxx').",
     )
     parser.add_argument("paths", nargs="+",

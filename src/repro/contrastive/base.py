@@ -25,6 +25,7 @@ Backward compatibility: the historical positional-scheduler pattern
 
 from __future__ import annotations
 
+import time
 import warnings
 from typing import Dict, List, Optional, Tuple
 
@@ -59,9 +60,10 @@ class TrainerBase:
         # state when a CheckpointCallback fires at an epoch boundary.
         self._active_loader = None
         self._active_scheduler = None
-        # Loader-RNG / scheduler state loaded from a checkpoint before the
-        # owning fit() call made those objects known.
+        # Loader-RNG / loader / scheduler state loaded from a checkpoint
+        # before the owning fit() call made those objects known.
         self._pending_loader_rng = None
+        self._pending_loader_state = None
         self._pending_scheduler_state = None
 
     # -- hooks for subclasses ----------------------------------------------
@@ -127,6 +129,12 @@ class TrainerBase:
         loader_rng = getattr(self._active_loader, "rng", None)
         if loader_rng is not None:
             state["loader_rng"] = get_rng_state(loader_rng)
+        # Loaders with their own state (the order-independent seeded
+        # DataLoader's epoch counter, proxied by PrefetchLoader) join the
+        # checkpoint so prefetched runs resume bit-exactly too.
+        loader_state_dict = getattr(self._active_loader, "state_dict", None)
+        if callable(loader_state_dict):
+            state["loader_state"] = loader_state_dict()
         return state
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
@@ -169,6 +177,7 @@ class TrainerBase:
         self._load_aux_state(state.get("aux", {}))
         self._pending_scheduler_state = state.get("scheduler")
         self._pending_loader_rng = state.get("loader_rng")
+        self._pending_loader_state = state.get("loader_state")
 
     # -- epoch / fit loops -------------------------------------------------
     def train_epoch(self, loader) -> float:
@@ -178,18 +187,44 @@ class TrainerBase:
     def _run_epoch(self, loader, bus: EventBus, epoch: int) -> float:
         self._training_module().train()
         losses: List[float] = []
-        for view1, view2, _ in loader:
+        # Any iterable of (view1, view2[, labels, ...]) batches works as a
+        # batch source — DataLoader, PrefetchLoader, or a plain generator.
+        # Timing the fetch separately from the step separates data stalls
+        # from compute, which is the number the prefetch pipeline moves.
+        batches = iter(loader)
+        while True:
+            wait_start = time.perf_counter()
+            try:
+                batch = next(batches)
+            except StopIteration:
+                break
+            data_wait = time.perf_counter() - wait_start
+            if not isinstance(batch, (tuple, list)) or len(batch) < 2:
+                raise ValueError(
+                    "batch source must yield (view1, view2[, labels]) "
+                    f"tuples, got {type(batch).__name__}"
+                )
+            view1, view2 = batch[0], batch[1]
+            compute_start = time.perf_counter()
             loss = self.train_step(view1, view2)
+            compute = time.perf_counter() - compute_start
             losses.append(loss)
             batch_size = int(np.asarray(view1).shape[0])
             self.metrics.gauge("step_loss").set(loss)
             self.metrics.counter("steps").inc()
             self.metrics.counter("images").inc(batch_size)
+            self.metrics.histogram("data_wait_seconds").observe(data_wait)
+            self.metrics.histogram("step_compute_seconds").observe(compute)
+            queue_depth = getattr(loader, "queue_depth", None)
+            if queue_depth is not None:
+                self.metrics.gauge("prefetch_queue_depth").set(queue_depth)
             payload = {
                 "epoch": epoch,
                 "step": self._global_step,
                 "loss": loss,
                 "batch_size": batch_size,
+                "data_wait_seconds": data_wait,
+                "compute_seconds": compute,
             }
             payload.update(self.step_info())
             self._global_step += 1
@@ -256,6 +291,10 @@ class TrainerBase:
 
                     set_rng_state(loader.rng, self._pending_loader_rng)
                 self._pending_loader_rng = None
+            if self._pending_loader_state is not None:
+                if callable(getattr(loader, "load_state_dict", None)):
+                    loader.load_state_dict(self._pending_loader_state)
+                self._pending_loader_state = None
             if self._pending_scheduler_state is not None:
                 if scheduler is not None:
                     scheduler.load_state_dict(self._pending_scheduler_state)

@@ -7,7 +7,7 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..nn.rng import ensure_rng
+from ..nn.rng import derive_rng, ensure_rng
 
 __all__ = [
     "Dataset",
@@ -104,12 +104,37 @@ def stratified_label_fraction(
     return np.sort(np.concatenate(picked))
 
 
+# Second spawn-key word separating the loader's RNG domains, so the
+# shuffle stream of epoch e can never collide with sample index e.
+_SHUFFLE_DOMAIN = 1
+_SAMPLE_DOMAIN = 2
+
+
 class DataLoader:
     """Mini-batch iterator with shuffling and optional transform.
 
     ``transform(image, rng) -> image-or-tuple`` is applied per sample; when
     it returns a tuple (e.g. two augmented views), the loader yields one
     stacked array per tuple slot, enabling the two-view contrastive batches.
+
+    Two seeding modes:
+
+    - **Legacy stream** (``rng=...``): shuffle and every per-sample
+      transform consume one stateful generator in iteration order.
+      Deterministic for inline iteration, but inherently serial.
+    - **Order-independent** (``seed=...``): the shuffle of epoch ``e``
+      uses a generator derived from ``(seed, epoch)`` and each sample's
+      transform uses one derived from ``(seed, epoch, sample_index)``
+      (``sample_index`` is the *dataset* index, not the batch position).
+      Batches are then byte-identical no matter which worker produces
+      them — the contract ``num_workers > 0`` builds on.  Loader state is
+      a single epoch counter, captured by ``state_dict()`` so bit-exact
+      checkpoint resume holds.
+
+    ``num_workers > 0`` materialises batches ahead of the consumer with
+    :class:`repro.parallel.PrefetchLoader` (fork process pool, thread
+    fallback); up to ``num_workers * prefetch_factor`` batches are in
+    flight.  Parallel collation requires the order-independent mode.
     """
 
     def __init__(
@@ -120,15 +145,50 @@ class DataLoader:
         drop_last: bool = False,
         transform: Optional[Callable] = None,
         rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+        num_workers: int = 0,
+        prefetch_factor: int = 2,
     ) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if num_workers < 0:
+            raise ValueError(
+                f"num_workers must be >= 0 (0 means inline collation), "
+                f"got {num_workers}"
+            )
+        if prefetch_factor <= 0:
+            raise ValueError(
+                f"prefetch_factor must be >= 1 (batches in flight per "
+                f"worker), got {prefetch_factor}"
+            )
+        if seed is not None:
+            if rng is not None:
+                raise ValueError(
+                    "pass either rng= (legacy sequential stream) or seed= "
+                    "(order-independent per-sample streams), not both"
+                )
+            if seed < 0:
+                raise ValueError(f"seed must be >= 0, got {seed}")
+        elif num_workers > 0:
+            raise ValueError(
+                "num_workers > 0 requires seed= (order-independent "
+                "seeding); a shared rng= stream cannot be split across "
+                "workers deterministically"
+            )
         self.dataset = dataset
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last
         self.transform = transform
-        self.rng = ensure_rng(rng)
+        self.seed = seed
+        self.num_workers = num_workers
+        self.prefetch_factor = prefetch_factor
+        # Legacy mode keeps the historical always-present generator; the
+        # seeded mode is stateless apart from the epoch counter, so
+        # trainer checkpoints skip the rng capture (rng is None).
+        self.rng = None if seed is not None else ensure_rng(rng)
+        self._epoch = 0
+        self._prefetcher = None
 
     def __len__(self) -> int:
         n = len(self.dataset)
@@ -136,17 +196,118 @@ class DataLoader:
             return n // self.batch_size
         return math.ceil(n / self.batch_size)
 
-    def __iter__(self) -> Iterator[Tuple[np.ndarray, ...]]:
+    # -- order-independent epoch protocol (used inline and by workers) ----
+    def next_epoch(self) -> int:
+        """Consume and return the current epoch index (seeded mode)."""
+        epoch = self._epoch
+        self._epoch = epoch + 1
+        return epoch
+
+    def epoch_batches(self, epoch: int) -> List[np.ndarray]:
+        """Index chunks of one epoch, in yield order.
+
+        In seeded mode the permutation derives from ``(seed, epoch)``; in
+        legacy mode it consumes the loader's stateful generator.
+        """
         order = np.arange(len(self.dataset))
         if self.shuffle:
-            self.rng.shuffle(order)
+            if self.seed is not None:
+                derive_rng(self.seed, _SHUFFLE_DOMAIN, epoch).shuffle(order)
+            else:
+                self.rng.shuffle(order)
+        chunks = []
         for start in range(0, len(order), self.batch_size):
             chunk = order[start : start + self.batch_size]
             if self.drop_last and len(chunk) < self.batch_size:
-                return
-            yield self._collate(chunk)
+                break
+            chunks.append(chunk)
+        return chunks
 
-    def _collate(self, indices: np.ndarray):
+    def collate(self, epoch: int, indices: np.ndarray):
+        """Materialise one batch; pure in seeded mode (worker-safe)."""
+        if self.seed is None:
+            return self._collate_legacy(indices)
+        images, labels = [], []
+        for i in indices:
+            index = int(i)
+            image, label = self.dataset[index]
+            if self.transform is not None:
+                sample_rng = derive_rng(
+                    self.seed, _SAMPLE_DOMAIN, epoch, index
+                )
+                image = self.transform(image, sample_rng)
+            images.append(image)
+            labels.append(label)
+        return self._stack(images, labels)
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, ...]]:
+        if self.num_workers > 0:
+            if self._prefetcher is None:
+                from ..parallel import PrefetchLoader
+
+                self._prefetcher = PrefetchLoader(
+                    self,
+                    num_workers=self.num_workers,
+                    prefetch_factor=self.prefetch_factor,
+                )
+            return self._prefetcher.iter_epoch()
+        return self._iter_inline()
+
+    def _iter_inline(self) -> Iterator[Tuple[np.ndarray, ...]]:
+        epoch = self.next_epoch()
+        for chunk in self.epoch_batches(epoch):
+            yield self.collate(epoch, chunk)
+
+    @property
+    def queue_depth(self) -> int:
+        """Prefetched batches currently in flight (0 when inline)."""
+        if self._prefetcher is None:
+            return 0
+        return self._prefetcher.queue_depth
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started."""
+        if self._prefetcher is not None:
+            self._prefetcher.close()
+            self._prefetcher = None
+
+    # -- checkpoint state -------------------------------------------------
+    def state_dict(self) -> dict:
+        """Loader progress for bit-exact resume.
+
+        Seeded mode is fully described by the epoch counter; legacy mode
+        captures the stateful generator (kept restorable for existing
+        checkpoints, though trainers also capture it as ``loader_rng``).
+        """
+        if self.seed is not None:
+            return {"mode": "seeded", "seed": int(self.seed),
+                    "epoch": int(self._epoch)}
+        from ..checkpoint import get_rng_state
+
+        return {"mode": "legacy", "rng": get_rng_state(self.rng)}
+
+    def load_state_dict(self, state: dict) -> None:
+        mode = state.get("mode")
+        if mode == "seeded":
+            if self.seed is None:
+                raise ValueError(
+                    "checkpoint holds a seeded loader state but this "
+                    "loader uses a legacy rng stream"
+                )
+            self._epoch = int(state["epoch"])
+        elif mode == "legacy":
+            if self.rng is None:
+                raise ValueError(
+                    "checkpoint holds a legacy loader rng but this "
+                    "loader uses order-independent seeding"
+                )
+            from ..checkpoint import set_rng_state
+
+            set_rng_state(self.rng, state["rng"])
+        else:
+            raise ValueError(f"unknown loader state mode {mode!r}")
+
+    def _collate_legacy(self, indices: np.ndarray):
         images, labels = [], []
         for i in indices:
             image, label = self.dataset[int(i)]
@@ -154,6 +315,10 @@ class DataLoader:
                 image = self.transform(image, self.rng)
             images.append(image)
             labels.append(label)
+        return self._stack(images, labels)
+
+    @staticmethod
+    def _stack(images, labels):
         labels_arr = np.asarray(labels, dtype=np.int64)
         if isinstance(images[0], tuple):
             views = tuple(

@@ -7,6 +7,7 @@ from .runner import (
     linear_eval_point,
     pretrain,
     run_method_table,
+    sweep_method_table,
     untrained_outcome,
 )
 from .tables import format_table, render_grid_rows
@@ -20,6 +21,7 @@ __all__ = [
     "finetune_grid",
     "linear_eval_point",
     "run_method_table",
+    "sweep_method_table",
     "untrained_outcome",
     "format_table",
     "render_grid_rows",

@@ -79,6 +79,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--finetune-epochs", type=int, default=10)
     parser.add_argument("--linear-eval", action="store_true",
                         help="also run linear evaluation")
+    parser.add_argument("--num-workers", type=int, default=0,
+                        help="augmentation workers prefetching two-view "
+                             "batches ahead of each training step "
+                             "(0 = inline; batches are byte-identical "
+                             "for any worker count)")
+    parser.add_argument("--prefetch-factor", type=int, default=2,
+                        help="batches in flight per worker when "
+                             "--num-workers > 0 (default 2)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="run the per-method pretrain+eval pipelines "
+                             "as a process-parallel sweep with this many "
+                             "concurrent jobs (1 = sequential); a failed "
+                             "method reports its error without killing "
+                             "the other rows")
     parser.add_argument("--telemetry-dir", default=None,
                         help="write JSONL run logs and machine-readable "
                              "run summaries under this directory "
@@ -104,10 +118,42 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _method_row(
+    method: MethodSpec,
+    train,
+    test,
+    config: PretrainConfig,
+    protocol: EvalProtocol,
+    linear_eval: bool = False,
+    telemetry_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
+    keep_last: int = 3,
+) -> List[object]:
+    """One table row (module-level so sweep workers can pickle it)."""
+    outcome = pretrain(method, train, config,
+                       telemetry_dir=telemetry_dir,
+                       checkpoint_dir=checkpoint_dir,
+                       resume=resume,
+                       checkpoint_every=checkpoint_every,
+                       keep_last=keep_last)
+    grid = finetune_grid(outcome, train, test, protocol)
+    row: List[object] = [method.name]
+    for precision in protocol.precisions:
+        for fraction in protocol.label_fractions:
+            row.append(grid[(precision, fraction)])
+    if linear_eval:
+        row.append(linear_eval_point(outcome, train, test, protocol))
+    return row
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.resume and args.checkpoint_dir is None:
         raise SystemExit("--resume requires --checkpoint-dir")
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
 
     maker = make_cifar100_like if args.dataset == "cifar" else make_imagenet_like
     data = maker(
@@ -123,6 +169,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         batch_size=args.batch_size,
         seed=args.seed,
         preflight=not args.no_preflight,
+        num_workers=args.num_workers,
+        prefetch_factor=args.prefetch_factor,
     )
     protocol = EvalProtocol(
         label_fractions=tuple(args.fractions),
@@ -145,30 +193,63 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.linear_eval:
         headers.append("Linear")
 
-    rows = []
-    for method in methods:
-        print(f"pre-training {method.name} ...", flush=True)
-        outcome = pretrain(method, data.train, config,
-                           telemetry_dir=args.telemetry_dir,
-                           checkpoint_dir=args.checkpoint_dir,
-                           resume=args.resume,
-                           checkpoint_every=args.checkpoint_every,
-                           keep_last=args.keep_last)
-        grid = finetune_grid(outcome, data.train, data.test, protocol)
-        row: List[object] = [method.name]
-        for precision in protocol.precisions:
-            for fraction in protocol.label_fractions:
-                row.append(grid[(precision, fraction)])
-        if args.linear_eval:
-            row.append(linear_eval_point(outcome, data.train, data.test,
-                                         protocol))
-        rows.append(row)
+    failed = []
+    if args.jobs > 1:
+        from ..parallel import SweepExecutor, SweepJob
+
+        print(f"sweeping {len(methods)} methods across {args.jobs} jobs ...",
+              flush=True)
+        executor = SweepExecutor(max_workers=args.jobs,
+                                 telemetry_root=args.telemetry_dir)
+        result = executor.run([
+            SweepJob(
+                name=method.name,
+                fn=_method_row,
+                kwargs={
+                    "method": method,
+                    "train": data.train,
+                    "test": data.test,
+                    "config": config,
+                    "protocol": protocol,
+                    "linear_eval": args.linear_eval,
+                    "checkpoint_dir": args.checkpoint_dir,
+                    "resume": args.resume,
+                    "checkpoint_every": args.checkpoint_every,
+                    "keep_last": args.keep_last,
+                },
+            )
+            for method in methods
+        ])
+        print(result.format_table(title=f"sweep ({result.backend} backend, "
+                                        f"{result.elapsed_seconds:.1f}s)"))
+        by_name = {r.name: r for r in result}
+        rows = [
+            by_name[m.name].value if by_name[m.name].ok
+            else [m.name] + ["FAILED"] * (len(headers) - 1)
+            for m in methods
+        ]
+        failed = result.failed
+        for report in failed:
+            print(f"\n{report.name} failed:\n{report.traceback}")
+    else:
+        rows = []
+        for method in methods:
+            print(f"pre-training {method.name} ...", flush=True)
+            rows.append(_method_row(
+                method, data.train, data.test, config, protocol,
+                linear_eval=args.linear_eval,
+                telemetry_dir=args.telemetry_dir,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                checkpoint_every=args.checkpoint_every,
+                keep_last=args.keep_last,
+            ))
 
     print()
     print(format_table(headers, rows,
                        title=f"{args.encoder} on {args.dataset}-like data "
                              f"(accuracy %)"))
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

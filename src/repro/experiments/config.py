@@ -59,6 +59,13 @@ class PretrainConfig:
     #: before fit() — a misconfigured encoder/head combination fails
     #: immediately with a layer-by-layer report instead of mid-epoch.
     preflight: bool = True
+    #: augmentation workers prefetching batches ahead of the training
+    #: step (0 = inline).  The loader's order-independent seeding makes
+    #: batches byte-identical for any worker count, so this is a pure
+    #: throughput knob.
+    num_workers: int = 0
+    #: batches in flight per worker when ``num_workers > 0``.
+    prefetch_factor: int = 2
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -67,6 +74,14 @@ class PretrainConfig:
             raise ValueError(
                 f"batch_size must be >= 2 (contrastive losses need pairs), "
                 f"got {self.batch_size}"
+            )
+        if self.num_workers < 0:
+            raise ValueError(
+                f"num_workers must be >= 0, got {self.num_workers}"
+            )
+        if self.prefetch_factor < 1:
+            raise ValueError(
+                f"prefetch_factor must be >= 1, got {self.prefetch_factor}"
             )
 
 

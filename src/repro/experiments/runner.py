@@ -33,6 +33,7 @@ __all__ = [
     "finetune_grid",
     "linear_eval_point",
     "run_method_table",
+    "sweep_method_table",
     "untrained_outcome",
 ]
 
@@ -67,7 +68,7 @@ class PretrainOutcome:
 
 
 def _two_view_loader(
-    train: ArrayDataset, config: PretrainConfig, rng: np.random.Generator,
+    train: ArrayDataset, config: PretrainConfig, seed: int,
     identity_views: bool = False,
 ) -> DataLoader:
     if identity_views:
@@ -76,13 +77,18 @@ def _two_view_loader(
         transform = TwoViewTransform(
             simclr_augmentations(config.augmentation_strength)
         )
+    # Order-independent seeding: each sample's augmentation stream derives
+    # from (seed, epoch, sample_index), so the produced batches are
+    # byte-identical for num_workers = 0 and num_workers = N.
     return DataLoader(
         train,
         batch_size=config.batch_size,
         shuffle=True,
         drop_last=True,
         transform=transform,
-        rng=rng,
+        seed=seed,
+        num_workers=config.num_workers,
+        prefetch_factor=config.prefetch_factor,
     )
 
 
@@ -176,8 +182,7 @@ def pretrain(
         )
         identity_views = trainer.variant.name == "QUANT"
 
-    loader = _two_view_loader(train, config,
-                              np.random.default_rng(config.seed + 13),
+    loader = _two_view_loader(train, config, seed=config.seed + 13,
                               identity_views=identity_views)
 
     fit_callbacks = list(callbacks)
@@ -207,9 +212,12 @@ def pretrain(
         if resume:
             resume_from = checkpointer
 
-    history = trainer.fit(loader, epochs=config.epochs,
-                          callbacks=tuple(fit_callbacks),
-                          resume_from=resume_from)
+    try:
+        history = trainer.fit(loader, epochs=config.epochs,
+                              callbacks=tuple(fit_callbacks),
+                              resume_from=resume_from)
+    finally:
+        loader.close()  # stop prefetch workers, if any
     if isinstance(trainer, ContrastiveQuantTrainer):
         trainer.finalize()
 
@@ -299,13 +307,80 @@ def linear_eval_point(
     )
 
 
+def _method_table_job(
+    method: MethodSpec,
+    train: ArrayDataset,
+    test: ArrayDataset,
+    config: PretrainConfig,
+    protocol: EvalProtocol,
+    telemetry_dir: Optional[str] = None,
+) -> Dict[GridKey, float]:
+    """One sweep job: pretrain one method and fine-tune over the grid.
+
+    Top-level (not a closure) so the process-pool sweep backend can
+    pickle it; every argument is a plain dataclass or array dataset.
+    """
+    outcome = pretrain(method, train, config, telemetry_dir=telemetry_dir)
+    return finetune_grid(outcome, train, test, protocol)
+
+
+def sweep_method_table(
+    methods: List[MethodSpec],
+    data: SyntheticImages,
+    config: PretrainConfig,
+    protocol: EvalProtocol,
+    jobs: int = 2,
+    telemetry_root: Optional[Union[str, pathlib.Path]] = None,
+    backend: str = "auto",
+):
+    """Run one method table as a crash-isolated parallel sweep.
+
+    Returns the :class:`repro.parallel.SweepResult`: per-method grids are
+    in ``.values()``, failures carry structured error reports instead of
+    aborting the other rows, and each job logs telemetry under its own
+    ``telemetry_root`` subdirectory.
+    """
+    from ..parallel import SweepExecutor, SweepJob
+
+    executor = SweepExecutor(max_workers=jobs, backend=backend,
+                             telemetry_root=telemetry_root)
+    return executor.run([
+        SweepJob(
+            name=method.name,
+            fn=_method_table_job,
+            kwargs={
+                "method": method,
+                "train": data.train,
+                "test": data.test,
+                "config": config,
+                "protocol": protocol,
+            },
+        )
+        for method in methods
+    ])
+
+
 def run_method_table(
     methods: List[MethodSpec],
     data: SyntheticImages,
     config: PretrainConfig,
     protocol: EvalProtocol,
+    jobs: int = 1,
+    telemetry_root: Optional[Union[str, pathlib.Path]] = None,
 ) -> Dict[str, Dict[GridKey, float]]:
-    """Pretrain every method and fine-tune over the grid (one table)."""
+    """Pretrain every method and fine-tune over the grid (one table).
+
+    With ``jobs > 1`` the rows run as a process-parallel sweep (order of
+    the returned table still follows ``methods``); any failed row raises
+    with the collected error reports.
+    """
+    if jobs > 1:
+        sweep = sweep_method_table(
+            methods, data, config, protocol, jobs=jobs,
+            telemetry_root=telemetry_root,
+        ).raise_failures()
+        values = sweep.values()
+        return {method.name: values[method.name] for method in methods}
     table: Dict[str, Dict[GridKey, float]] = {}
     for method in methods:
         outcome = pretrain(method, data.train, config)

@@ -88,7 +88,9 @@ class Conv2d(Function):
         out = np.matmul(w_mat[None], cols)
         out = out.reshape(n, c_out, oh, ow)
         if bias is not None:
-            out = out + bias.reshape(1, c_out, 1, 1)
+            # In place: `out` is freshly allocated by the matmul above, so
+            # adding the bias into it avoids a second (N, C, OH, OW) buffer.
+            out += bias.reshape(1, c_out, 1, 1)
         self.cols = cols
         self.weight = weight
         return out
@@ -124,4 +126,8 @@ class Conv2d(Function):
         grads = [grad_x, grad_w]
         if self.has_bias:
             grads.append(grad.sum(axis=(0, 2, 3)))
+        # The im2col buffer is the largest saved activation on deep models
+        # (C_in * kh * kw * OH * OW floats per image); the engine calls
+        # backward once per node, so drop it as soon as the grads exist.
+        self.cols = None
         return tuple(grads[: len(self.parents)])

@@ -1,0 +1,32 @@
+"""Parallel execution layer: prefetching data pipeline + sweep executor.
+
+Two independent levers on wall-clock throughput:
+
+- :class:`PrefetchLoader` materialises augmented batches ahead of the
+  training step on a fork-based process pool (thread fallback), keyed by
+  the order-independent seeding contract of
+  :class:`repro.data.DataLoader` — prefetched batches are byte-identical
+  to inline ones, so determinism and bit-exact resume survive.
+- :class:`SweepExecutor` runs independent experiment jobs (table rows,
+  ablation cells, seed repeats) across a bounded process pool with
+  per-job telemetry directories and crash isolation: a failing job
+  yields a structured :class:`JobResult` error instead of killing the
+  sweep.
+
+Lint rule RPR006 fences raw ``multiprocessing``/``concurrent.futures``
+use to this package so worker seeding and crash handling stay in one
+audited place.
+"""
+
+from .prefetch import PrefetchLoader, available_backends, resolve_backend
+from .sweep import JobResult, SweepExecutor, SweepJob, SweepResult
+
+__all__ = [
+    "PrefetchLoader",
+    "available_backends",
+    "resolve_backend",
+    "SweepExecutor",
+    "SweepJob",
+    "SweepResult",
+    "JobResult",
+]

@@ -1,0 +1,188 @@
+"""Prefetching batch pipeline over an order-independent loader.
+
+The wrapped loader must use the order-independent seeding mode
+(``DataLoader(seed=...)``): batch production is then a pure function of
+``(epoch, indices)``, so it can run on any worker — or be replayed
+inline — and produce the same bytes.  The pipeline keeps up to
+``num_workers * prefetch_factor`` batches in flight and yields them in
+epoch order, overlapping augmentation with the consumer's compute.
+
+Backends:
+
+- ``"fork"`` — a :class:`concurrent.futures.ProcessPoolExecutor` on the
+  fork start method.  Workers inherit the dataset by copy-on-write (the
+  pool initializer receives the loader object through the fork, never
+  through pickle), so startup cost is independent of dataset size.
+- ``"thread"`` — a thread pool; the automatic fallback on platforms
+  without fork.  Same byte-identical results (collation is pure); the
+  overlap is only as good as numpy's GIL release, so prefer fork where
+  available.
+
+``backend="auto"`` picks fork when the platform offers it.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from collections import deque
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["PrefetchLoader", "available_backends", "resolve_backend"]
+
+#: Per-worker-process loader, installed by the pool initializer.  Each
+#: worker process belongs to exactly one pool, so a single slot is safe.
+_WORKER_LOADER = None
+
+
+def _init_worker(loader) -> None:
+    global _WORKER_LOADER
+    _WORKER_LOADER = loader
+
+
+def _collate_in_worker(epoch: int, indices: np.ndarray):
+    return _WORKER_LOADER.collate(epoch, indices)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backends usable on this platform, preferred first."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return ("fork", "thread")
+    return ("thread",)
+
+
+def resolve_backend(backend: str) -> str:
+    """Map a requested backend (or ``"auto"``) to a usable one."""
+    usable = available_backends()
+    if backend == "auto":
+        return usable[0]
+    if backend not in ("fork", "thread"):
+        raise ValueError(
+            f"backend must be 'auto', 'fork', or 'thread', got {backend!r}"
+        )
+    if backend not in usable:
+        raise ValueError(
+            f"backend {backend!r} is unavailable on this platform "
+            f"(usable: {usable}); pass 'auto' for the fallback"
+        )
+    return backend
+
+
+class PrefetchLoader:
+    """Iterate a seeded :class:`~repro.data.DataLoader` ahead of time.
+
+    Drop-in batch source for ``TrainerBase.fit``: iterating it runs one
+    epoch of the wrapped loader (advancing the loader's epoch counter),
+    ``len()`` matches, and checkpoint state proxies through — so a
+    resumed run with prefetching is bit-exact with an inline one.
+    """
+
+    def __init__(
+        self,
+        loader,
+        num_workers: int = 2,
+        prefetch_factor: int = 2,
+        backend: str = "auto",
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1 for prefetching (use the "
+                f"loader directly for inline collation), got {num_workers}"
+            )
+        if prefetch_factor <= 0:
+            raise ValueError(
+                f"prefetch_factor must be >= 1, got {prefetch_factor}"
+            )
+        if getattr(loader, "seed", None) is None:
+            raise ValueError(
+                "PrefetchLoader needs a loader in order-independent "
+                "seeding mode (DataLoader(seed=...)); a legacy rng= "
+                "stream cannot be split across workers deterministically"
+            )
+        self.loader = loader
+        self.num_workers = num_workers
+        self.prefetch_factor = prefetch_factor
+        self.backend = resolve_backend(backend)
+        self.queue_depth = 0
+        self._executor: Optional[concurrent.futures.Executor] = None
+
+    # -- pool lifecycle ---------------------------------------------------
+    def _ensure_executor(self) -> concurrent.futures.Executor:
+        if self._executor is None:
+            if self.backend == "fork":
+                self._executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.num_workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                    initializer=_init_worker,
+                    initargs=(self.loader,),
+                )
+            else:
+                self._executor = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.num_workers,
+                    thread_name_prefix="prefetch",
+                )
+        return self._executor
+
+    def _submit(self, executor, epoch: int, chunk: np.ndarray):
+        if self.backend == "fork":
+            return executor.submit(_collate_in_worker, epoch, chunk)
+        return executor.submit(self.loader.collate, epoch, chunk)
+
+    def close(self) -> None:
+        """Shut the worker pool down (restarts lazily if iterated again)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        self.queue_depth = 0
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- iteration --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.loader)
+
+    def __iter__(self) -> Iterator:
+        return self.iter_epoch()
+
+    def iter_epoch(self) -> Iterator:
+        """One epoch of prefetched batches, in order.
+
+        Workers collate from the frozen ``(epoch, indices)`` recipe while
+        the consumer processes earlier batches; the bounded in-flight
+        window (``num_workers * prefetch_factor``) provides backpressure
+        so an idle consumer does not buffer the whole epoch.
+        """
+        epoch = self.loader.next_epoch()
+        chunks = iter(self.loader.epoch_batches(epoch))
+        executor = self._ensure_executor()
+        pending = deque()
+        try:
+            for _ in range(self.num_workers * self.prefetch_factor):
+                chunk = next(chunks, None)
+                if chunk is None:
+                    break
+                pending.append(self._submit(executor, epoch, chunk))
+            while pending:
+                batch = pending.popleft().result()
+                chunk = next(chunks, None)
+                if chunk is not None:
+                    pending.append(self._submit(executor, epoch, chunk))
+                self.queue_depth = len(pending)
+                yield batch
+        finally:
+            for future in pending:
+                future.cancel()
+            self.queue_depth = 0
+
+    # -- checkpoint state (proxied to the wrapped loader) -----------------
+    def state_dict(self) -> dict:
+        return self.loader.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        self.loader.load_state_dict(state)

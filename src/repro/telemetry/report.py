@@ -60,6 +60,15 @@ def summarize(records: List[Dict]) -> Dict[str, object]:
         summary["last_precisions"] = (last_step["q1"], last_step["q2"])
     if "loss_terms" in last_step:
         summary["loss_terms"] = last_step["loss_terms"]
+    timed_steps = [r for r in steps if "data_wait_seconds" in r]
+    if timed_steps:
+        data_wait = sum(float(r["data_wait_seconds"]) for r in timed_steps)
+        compute = sum(float(r.get("compute_seconds", 0.0))
+                      for r in timed_steps)
+        summary["data_wait_seconds"] = data_wait
+        summary["compute_seconds"] = compute
+        total = data_wait + compute
+        summary["data_stalled_fraction"] = data_wait / total if total else 0.0
     cache_steps = [r for r in steps if "quant_cache_hits" in r]
     if cache_steps:
         hits = sum(int(r["quant_cache_hits"]) for r in cache_steps)
@@ -94,6 +103,13 @@ def format_summary(path: pathlib.Path, summary: Dict[str, object]) -> str:
     if "last_precisions" in summary:
         q1, q2 = summary["last_precisions"]
         lines.append(f"last sampled precisions: (q1={q1}, q2={q2})")
+    if "data_stalled_fraction" in summary:
+        lines.append(
+            f"data pipeline: stalled "
+            f"{100.0 * summary['data_stalled_fraction']:.1f}% of step time "
+            f"({summary['data_wait_seconds']:.2f}s waiting on batches, "
+            f"{summary['compute_seconds']:.2f}s computing)"
+        )
     if "quant_cache_hit_rate" in summary:
         lines.append(
             f"quant cache: {100.0 * summary['quant_cache_hit_rate']:.1f}% "

@@ -216,6 +216,75 @@ def test_rpr005_both_sides_pass():
     ) == []
 
 
+# -- RPR006: parallelism outside repro.parallel ------------------------------
+
+def test_rpr006_multiprocessing_import_flagged():
+    findings = lint(
+        """\
+        import multiprocessing
+        import multiprocessing.pool
+        """
+    )
+    assert _codes(findings) == [("RPR006", 1), ("RPR006", 2)]
+
+
+def test_rpr006_concurrent_futures_import_flagged():
+    findings = lint(
+        """\
+        import concurrent.futures
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent import futures
+        """
+    )
+    assert _codes(findings) == [("RPR006", 1), ("RPR006", 2), ("RPR006", 3)]
+
+
+def test_rpr006_unrelated_concurrent_import_passes():
+    assert lint("from concurrent import interpreters\n") == []
+
+
+def test_rpr006_sanctioned_inside_parallel_package():
+    assert lint(
+        "import multiprocessing\n",
+        path="src/repro/parallel/prefetch.py",
+    ) == []
+
+
+def test_rpr006_worker_minting_rng_flagged():
+    findings = lint(
+        """\
+        import numpy as np
+
+        def _init_worker(seed):
+            rng = np.random.default_rng(seed)
+        """
+    )
+    assert _codes(findings) == [("RPR006", 4)]
+
+
+def test_rpr006_worker_rng_via_helpers_passes():
+    assert lint(
+        """\
+        from repro.nn.rng import derive_rng, ensure_rng
+
+        def worker_main(seed, epoch, index):
+            rng = derive_rng(seed, 2, epoch, index)
+            fallback = ensure_rng(None)
+        """
+    ) == []
+
+
+def test_rpr006_rng_outside_worker_functions_passes():
+    assert lint(
+        """\
+        import numpy as np
+
+        def build_loader(seed):
+            return np.random.default_rng(seed)
+        """
+    ) == []
+
+
 # -- noqa, select, parse failures --------------------------------------------
 
 def test_noqa_with_code_suppresses():
@@ -312,4 +381,4 @@ def test_src_tree_is_clean():
 
 def test_every_rule_documented():
     assert sorted(RULES) == ["RPR001", "RPR002", "RPR003", "RPR004",
-                             "RPR005"]
+                             "RPR005", "RPR006"]

@@ -98,6 +98,27 @@ def make_loader(seed=SEED, n=8, batch=4):
     )
 
 
+def make_seeded_loader(seed=SEED, n=8, batch=4, num_workers=0):
+    """Order-independent loader over the same data as :func:`make_loader`.
+
+    Augmentation streams derive from ``(seed, epoch, sample_index)``, so
+    any ``num_workers`` value yields byte-identical batches — the resume
+    tests use this to prove prefetching runs splice bit-exactly.
+    """
+    data_rng = np.random.default_rng(seed + 99)
+    images = data_rng.normal(size=(n, 3, 8, 8)).astype(np.float32)
+    labels = np.zeros(n, dtype=np.int64)
+    return DataLoader(
+        ArrayDataset(images, labels),
+        batch_size=batch,
+        shuffle=True,
+        drop_last=True,
+        transform=_two_views,
+        seed=seed + 13,
+        num_workers=num_workers,
+    )
+
+
 def make_scheduler(trainer, total=TOTAL_EPOCHS):
     return CosineAnnealingLR(trainer.optimizer, t_max=total)
 

@@ -1,0 +1,107 @@
+"""Bit-exact resume with the prefetching data pipeline in the loop.
+
+The seeded loader's state is one epoch counter, so a checkpoint written
+by a prefetching run must restore into an inline run (and vice versa)
+and still splice bit-exactly — worker count is not part of the
+trajectory.
+"""
+
+import pytest
+
+from repro.checkpoint import CheckpointCallback, Checkpointer
+
+from .helpers import (
+    StepCollector,
+    TOTAL_EPOCHS,
+    assert_same_model_state,
+    make_seeded_loader,
+    make_trainer,
+)
+
+
+def run_to_end(name, num_workers, epochs=TOTAL_EPOCHS):
+    trainer = make_trainer(name)
+    collector = StepCollector()
+    loader = make_seeded_loader(num_workers=num_workers)
+    try:
+        history = trainer.fit(loader, epochs=epochs, callbacks=(collector,))
+    finally:
+        loader.close()
+    return trainer, history, collector.steps
+
+
+def interrupted_then_resumed(name, stop_after, tmp_path, num_workers):
+    checkpointer = Checkpointer(tmp_path)
+    first = make_trainer(name)
+    loader = make_seeded_loader(num_workers=num_workers)
+    try:
+        first.fit(loader, epochs=stop_after,
+                  callbacks=(CheckpointCallback(checkpointer),))
+    finally:
+        loader.close()
+
+    resumed = make_trainer(name)
+    collector = StepCollector()
+    loader = make_seeded_loader(num_workers=num_workers)
+    try:
+        history = resumed.fit(loader, epochs=TOTAL_EPOCHS,
+                              callbacks=(collector,),
+                              resume_from=checkpointer)
+    finally:
+        loader.close()
+    return resumed, history, collector.steps
+
+
+@pytest.mark.parametrize("stop_after", [1, 2])
+def test_cq_fused_prefetch_resume_is_bit_exact(stop_after, tmp_path):
+    ref_trainer, ref_history, ref_steps = run_to_end("cq-fused",
+                                                     num_workers=2)
+    trainer, history, steps = interrupted_then_resumed(
+        "cq-fused", stop_after, tmp_path, num_workers=2
+    )
+    assert history == ref_history
+    assert steps == ref_steps[len(ref_steps) - len(steps):]
+    assert_same_model_state(trainer, ref_trainer)
+
+
+def test_prefetch_trajectory_matches_inline():
+    """num_workers is not part of the trajectory: same losses, same state."""
+    inline_trainer, inline_history, inline_steps = run_to_end(
+        "cq-fused", num_workers=0, epochs=2
+    )
+    prefetch_trainer, prefetch_history, prefetch_steps = run_to_end(
+        "cq-fused", num_workers=2, epochs=2
+    )
+    assert prefetch_history == inline_history
+    assert prefetch_steps == inline_steps
+    assert_same_model_state(prefetch_trainer, inline_trainer)
+
+
+def test_checkpoint_crosses_worker_counts(tmp_path):
+    """A checkpoint from a prefetching run resumes inline, bit-exactly."""
+    ref_trainer, ref_history, _ = run_to_end("cq", num_workers=0)
+    checkpointer = Checkpointer(tmp_path)
+    first = make_trainer("cq")
+    loader = make_seeded_loader(num_workers=2)
+    try:
+        first.fit(loader, epochs=2,
+                  callbacks=(CheckpointCallback(checkpointer),))
+    finally:
+        loader.close()
+
+    resumed = make_trainer("cq")
+    history = resumed.fit(make_seeded_loader(num_workers=0),
+                          epochs=TOTAL_EPOCHS, resume_from=checkpointer)
+    assert history == ref_history
+    assert_same_model_state(resumed, ref_trainer)
+
+
+def test_loader_state_in_checkpoint(tmp_path):
+    checkpointer = Checkpointer(tmp_path)
+    trainer = make_trainer("simclr")
+    loader = make_seeded_loader(num_workers=0)
+    trainer.fit(loader, epochs=2,
+                callbacks=(CheckpointCallback(checkpointer),))
+    state = checkpointer.load_latest().state
+    assert state["loader_state"]["mode"] == "seeded"
+    assert state["loader_state"]["epoch"] == 2

@@ -135,5 +135,72 @@ class TestDataLoader:
         with pytest.raises(ValueError):
             DataLoader(toy_dataset(), batch_size=0)
 
+    def test_negative_num_workers_rejected(self):
+        with pytest.raises(ValueError, match="num_workers must be >= 0"):
+            DataLoader(toy_dataset(), batch_size=4, seed=0, num_workers=-1)
+
+    def test_zero_prefetch_factor_rejected(self):
+        with pytest.raises(ValueError, match="prefetch_factor must be >= 1"):
+            DataLoader(toy_dataset(), batch_size=4, seed=0,
+                       prefetch_factor=0)
+
+    def test_workers_require_seed(self):
+        with pytest.raises(ValueError, match="requires seed="):
+            DataLoader(toy_dataset(), batch_size=4, num_workers=2)
+
+    def test_seed_and_rng_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            DataLoader(toy_dataset(), batch_size=4, seed=0,
+                       rng=np.random.default_rng(0))
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed must be >= 0"):
+            DataLoader(toy_dataset(), batch_size=4, seed=-1)
+
     def test_len_ceil(self):
         assert len(DataLoader(toy_dataset(), batch_size=8)) == 3
+
+    def test_len_smaller_than_batch(self):
+        # n < batch_size: one partial batch, or none when dropping.
+        ds = toy_dataset(n=5)
+        assert len(DataLoader(ds, batch_size=8)) == 1
+        dropping = DataLoader(ds, batch_size=8, drop_last=True)
+        assert len(dropping) == 0
+        assert list(dropping) == []
+
+    def test_len_exact_multiple(self):
+        # drop_last is a no-op when batches divide evenly.
+        ds = toy_dataset(n=16)
+        for drop_last in (False, True):
+            loader = DataLoader(ds, batch_size=8, drop_last=drop_last)
+            assert len(loader) == 2
+            assert sum(len(labels) for _, labels in loader) == 16
+
+    def test_seeded_epochs_are_replayable(self):
+        ds = toy_dataset()
+        a = DataLoader(ds, batch_size=4, shuffle=True, seed=11)
+        b = DataLoader(ds, batch_size=4, shuffle=True, seed=11)
+        for _ in range(2):
+            for (img_a, lab_a), (img_b, lab_b) in zip(a, b):
+                np.testing.assert_array_equal(img_a, img_b)
+                np.testing.assert_array_equal(lab_a, lab_b)
+
+    def test_state_roundtrip_resumes_epoch(self):
+        ds = toy_dataset()
+        a = DataLoader(ds, batch_size=4, shuffle=True, seed=11)
+        list(a)  # epoch 0
+        state = a.state_dict()
+        assert state == {"mode": "seeded", "seed": 11, "epoch": 1}
+        b = DataLoader(ds, batch_size=4, shuffle=True, seed=11)
+        b.load_state_dict(state)
+        for (img_a, _), (img_b, _) in zip(a, b):  # both run epoch 1
+            np.testing.assert_array_equal(img_a, img_b)
+
+    def test_state_mode_mismatch_rejected(self):
+        ds = toy_dataset()
+        seeded = DataLoader(ds, batch_size=4, seed=0)
+        legacy = DataLoader(ds, batch_size=4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="order-independent"):
+            seeded.load_state_dict(legacy.state_dict())
+        with pytest.raises(ValueError, match="legacy"):
+            legacy.load_state_dict(seeded.state_dict())

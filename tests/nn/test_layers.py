@@ -67,6 +67,17 @@ class TestConv2d:
         with pytest.raises(ValueError, match="empty"):
             layer(nn.Tensor(rng.normal(size=(1, 1, 3, 3))))
 
+    def test_im2col_buffer_released_after_backward(self, rng):
+        # The saved im2col buffer dominates activation memory; backward
+        # runs once per node, so it must be dropped afterwards.
+        layer = nn.Conv2d(4, 8, 3, rng=rng)
+        out = layer(nn.Tensor(rng.normal(size=(2, 4, 7, 7)).astype(np.float32)))
+        ctx = out._ctx
+        assert ctx.cols is not None
+        out.sum().backward()
+        assert ctx.cols is None
+        assert layer.weight.grad is not None
+
 
 class TestBatchNorm2d:
     def test_normalizes_batch_statistics(self, rng):

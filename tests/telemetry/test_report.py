@@ -113,6 +113,40 @@ class TestFormatSummary:
         assert "x.jsonl" in text
 
 
+class TestDataStalledLine:
+    def write_timed_run(self, tmp_path):
+        logger = JsonlLogger(tmp_path, run_name="timed-run")
+        trainer = FakeTrainer()
+        logger.on_fit_start(trainer, {"epochs": 1})
+        logger.on_epoch_start(trainer, {"epoch": 0})
+        for step, (wait, compute) in enumerate([(0.1, 0.3), (0.2, 0.2),
+                                                (0.1, 0.3)]):
+            logger.on_step(trainer, {
+                "epoch": 0, "step": step, "loss": 1.0, "batch_size": 4,
+                "data_wait_seconds": wait, "compute_seconds": compute,
+            })
+        logger.on_epoch_end(trainer, {"epoch": 0, "loss": 1.0})
+        return logger.path
+
+    def test_stalled_fraction_summarized(self, tmp_path):
+        path = self.write_timed_run(tmp_path)
+        records = [json.loads(line) for line in open(path)]
+        summary = summarize(records)
+        assert summary["data_wait_seconds"] == pytest.approx(0.4)
+        assert summary["compute_seconds"] == pytest.approx(0.8)
+        assert summary["data_stalled_fraction"] == pytest.approx(1 / 3)
+        rendered = format_summary(path, summary)
+        assert "data pipeline: stalled 33.3% of step time" in rendered
+        assert "0.40s waiting on batches, 0.80s computing" in rendered
+
+    def test_absent_without_timing_fields(self, tmp_path):
+        path = write_run(tmp_path)
+        records = [json.loads(line) for line in open(path)]
+        summary = summarize(records)
+        assert "data_stalled_fraction" not in summary
+        assert "data pipeline" not in format_summary(path, summary)
+
+
 class TestQuantCacheColumn:
     def write_cache_run(self, tmp_path):
         logger = JsonlLogger(tmp_path, run_name="cache-run")
