@@ -15,6 +15,8 @@ package layout:
 - :mod:`repro.experiments` — per-table experiment configs and runners.
 - :mod:`repro.telemetry` — metrics registry, op-level profiler, and the
   trainer event/callback protocol (JSONL run logs, throughput meters).
+- :mod:`repro.serving` — embedding service over converted models:
+  versioned registry, request micro-batching, LRU cache, load generator.
 """
 
 __version__ = "1.0.0"
@@ -28,4 +30,5 @@ __all__ = [
     "eval",
     "experiments",
     "telemetry",
+    "serving",
 ]

@@ -157,14 +157,31 @@ class _Tracer:
             if klass in _SHAPE_HANDLERS:
                 handler = _SHAPE_HANDLERS[klass]
                 break
+        shape = tuple(int(s) for s in shape)
+        if handler is None and hasattr(module, "symbolic_shape"):
+            # Fallback protocol: a module may describe its own signature
+            # via ``symbolic_shape(shape, dtype) -> (shape, dtype)``,
+            # raising ValueError on a mismatch.  This keeps modules that
+            # analysis should not import directly (e.g. the lowered
+            # integer kernels) traceable without a registry entry.
+            try:
+                out_shape, out_dtype = module.symbolic_shape(shape, dtype)
+            except ValueError as exc:
+                self.fail(path, f"{type(module).__name__}: {exc}")
+            out_shape = tuple(int(s) for s in out_shape)
+            self.entries.append(
+                ShapeEntry(path or "<root>", type(module).__name__, shape,
+                           out_shape, str(out_dtype))
+            )
+            return out_shape, out_dtype
         if handler is None:
             self.fail(
                 path,
                 f"no shape handler registered for "
                 f"{type(module).__name__}; register one with "
-                f"repro.analysis.register_shape_handler",
+                f"repro.analysis.register_shape_handler or give the "
+                f"module a symbolic_shape(shape, dtype) method",
             )
-        shape = tuple(int(s) for s in shape)
         out_shape, out_dtype = handler(module, shape, dtype, path, self)
         out_shape = tuple(int(s) for s in out_shape)
         self.entries.append(
@@ -594,11 +611,24 @@ class QuantizationReport:
 
 def audit_quantization(model: Module,
                        model_name: str = "model") -> QuantizationReport:
-    """Report fake-quant coverage over every conv/linear layer."""
+    """Report fake-quant coverage over every conv/linear layer.
+
+    Lowered integer kernels (:mod:`repro.quant.lowered`) count as
+    quantized: they *are* the deployment quantization path.
+    ``repro.quant.convert`` gates on this report reaching 100% coverage,
+    so a conv/linear that slipped past lowering is a hard error there.
+    """
+    from ..quant.lowered import LoweredModule
     from ..quant.qmodules import QuantizedModule
 
     entries: List[QuantLayerEntry] = []
     for path, module in model.named_modules():
+        if isinstance(module, LoweredModule):
+            entries.append(QuantLayerEntry(
+                path or "<root>", type(module).__name__, True,
+                module.weight_bits, True, True,
+            ))
+            continue
         if not isinstance(module, (Conv2d, Linear)):
             continue
         if isinstance(module, QuantizedModule):
@@ -753,7 +783,7 @@ def audit_model(model: Module, model_name: str = "model",
 def _check_registry_model(name: str, width: float, image_size: int,
                           batch: int, verbose: bool) -> List[Finding]:
     from ..models import create_encoder
-    from ..quant import quantize_model
+    from ..quant import prepare
 
     loc = _loc(name)
     findings: List[Finding] = []
@@ -777,13 +807,13 @@ def _check_registry_model(name: str, width: float, image_size: int,
 
     findings += audit_model(encoder, name, include_batch_statistics=False)
 
-    quantize_model(encoder)
+    prepare(encoder)
     coverage = audit_quantization(encoder, name)
     findings += coverage.findings()
     if coverage.coverage < 1.0:
         findings.append(Finding(
             loc, 0, "AUD001", ERROR,
-            f"quantize_model() left coverage at "
+            f"prepare() left coverage at "
             f"{100.0 * coverage.coverage:.1f}% "
             f"({coverage.quantized}/{coverage.total})",
         ))

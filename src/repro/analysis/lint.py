@@ -36,6 +36,12 @@ RPR006 Parallelism outside the parallel layer: importing
        Ad-hoc pools bypass the fork/thread fallback, crash isolation,
        and — above all — the order-independent seeding contract that
        keeps parallel batches byte-identical and resumable.
+RPR007 ``QConv2d.from_float`` / ``QLinear.from_float`` called outside
+       :mod:`repro.quant`.  Layer swapping must go through
+       :func:`repro.quant.prepare` (or the deprecated ``quantize_model``
+       shim): hand-rolled swaps skip observer attachment and the
+       skip-callback contract, producing models ``calibrate()`` and
+       ``convert()`` reject.
 ====== ==============================================================
 """
 
@@ -61,6 +67,8 @@ RULES: Dict[str, str] = {
     "RPR005": "state_dict without load_state_dict (or vice versa)",
     "RPR006": "ad-hoc parallelism outside repro.parallel / unmanaged "
               "worker RNG",
+    "RPR007": "QConv2d/QLinear.from_float outside repro.quant; use "
+              "prepare()",
 }
 
 # Modules allowed to break a rule, matched as a path suffix (so the
@@ -80,6 +88,10 @@ SANCTIONED: Dict[str, Tuple[str, ...]] = {
         "repro/contrastive/byol.py",
         "repro/contrastive/moco.py",
         "repro/contrastive/perturb.py",
+        # BN folding and convert() rewrite weights through the
+        # Parameter.data setter on purpose (version bump included).
+        "repro/quant/fold.py",
+        "repro/quant/convert.py",
     ),
     # The shim itself and the package re-export that keeps the old
     # import path alive.
@@ -90,6 +102,8 @@ SANCTIONED: Dict[str, Tuple[str, ...]] = {
     # The parallel layer is the one place allowed to own pools/executors;
     # everything else must go through PrefetchLoader / SweepExecutor.
     "RPR006": ("repro/parallel/",),
+    # The quant package is where from_float lives and is orchestrated.
+    "RPR007": ("repro/quant/",),
 }
 
 # Module roots whose import anywhere else signals ad-hoc parallelism.
@@ -275,6 +289,23 @@ class _RuleVisitor(ast.NodeVisitor):
                 f"call to deprecated {node.func.value.id}.set_precision(); "
                 f"use apply_precision or the precision() context",
             )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "from_float"
+        ):
+            owner = node.func.value
+            owner_name = None
+            if isinstance(owner, ast.Name):
+                owner_name = owner.id
+            elif isinstance(owner, ast.Attribute):
+                owner_name = owner.attr
+            if owner_name in ("QConv2d", "QLinear"):
+                self._emit(
+                    node, "RPR007",
+                    f"{owner_name}.from_float() outside repro.quant; "
+                    f"swap layers via repro.quant.prepare() so observers "
+                    f"and the skip contract are applied consistently",
+                )
         self.generic_visit(node)
 
     # -- RPR002: raw .data assignment -----------------------------------
@@ -430,7 +461,7 @@ def lint_paths(paths: Sequence[str],
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Repo-invariant linter (rules RPR001-RPR006; "
+        description="Repo-invariant linter (rules RPR001-RPR007; "
                     "suppress per line with '# noqa: RPRxxx').",
     )
     parser.add_argument("paths", nargs="+",

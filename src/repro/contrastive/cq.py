@@ -52,7 +52,7 @@ from ..quant import (
     apply_precision,
     count_quantized_modules,
     precision,
-    quantize_model,
+    prepare,
 )
 from ..telemetry import SeriesView
 from .base import TrainerBase
@@ -108,7 +108,7 @@ class ContrastiveQuantTrainer(TrainerBase):
     method:
         A :class:`SimCLRModel` or :class:`BYOL` instance.  The encoder (the
         online encoder for BYOL) is converted with
-        :func:`repro.quant.quantize_model` if it has no quantized modules
+        :func:`repro.quant.prepare` if it has no quantized modules
         yet; projection/prediction heads stay full precision, matching the
         paper's "encoder quantized to different precisions".
     variant:
@@ -175,7 +175,7 @@ class ContrastiveQuantTrainer(TrainerBase):
 
         encoder = self._encoder()
         if count_quantized_modules(encoder) == 0:
-            quantize_model(encoder)
+            prepare(encoder)
 
     # -- plumbing ----------------------------------------------------------
     @property

@@ -31,7 +31,7 @@ from ..quant import (
     apply_precision,
     count_quantized_modules,
     precision,
-    quantize_model,
+    prepare,
 )
 from .base import TrainerBase
 
@@ -144,7 +144,7 @@ class MoCoTrainer(TrainerBase):
         )
         if self.precision_set is not None:
             if count_quantized_modules(model.query_encoder) == 0:
-                quantize_model(model.query_encoder)
+                prepare(model.query_encoder)
         self._last_bits: Optional[int] = None
         self._init_telemetry()
 

@@ -25,7 +25,7 @@ from ..quant import (
     apply_precision,
     count_quantized_modules,
     precision,
-    quantize_model,
+    prepare,
 )
 from .base import TrainerBase
 from .losses import byol_loss
@@ -87,7 +87,7 @@ class SimSiamTrainer(TrainerBase):
         )
         if self.precision_set is not None:
             if count_quantized_modules(model.encoder) == 0:
-                quantize_model(model.encoder)
+                prepare(model.encoder)
         #: fuse same-precision view pairs into one 2N projection forward;
         #: vetoed by batch-statistics layers (see SimCLRTrainer).  Views
         #: sampled at different precisions always forward separately.

@@ -111,7 +111,7 @@ def finetune(
         if count_quantized_modules(encoder) == 0:
             raise ValueError(
                 "fixed-precision fine-tuning requires a quantized encoder "
-                "(run repro.quant.quantize_model first)"
+                "(run repro.quant.prepare first)"
             )
         apply_precision(encoder, precision)
     elif count_quantized_modules(encoder) > 0:

@@ -33,14 +33,14 @@ def precision_sweep(
 ) -> Dict[int, float]:
     """Linear-probe accuracy (%) at each deployment bit-width.
 
-    The encoder must already be quantized (``quantize_model``); the probe
+    The encoder must already be quantized (``repro.quant.prepare``); the probe
     is retrained per precision because feature scales shift with the
     quantization level.
     """
     if count_quantized_modules(encoder) == 0:
         raise ValueError(
             "precision_sweep requires a quantized encoder "
-            "(run repro.quant.quantize_model first)"
+            "(run repro.quant.prepare first)"
         )
     rng = ensure_rng(rng)
     curve: Dict[int, float] = {}

@@ -23,7 +23,7 @@ from ..data.synthetic import SyntheticImages
 from ..eval import finetune, linear_evaluation
 from ..models import create_encoder
 from ..nn.optim import Adam
-from ..quant import quantize_model
+from ..quant import prepare
 from ..telemetry import JsonlLogger, ThroughputMeter
 from .config import EvalProtocol, MethodSpec, PretrainConfig
 
@@ -63,7 +63,7 @@ class PretrainOutcome:
         )
         encoder.load_state_dict(self.state)
         if quantized:
-            quantize_model(encoder)
+            prepare(encoder)
         return encoder
 
 

@@ -52,6 +52,40 @@ class _BatchNorm(Module):
         shape[1] = self.num_features
         return tuple(shape)
 
+    # -- folding hook --------------------------------------------------------
+    @property
+    def can_fold(self) -> bool:
+        """Whether eval-mode output is an affine function of the input.
+
+        Only then can the layer be absorbed into a preceding conv/linear
+        (``repro.quant.fold``): it needs tracked running statistics, which
+        replace the per-batch statistics at inference time.
+        """
+        return bool(self.track_running_stats)
+
+    def fold_params(self):
+        """Per-channel ``(scale, shift)`` of the eval-mode transform.
+
+        ``y = scale * x + shift`` with ``scale = gamma / sqrt(var + eps)``
+        and ``shift = beta - scale * mean`` (gamma=1, beta=0 when not
+        affine).  Computed in float64 so folding into a float32 weight
+        loses no precision beyond the final cast.
+        """
+        if not self.can_fold:
+            raise ValueError(
+                f"{type(self).__name__} tracks no running statistics; "
+                f"its eval output is not an affine map and cannot be folded"
+            )
+        var = np.asarray(self.running_var, dtype=np.float64)
+        mean = np.asarray(self.running_mean, dtype=np.float64)
+        scale = 1.0 / np.sqrt(var + self.eps)
+        if self.affine:
+            scale = scale * np.asarray(self.weight.data, dtype=np.float64)
+            shift = np.asarray(self.bias.data, dtype=np.float64) - scale * mean
+        else:
+            shift = -scale * mean
+        return scale, shift
+
     def forward(self, x):
         shape = self._param_shape()
         if self.training or not self.track_running_stats:

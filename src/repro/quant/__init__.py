@@ -8,25 +8,51 @@ Precision is applied through the scoped :class:`PrecisionContext`
 (``with precision(model, bits): ...``), which also activates an optional
 :class:`QuantCache` memoizing fake-quantized weights across same-step
 forwards and a fused-view count for multi-view batching.
+
+Deployment is a staged, torch-style pipeline:
+
+1. :func:`prepare` — swap float layers for quantized twins (shared
+   Parameters) and attach activation-range observers;
+2. :func:`calibrate` — fit the observers on representative batches;
+3. :func:`convert` — fold BatchNorm, freeze ranges, and lower to the true
+   integer kernels of :mod:`repro.quant.lowered` (verified against the
+   fake-quant reference and the AUD001 coverage audit).
+
+``quantize_model`` is the deprecated pre-staged name for :func:`prepare`.
 """
 
 from .cache import QuantCache, active_cache, active_views, quant_execution_scope
+from .calibrate import calibrate
 from .context import PrecisionContext, apply_precision, precision
-from .convert import count_quantized_modules, quantize_model, set_precision
+from .convert import (
+    ConvertError,
+    convert,
+    count_quantized_modules,
+    freeze_reference,
+    prepare,
+    quantize_model,
+    set_precision,
+)
 from .fake_quant import (
     fake_quantize,
     fake_quantize_per_channel,
     fake_quantize_per_view,
+    fake_quantize_static,
 )
+from .fold import fold_batch_norm
+from .lowered import IntConv2d, IntLinear, LoweredModule
 from .observer import EmaMinMaxObserver, MinMaxObserver
 from .precision_set import FULL_PRECISION, PrecisionSet
 from .qmodules import QConv2d, QLinear, QuantizedModule
 from .quantizer import (
     LearnableQuantizer,
     LinearQuantizer,
+    integer_quantization_params,
     linear_quantize,
     linear_quantize_per_channel,
     linear_quantize_per_view,
+    linear_quantize_static,
+    quantize_to_int,
 )
 from .schedule import CyclicPrecisionSchedule, RandomPrecisionSampler
 
@@ -34,11 +60,15 @@ __all__ = [
     "linear_quantize",
     "linear_quantize_per_channel",
     "linear_quantize_per_view",
+    "linear_quantize_static",
+    "integer_quantization_params",
+    "quantize_to_int",
     "LinearQuantizer",
     "LearnableQuantizer",
     "fake_quantize",
     "fake_quantize_per_channel",
     "fake_quantize_per_view",
+    "fake_quantize_static",
     "MinMaxObserver",
     "EmaMinMaxObserver",
     "PrecisionSet",
@@ -46,6 +76,15 @@ __all__ = [
     "QuantizedModule",
     "QConv2d",
     "QLinear",
+    "LoweredModule",
+    "IntConv2d",
+    "IntLinear",
+    "prepare",
+    "calibrate",
+    "convert",
+    "freeze_reference",
+    "ConvertError",
+    "fold_batch_norm",
     "quantize_model",
     "set_precision",
     "apply_precision",

@@ -47,7 +47,7 @@ def apply_precision(
     if count == 0 and strict:
         raise ValueError(
             "apply_precision() found no quantized modules; "
-            "run quantize_model() first"
+            "run prepare() first"
         )
     return count
 
@@ -99,7 +99,7 @@ class PrecisionContext:
         if not frame and self.bits is not None:
             raise ValueError(
                 "PrecisionContext found no quantized modules; "
-                "run quantize_model() first"
+                "run prepare() first"
             )
         for module, _ in frame:
             module.set_precision(self.bits)

@@ -9,9 +9,15 @@ from .quantizer import (
     LinearQuantizer,
     _FakeQuantPerChannelSTE,
     _FakeQuantPerViewSTE,
+    _FakeQuantStaticSTE,
 )
 
-__all__ = ["fake_quantize", "fake_quantize_per_channel", "fake_quantize_per_view"]
+__all__ = [
+    "fake_quantize",
+    "fake_quantize_per_channel",
+    "fake_quantize_per_view",
+    "fake_quantize_static",
+]
 
 _default_quantizer = LinearQuantizer()
 
@@ -25,6 +31,23 @@ def fake_quantize(tensor: Tensor, bits: Optional[int]) -> Tensor:
     activations.
     """
     return _default_quantizer(as_tensor(tensor), bits)
+
+
+def fake_quantize_static(
+    tensor: Tensor, bits: Optional[int], a_min: float, a_max: float
+) -> Tensor:
+    """Fake-quantize over a *frozen* calibrated range, clipping to its grid.
+
+    The deployment-reference twin of the integer engine
+    (:mod:`repro.quant.lowered`): dequantized values are bit-for-bit the
+    codes the integer kernels compute, so a frozen-range fake-quant
+    forward is the float oracle that ``convert()`` checks lowered models
+    against.
+    """
+    if bits is None:
+        return as_tensor(tensor)
+    return _FakeQuantStaticSTE.apply(as_tensor(tensor), bits=bits,
+                                     a_min=a_min, a_max=a_max)
 
 
 def fake_quantize_per_channel(

@@ -1,0 +1,104 @@
+"""BatchNorm absorption into preceding conv/linear layers (``absorb_bn``).
+
+The first step of :func:`repro.quant.convert`: at inference time a
+BatchNorm with tracked running statistics is a per-channel affine map, so
+it can be folded into the weights and bias of the convolution (or linear)
+that feeds it.  The folded model computes one fewer op per block and —
+decisive for the integer engine — leaves no float normalization between a
+lowered conv and its activation, so the conv's calibrated output range
+stays meaningful.
+
+Which layers are foldable is decided by the layer itself through the
+``repro.nn`` folding hook: a norm layer exposing ``can_fold`` /
+``fold_params()`` (see :class:`repro.nn.BatchNorm2d`) advertises that its
+eval-mode output is ``scale * x + shift`` per channel.  GroupNorm and
+LayerNorm normalize with per-sample statistics, expose no hook, and are
+left in place — a converted model simply runs them in float between
+integer layers.
+
+Pairs are discovered CalibTIP-style by declaration order: a norm child
+that directly follows a conv/linear child of the same parent (the
+``conv1``/``bn1`` idiom every model in this repo uses) is absorbed and
+replaced with :class:`repro.nn.Identity`.  Folding bakes in the *current*
+running statistics; it is an inference-time transform, so fold after
+training and only use the folded model in eval mode.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..nn.layers.container import Identity
+from ..nn.layers.conv import Conv2d
+from ..nn.layers.linear import Linear
+from ..nn.module import Module, Parameter
+
+__all__ = ["fold_batch_norm", "foldable_pairs"]
+
+
+def _out_features(module: Module) -> int:
+    if isinstance(module, Conv2d):
+        return module.out_channels
+    return module.out_features
+
+
+def foldable_pairs(model: Module) -> List[Tuple[str, Module, str, Module, Module]]:
+    """Discover ``(parent, conv/linear, norm)`` triples eligible for folding.
+
+    Returns ``(affine_path, affine, norm_name, norm, parent)`` tuples: a
+    conv/linear child immediately followed (in declaration order) by a
+    norm layer whose folding hook reports ``can_fold`` and whose feature
+    count matches.
+    """
+    pairs = []
+    for parent_name, parent in list(model.named_modules()):
+        children = list(parent._modules.items())
+        for (name_a, mod_a), (name_b, mod_b) in zip(children, children[1:]):
+            if not isinstance(mod_a, (Conv2d, Linear)):
+                continue
+            if not getattr(mod_b, "can_fold", False):
+                continue
+            if getattr(mod_b, "num_features", None) != _out_features(mod_a):
+                continue
+            path = f"{parent_name}.{name_a}" if parent_name else name_a
+            pairs.append((path, mod_a, name_b, mod_b, parent))
+    return pairs
+
+
+def _absorb(affine: Module, norm: Module) -> None:
+    """Fold ``norm``'s eval-mode affine map into ``affine``'s weight/bias."""
+    scale, shift = norm.fold_params()  # float64 per-channel
+    weight = affine.weight.data
+    dtype = weight.dtype
+    if isinstance(affine, Conv2d):
+        scale_shape = (-1, 1, 1, 1)
+    else:
+        scale_shape = (-1, 1)
+    folded_w = weight.astype(np.float64) * scale.reshape(scale_shape)
+    # Parameter.data assignment bumps the version counter, so QuantCache
+    # entries for the pre-fold weights invalidate automatically.
+    affine.weight.data = folded_w.astype(dtype)
+    if affine.bias is not None:
+        folded_b = affine.bias.data.astype(np.float64) * scale + shift
+        affine.bias.data = folded_b.astype(affine.bias.data.dtype)
+    else:
+        affine.bias = Parameter(shift.astype(dtype))
+
+
+def fold_batch_norm(model: Module) -> int:
+    """Absorb every foldable norm layer into its preceding conv/linear.
+
+    The model is modified in place: folded norm layers are replaced with
+    :class:`~repro.nn.Identity` and the affine layer's weight (and bias,
+    created if absent) take over their effect.  Returns the number of
+    layers folded.  Equivalence holds for eval-mode forwards only — the
+    folded weights bake in the running statistics at fold time.
+    """
+    folded = 0
+    for _, affine, norm_name, norm, parent in foldable_pairs(model):
+        _absorb(affine, norm)
+        setattr(parent, norm_name, Identity())
+        folded += 1
+    return folded

@@ -30,6 +30,7 @@ from .fake_quant import (
     fake_quantize,
     fake_quantize_per_channel,
     fake_quantize_per_view,
+    fake_quantize_static,
 )
 
 __all__ = ["QuantizedModule", "QConv2d", "QLinear"]
@@ -41,6 +42,17 @@ class QuantizedModule:
     ``precision is None`` means full precision; an integer selects the
     bit-width used for both the weight and the incoming activation.
     ``quantize_activations`` can be disabled for weight-only ablations.
+
+    Deployment plumbing (the staged ``prepare()/calibrate()/convert()``
+    pipeline): :func:`repro.quant.prepare` attaches an
+    ``activation_observer``; :func:`repro.quant.calibrate` switches
+    ``observing`` on while it streams calibration batches through the
+    model so the observer fits the input range; and setting
+    ``frozen_range`` makes forwards quantize activations against that
+    *fixed* calibrated range (clipping to its grid) instead of the
+    per-call dynamic range — the exact semantics the lowered integer
+    kernels implement, which is what makes the fake-quant model a
+    reference oracle for :func:`repro.quant.convert`.
     """
 
     precision: Optional[int] = None
@@ -48,6 +60,13 @@ class QuantizedModule:
     #: quantize the weight with one dynamic range per output channel
     #: (extension beyond the paper's per-tensor scheme).
     per_channel_weights: bool = False
+    #: range observer attached by ``prepare()`` (None when absent).
+    activation_observer = None
+    #: True only while ``calibrate()`` streams batches through the model.
+    observing: bool = False
+    #: quantize activations with the observer's frozen range (deployment
+    #: semantics) instead of the per-call dynamic range.
+    frozen_range: bool = False
 
     def set_precision(self, bits: Optional[int]) -> None:
         if bits is not None:
@@ -56,9 +75,28 @@ class QuantizedModule:
                 raise ValueError(f"precision must be in [1, 32], got {bits}")
         self.precision = bits
 
+    @property
+    def calibrated(self) -> bool:
+        """True once the activation observer holds a fitted range."""
+        obs = self.activation_observer
+        return obs is not None and obs.min is not None
+
+    @property
+    def activation_range(self) -> Optional[tuple]:
+        """The calibrated ``(lo, hi)`` input range, or None."""
+        if not self.calibrated:
+            return None
+        return (float(self.activation_observer.min),
+                float(self.activation_observer.max))
+
     def _quantize_input(self, x):
         if self.precision is None or not self.quantize_activations:
             return x
+        if self.observing and self.activation_observer is not None:
+            self.activation_observer.update(np.asarray(x.data))
+        if self.frozen_range and self.calibrated:
+            lo, hi = self.activation_range
+            return fake_quantize_static(x, self.precision, lo, hi)
         views = active_views()
         if views > 1:
             return fake_quantize_per_view(x, self.precision, views)

@@ -25,6 +25,9 @@ __all__ = [
     "linear_quantize",
     "linear_quantize_per_view",
     "linear_quantize_per_channel",
+    "linear_quantize_static",
+    "integer_quantization_params",
+    "quantize_to_int",
     "LinearQuantizer",
     "LearnableQuantizer",
 ]
@@ -110,6 +113,60 @@ def linear_quantize_per_view(
     return out
 
 
+def integer_quantization_params(
+    a_min: float, a_max: float, bits: int
+) -> Tuple[float, int, int]:
+    """Integer grid of the Eq. 10 quantizer over a *fixed* range.
+
+    Returns ``(step, q_lo, q_hi)`` such that representable values are
+    ``step * n`` for integer codes ``n`` in ``[q_lo, q_hi]`` with exactly
+    ``2^bits`` codes.  A degenerate range (``a_min == a_max`` or a
+    non-finite step) is signalled by ``step == 0.0``.
+    """
+    step = quantization_step(a_min, a_max, bits)
+    if step == 0.0 or not math.isfinite(step):
+        return 0.0, 0, 0
+    q_lo = int(round(float(a_min) / step))
+    return step, q_lo, q_lo + 2 ** bits - 1
+
+
+def quantize_to_int(
+    array: np.ndarray, bits: int, a_min: float, a_max: float
+) -> Tuple[np.ndarray, float, int]:
+    """Quantize to integer codes over a fixed calibrated range.
+
+    Unlike :func:`linear_quantize` (dynamic range, never clips), the
+    static form clips to the calibrated ``[a_min, a_max]`` grid — the
+    deployment semantics of the integer engine, where codes must fit the
+    ``2^bits`` storage grid.  Returns ``(codes, step, q_lo)`` with
+    ``codes`` int64; dequantization is ``step * codes``.  A degenerate
+    range yields all-zero codes with ``step == 0.0`` (the caller decides
+    how to represent the constant).
+    """
+    array = np.asarray(array)
+    step, q_lo, q_hi = integer_quantization_params(a_min, a_max, bits)
+    if step == 0.0:
+        return np.zeros(array.shape, dtype=np.int64), 0.0, 0
+    codes = np.clip(np.round(array / step), q_lo, q_hi).astype(np.int64)
+    return codes, step, q_lo
+
+
+def linear_quantize_static(
+    array: np.ndarray, bits: int, a_min: float, a_max: float
+) -> np.ndarray:
+    """Eq. 10 over a fixed calibrated range, with clipping.
+
+    Bit-for-bit the dequantization of :func:`quantize_to_int`, so a
+    fake-quantized reference forward using this function matches the
+    integer engine's requantized output up to float rounding in the GEMM.
+    """
+    array = np.asarray(array)
+    codes, step, _ = quantize_to_int(array, bits, a_min, a_max)
+    if step == 0.0:
+        return np.full_like(array, a_min)
+    return (step * codes).astype(array.dtype)
+
+
 class _FakeQuantSTE(Function):
     """Quantized forward, straight-through (identity) backward.
 
@@ -119,6 +176,22 @@ class _FakeQuantSTE(Function):
 
     def forward(self, a, bits, a_min=None, a_max=None):
         return linear_quantize(a, bits, a_min, a_max)
+
+    def backward(self, grad):
+        return (grad,)
+
+
+class _FakeQuantStaticSTE(Function):
+    """Static-range (clipping) quantized forward, straight-through backward.
+
+    Used for deployment-semantics forwards (frozen observer ranges); the
+    straight-through gradient is unmasked to match the repo's Eq. 10 STE
+    convention — frozen-range forwards are an inference construct, not a
+    training path.
+    """
+
+    def forward(self, a, bits, a_min, a_max):
+        return linear_quantize_static(a, bits, a_min, a_max)
 
     def backward(self, grad):
         return (grad,)

@@ -1,0 +1,94 @@
+"""LRU cache for served embeddings.
+
+Keys bind the *exact* model identity — ``(model name, registry version,
+input digest)`` — so publishing a new version under the same name never
+serves embeddings computed by its predecessor.  The input digest hashes
+dtype, shape, and raw bytes, so two float arrays that merely compare
+equal after casting do not collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["EmbeddingCache", "input_digest"]
+
+CacheKey = Tuple[str, int, str]
+
+
+def input_digest(x: np.ndarray) -> str:
+    """Content hash of one input sample (dtype + shape + bytes)."""
+    arr = np.ascontiguousarray(x)
+    h = hashlib.sha1()
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+class EmbeddingCache:
+    """Bounded, thread-safe LRU of ``(name, version, digest) → embedding``.
+
+    Stored embeddings are defensively copied on both ``put`` and ``get``
+    so callers can mutate what they receive without corrupting the cache.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, np.ndarray]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    @staticmethod
+    def key(name: str, version: int, x: np.ndarray) -> CacheKey:
+        return (name, version, input_digest(x))
+
+    def get(self, key: CacheKey) -> Optional[np.ndarray]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry.copy()
+
+    def put(self, key: CacheKey, value: np.ndarray) -> None:
+        with self._lock:
+            self._entries[key] = np.asarray(value).copy()
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries

@@ -1,0 +1,119 @@
+"""Closed-loop load generator for :class:`~repro.serving.EmbeddingService`.
+
+``run_load`` drives a service with ``concurrency`` client threads, each
+sending its next request as soon as the previous one resolves (a
+closed-loop, so offered load adapts to service throughput instead of
+piling up an unbounded queue).  Inputs are supplied by the caller and
+cycled — the generator itself draws no randomness, keeping benchmark
+inputs reproducible and lint rule RPR001 trivially satisfied.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .service import EmbeddingService
+
+__all__ = ["LoadReport", "run_load"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Latency/throughput summary of one closed-loop run."""
+
+    label: str
+    requests: int
+    errors: int
+    concurrency: int
+    duration_s: float
+    qps: float
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "requests": self.requests,
+            "errors": self.errors,
+            "concurrency": self.concurrency,
+            "duration_s": round(self.duration_s, 6),
+            "qps": round(self.qps, 3),
+            "p50_ms": round(self.p50_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "mean_ms": round(self.mean_ms, 4),
+        }
+
+
+def run_load(
+    service: EmbeddingService,
+    inputs: Sequence[np.ndarray],
+    *,
+    requests: int,
+    concurrency: int = 4,
+    timeout: Optional[float] = 60.0,
+    label: str = "",
+) -> LoadReport:
+    """Send ``requests`` samples through ``service``; summarize latency.
+
+    Each of ``concurrency`` client threads claims the next global request
+    index, sends ``inputs[index % len(inputs)]``, and blocks on the
+    result before claiming another.  Per-request latency covers the full
+    submit→result round trip (queueing + batching + forward).
+    """
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if not inputs:
+        raise ValueError("inputs must be non-empty")
+    latencies_ms: List[float] = [0.0] * requests
+    failed = [0] * requests
+    counter_lock = threading.Lock()
+    next_index = [0]
+
+    def _drive() -> None:
+        while True:
+            with counter_lock:
+                index = next_index[0]
+                if index >= requests:
+                    return
+                next_index[0] = index + 1
+            sample = inputs[index % len(inputs)]
+            started = time.perf_counter()
+            try:
+                service.embed(sample, timeout=timeout)
+            except Exception:
+                failed[index] = 1
+            latencies_ms[index] = (time.perf_counter() - started) * 1000.0
+
+    threads = [
+        threading.Thread(target=_drive, name=f"loadgen-{i}", daemon=True)
+        for i in range(min(concurrency, requests))
+    ]
+    run_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    duration = time.perf_counter() - run_start
+
+    ok = [lat for lat, bad in zip(latencies_ms, failed) if not bad]
+    errors = sum(failed)
+    series = np.asarray(ok if ok else [0.0], dtype=np.float64)
+    return LoadReport(
+        label=label,
+        requests=requests,
+        errors=errors,
+        concurrency=len(threads),
+        duration_s=duration,
+        qps=requests / duration if duration > 0 else 0.0,
+        p50_ms=float(np.percentile(series, 50)),
+        p99_ms=float(np.percentile(series, 99)),
+        mean_ms=float(series.mean()),
+    )

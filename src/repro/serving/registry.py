@@ -1,0 +1,123 @@
+"""Versioned in-process model registry for the serving layer.
+
+Serving code never holds a bare model: it asks the registry for a
+:class:`ModelVersion` so every embedding can be attributed to the exact
+weights that produced it.  Each ``publish()`` snapshots a *fingerprint*
+— the sorted ``(parameter_path, Parameter.version)`` pairs of the model
+— so the registry can detect when somebody trains or edits a published
+model in place (:meth:`ModelRegistry.is_stale`).  Converted integer
+models (:mod:`repro.quant.lowered`) carry their weights in buffers, not
+Parameters; their fingerprint is empty and they are frozen by
+construction, so they can never go stale.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..nn.module import Module
+
+__all__ = ["ModelRegistry", "ModelVersion", "fingerprint"]
+
+Fingerprint = Tuple[Tuple[str, int], ...]
+
+
+def fingerprint(model: Module) -> Fingerprint:
+    """Sorted ``(path, Parameter.version)`` pairs identifying the weights.
+
+    ``Parameter.data`` assignment bumps the version counter, so any
+    optimizer step, EMA update, or quantization surgery on a published
+    model changes its fingerprint.
+    """
+    return tuple(sorted(
+        (path, p.version) for path, p in model.named_parameters()
+    ))
+
+
+class ModelVersion:
+    """One published (name, version) snapshot: the model plus its identity."""
+
+    def __init__(self, name: str, version: int, model: Module,
+                 fp: Fingerprint, tags: Tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.version = version
+        self.model = model
+        self.fingerprint = fp
+        self.tags = tuple(tags)
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return (self.name, self.version)
+
+    def is_stale(self) -> bool:
+        """True if the model's Parameters changed since ``publish()``."""
+        return fingerprint(self.model) != self.fingerprint
+
+    def __repr__(self) -> str:
+        tag = f", tags={list(self.tags)}" if self.tags else ""
+        return f"ModelVersion({self.name!r}, v{self.version}{tag})"
+
+
+class ModelRegistry:
+    """Thread-safe name → ordered list of :class:`ModelVersion`.
+
+    Versions are monotonic per name, assigned at ``publish()`` time.
+    ``get(name)`` resolves the latest version, which is how a running
+    :class:`~repro.serving.EmbeddingService` picks up a newly published
+    model without restarting.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._versions: Dict[str, List[ModelVersion]] = {}
+
+    def publish(self, name: str, model: Module,
+                tags: Tuple[str, ...] = ()) -> ModelVersion:
+        """Register ``model`` under ``name``; returns the new version."""
+        with self._lock:
+            existing = self._versions.setdefault(name, [])
+            entry = ModelVersion(
+                name, len(existing) + 1, model, fingerprint(model), tags
+            )
+            existing.append(entry)
+            return entry
+
+    def get(self, name: str,
+            version: Optional[int] = None) -> ModelVersion:
+        """Resolve ``name`` (latest, or a specific ``version``)."""
+        with self._lock:
+            try:
+                versions = self._versions[name]
+            except KeyError:
+                raise KeyError(
+                    f"no model published under {name!r}; "
+                    f"known: {sorted(self._versions)}"
+                ) from None
+            if version is None:
+                return versions[-1]
+            if not 1 <= version <= len(versions):
+                raise KeyError(
+                    f"{name!r} has versions 1..{len(versions)}, "
+                    f"not {version}"
+                )
+            return versions[version - 1]
+
+    def latest_version(self, name: str) -> int:
+        return self.get(name).version
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._versions)
+
+    def is_stale(self, name: str, version: Optional[int] = None) -> bool:
+        """True if the published snapshot no longer matches its weights."""
+        return self.get(name, version).is_stale()
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._versions
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._versions.values())

@@ -13,7 +13,7 @@ from repro.analysis import (
 )
 from repro.models import available_encoders, create_encoder
 from repro.nn.module import Parameter
-from repro.quant import apply_precision, quantize_model
+from repro.quant import apply_precision, prepare
 
 WIDTH = 0.125
 
@@ -28,7 +28,7 @@ def _encoder(name="resnet18"):
 @pytest.mark.parametrize("name", available_encoders())
 def test_converted_models_reach_full_coverage(name):
     encoder = _encoder(name)
-    quantize_model(encoder)
+    prepare(encoder)
     report = audit_quantization(encoder, name)
     assert report.coverage == 1.0
     assert report.quantized == report.total > 0
@@ -42,7 +42,7 @@ def test_converted_models_reach_full_coverage(name):
 
 def test_unconverted_layers_are_flagged():
     encoder = _encoder()
-    quantize_model(encoder)
+    prepare(encoder)
     model = nn.Sequential(encoder)
     # hand-built extra head that never went through convert
     model.extra_head = nn.Linear(encoder.feature_dim, 4,

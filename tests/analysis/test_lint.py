@@ -167,6 +167,41 @@ def test_rpr003_shim_definition_site_sanctioned():
     assert lint(snippet, path="src/repro/quant/__init__.py") == []
 
 
+# -- RPR007: from_float outside repro.quant ----------------------------------
+
+def test_rpr007_direct_from_float_flagged():
+    findings = lint(
+        """\
+        from repro.quant import QConv2d, QLinear
+        q = QConv2d.from_float(conv)
+        p = QLinear.from_float(linear)
+        """
+    )
+    assert _codes(findings) == [("RPR007", 2), ("RPR007", 3)]
+
+
+def test_rpr007_attribute_chain_flagged():
+    findings = lint(
+        """\
+        from repro import quant
+        q = quant.QConv2d.from_float(conv)
+        """
+    )
+    assert _codes(findings) == [("RPR007", 2)]
+
+
+def test_rpr007_sanctioned_inside_quant_package():
+    assert lint(
+        "q = QConv2d.from_float(conv)\n",
+        path="src/repro/quant/convert.py",
+    ) == []
+
+
+def test_rpr007_other_from_float_passes():
+    # only the quantized-twin constructors are fenced off
+    assert lint("x = Decimal.from_float(0.5)\n") == []
+
+
 # -- RPR004: mutable defaults ------------------------------------------------
 
 def test_rpr004_mutable_defaults():
@@ -381,4 +416,4 @@ def test_src_tree_is_clean():
 
 def test_every_rule_documented():
     assert sorted(RULES) == ["RPR001", "RPR002", "RPR003", "RPR004",
-                             "RPR005", "RPR006"]
+                             "RPR005", "RPR006", "RPR007"]

@@ -79,10 +79,10 @@ class TestTrainerConstruction:
         assert count_quantized_modules(trainer.method.projector) == 0
 
     def test_already_quantized_encoder_accepted(self, rng):
-        from repro.quant import quantize_model
+        from repro.quant import prepare
 
         method = simclr_method(rng)
-        quantize_model(method.encoder)
+        prepare(method.encoder)
         count = count_quantized_modules(method.encoder)
         trainer = ContrastiveQuantTrainer(
             method, "C", "6-16", Adam(list(method.parameters()), lr=1e-3),

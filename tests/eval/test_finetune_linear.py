@@ -8,7 +8,7 @@ from repro.eval import attach_classifier, finetune, linear_evaluation
 from repro.eval.finetune import evaluate_classifier
 from repro.eval.linear_eval import extract_features
 from repro.models import resnet18
-from repro.quant import quantize_model
+from repro.quant import prepare
 
 
 @pytest.fixture(scope="module")
@@ -61,7 +61,7 @@ class TestFinetune:
             )
 
     def test_four_bit_with_quantized_encoder(self, dataset, rng):
-        encoder = quantize_model(tiny_encoder())
+        encoder = prepare(tiny_encoder())
         result = finetune(
             encoder, dataset.train, dataset.test,
             label_fraction=0.5, precision=4, epochs=2, rng=rng,
@@ -124,7 +124,7 @@ class TestLinearEvaluation:
         assert acc > 1.0 / 3.0
 
     def test_fixed_precision_feature_extraction(self, dataset):
-        encoder = quantize_model(tiny_encoder())
+        encoder = prepare(tiny_encoder())
         feats_fp, _ = extract_features(encoder, dataset.test, precision=None)
         feats_q, _ = extract_features(encoder, dataset.test, precision=2)
         assert not np.allclose(feats_fp, feats_q)

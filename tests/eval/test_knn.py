@@ -58,11 +58,11 @@ class TestKnnEvaluation:
 
     def test_fixed_precision_path(self, rng):
         from repro.data import make_cifar100_like
-        from repro.quant import quantize_model
+        from repro.quant import prepare
 
         data = make_cifar100_like(num_classes=3, image_size=8,
                                   train_per_class=10, test_per_class=4)
-        encoder = quantize_model(
+        encoder = prepare(
             resnet18(width_multiplier=0.0625, rng=np.random.default_rng(0))
         )
         acc = knn_evaluation(encoder, data.train, data.test, k=3,

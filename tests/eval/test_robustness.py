@@ -6,7 +6,7 @@ import pytest
 from repro.data import make_cifar100_like
 from repro.eval import area_under_precision_curve, precision_sweep
 from repro.models import resnet18
-from repro.quant import quantize_model
+from repro.quant import prepare
 
 
 @pytest.fixture(scope="module")
@@ -17,7 +17,7 @@ def data():
 
 class TestPrecisionSweep:
     def test_returns_curve_over_requested_bits(self, data, rng):
-        encoder = quantize_model(
+        encoder = prepare(
             resnet18(width_multiplier=0.0625, rng=np.random.default_rng(0))
         )
         curve = precision_sweep(encoder, data.train, data.test,

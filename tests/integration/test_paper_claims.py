@@ -19,7 +19,7 @@ from repro.data import (
 )
 from repro.models import resnet18
 from repro.nn.optim import Adam
-from repro.quant import apply_precision, quantize_model
+from repro.quant import apply_precision, prepare
 
 
 def _precision_consistency(encoder, images, bits_low=4, bits_high=16):
@@ -91,8 +91,8 @@ class TestPrecisionConsistencyClaim:
         data, loader = setup
         simclr_encoder, cq_encoder = _train_pair(loader, epochs=8)
         images = data.test.images[:16]
-        quantize_model(simclr_encoder)
-        quantize_model(cq_encoder)
+        prepare(simclr_encoder)
+        prepare(cq_encoder)
         cos_simclr = _precision_consistency(simclr_encoder, images)
         cos_cq = _precision_consistency(cq_encoder, images)
         assert cos_cq > cos_simclr, (
@@ -109,7 +109,7 @@ class TestQuantizationAugmentationIsNontrivial:
                            rng=np.random.default_rng(0))
         model = SimCLRModel(encoder, projection_dim=8,
                             rng=np.random.default_rng(1))
-        quantize_model(encoder)
+        prepare(encoder)
         model.eval()
         x = nn.Tensor(data.test.images[:8])
         with nn.no_grad():
@@ -126,7 +126,7 @@ class TestQuantizationAugmentationIsNontrivial:
         data, _ = setup
         encoder = resnet18(width_multiplier=0.0625,
                            rng=np.random.default_rng(0))
-        quantize_model(encoder)
+        prepare(encoder)
         encoder.eval()
         x = nn.Tensor(data.test.images[:8])
         with nn.no_grad():

@@ -6,7 +6,7 @@ import pytest
 from repro import nn
 from repro.models import resnet18, resnet34, resnet74, resnet110, resnet152
 from repro.models.resnet import BasicBlock, ResNet
-from repro.quant import count_quantized_modules, apply_precision, quantize_model
+from repro.quant import count_quantized_modules, apply_precision, prepare
 
 
 SMALL = dict(width_multiplier=0.125)
@@ -112,12 +112,12 @@ class TestForward:
 
 class TestQuantizedResNet:
     def test_all_convs_and_linears_converted(self, rng):
-        model = quantize_model(resnet18(rng=rng, **SMALL))
+        model = prepare(resnet18(rng=rng, **SMALL))
         convs = [m for m in model.modules() if isinstance(m, nn.Conv2d)]
         assert count_quantized_modules(model) == len(convs)
 
     def test_precision_switch_changes_resnet_features(self, rng):
-        model = quantize_model(resnet18(rng=rng, **SMALL))
+        model = prepare(resnet18(rng=rng, **SMALL))
         model.eval()
         x = nn.Tensor(rng.normal(size=(1, 3, 8, 8)))
         apply_precision(model, 4)
@@ -127,7 +127,7 @@ class TestQuantizedResNet:
         assert not np.allclose(low, full)
 
     def test_quantized_resnet_trains(self, rng):
-        model = quantize_model(resnet18(rng=rng, **SMALL))
+        model = prepare(resnet18(rng=rng, **SMALL))
         apply_precision(model, 8)
         x = nn.Tensor(rng.normal(size=(2, 3, 8, 8)))
         model(x).sum().backward()

@@ -103,12 +103,12 @@ class TestCheckpoint:
         assert meta == {"epoch": 7.0}
 
     def test_quantized_model_checkpoint(self, tmp_path, rng):
-        from repro.quant import quantize_model
+        from repro.quant import prepare
 
-        m = quantize_model(model())
+        m = prepare(model())
         path = str(tmp_path / "q.npz")
         save_checkpoint(m, path, epoch=1)
-        fresh = quantize_model(model(2))
+        fresh = prepare(model(2))
         load_checkpoint(fresh, path)
         m.eval(), fresh.eval()
         x = nn.Tensor(rng.normal(size=(4, 4)))

@@ -10,7 +10,7 @@ from repro.quant import (  # noqa: RPR003 - shim under test
     PrecisionContext,
     apply_precision,
     precision,
-    quantize_model,
+    prepare,
     set_precision,
 )
 from repro.quant.cache import active_cache, active_views
@@ -19,7 +19,7 @@ from repro.quant.qmodules import QuantizedModule
 
 def small_model(seed=0):
     rng = np.random.default_rng(seed)
-    return quantize_model(nn.Sequential(
+    return prepare(nn.Sequential(
         nn.Linear(6, 5, rng=rng),
         nn.ReLU(),
         nn.Linear(5, 3, rng=rng),
@@ -93,7 +93,7 @@ class TestPrecisionContext:
         with pytest.raises(ValueError, match="views"):
             precision(small_model(), 4, views=0)
 
-    def test_matches_legacy_set_precision_numerics(self):
+    def test_matches_apply_precision_numerics(self):
         def run(model, scoped):
             x = Tensor(
                 np.random.default_rng(3).normal(size=(4, 6)).astype(np.float32)
@@ -102,8 +102,7 @@ class TestPrecisionContext:
                 with precision(model, 4):
                     out = model(x)
             else:
-                with pytest.deprecated_call():
-                    set_precision(model, 4)  # noqa: RPR003 - shim under test
+                apply_precision(model, 4)
                 out = model(x)
             (out ** 2).sum().backward()
             grads = [np.asarray(p.grad).tobytes()
@@ -111,9 +110,9 @@ class TestPrecisionContext:
             return out.data.tobytes(), grads
 
         scoped_out, scoped_grads = run(small_model(seed=7), scoped=True)
-        legacy_out, legacy_grads = run(small_model(seed=7), scoped=False)
-        assert scoped_out == legacy_out
-        assert scoped_grads == legacy_grads
+        open_out, open_grads = run(small_model(seed=7), scoped=False)
+        assert scoped_out == open_out
+        assert scoped_grads == open_grads
 
 
 class TestApplyPrecision:
@@ -131,10 +130,13 @@ class TestApplyPrecision:
         assert apply_precision(plain, 4, strict=False) == 0
 
 
-class TestSetPrecisionShim:
-    def test_warns_and_delegates(self):
+class TestSetPrecisionRemoved:
+    def test_raises_type_error(self):
         model = small_model()
-        with pytest.deprecated_call():
-            count = set_precision(model, 4)  # noqa: RPR003 - shim under test
-        assert count == 2
-        assert all(m.precision == 4 for m in qmodules(model))
+        with pytest.raises(TypeError, match="has been removed"):
+            set_precision(model, 4)  # noqa: RPR003 - removal under test
+        assert all(m.precision is None for m in qmodules(model))
+
+    def test_raises_regardless_of_signature(self):
+        with pytest.raises(TypeError, match="apply_precision"):
+            set_precision()  # noqa: RPR003 - removal under test

@@ -1,0 +1,126 @@
+"""BatchNorm folding: pair discovery, numerics, and model-level closeness."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import mobilenet_v2, resnet18
+from repro.nn.autograd import no_grad
+from repro.nn.layers.container import Identity
+from repro.nn.tensor import Tensor
+from repro.quant.fold import fold_batch_norm, foldable_pairs
+
+
+def _forward(model, x):
+    model.eval()
+    with no_grad():
+        return np.asarray(model(Tensor(x, dtype=np.float64)).data,
+                          dtype=np.float64)
+
+
+def _bn_with_stats(features, rng):
+    bn = nn.BatchNorm2d(features)
+    bn.set_buffer("running_mean",
+                  rng.normal(size=features).astype(np.float32))
+    bn.set_buffer("running_var",
+                  rng.uniform(0.5, 2.0, size=features).astype(np.float32))
+    bn.weight.data = rng.normal(1.0, 0.2,  # noqa: RPR002 - test fixture
+                                size=features).astype(np.float32)
+    bn.bias.data = rng.normal(size=features).astype(np.float32)  # noqa: RPR002 - test fixture
+    return bn
+
+
+class TestFoldablePairs:
+    def test_finds_declaration_order_adjacency(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(3, 4, 3, rng=rng),
+            nn.BatchNorm2d(4),
+            nn.ReLU(),
+            nn.Conv2d(4, 4, 3, rng=rng),
+        )
+        pairs = foldable_pairs(model)
+        assert len(pairs) == 1
+        affine_path, affine, norm_name, norm, parent = pairs[0]
+        assert isinstance(affine, nn.Conv2d)
+        assert isinstance(norm, nn.BatchNorm2d)
+
+    def test_mismatched_features_not_paired(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(3, 4, 3, rng=rng),
+            nn.BatchNorm2d(8),  # wrong width: must not fold
+        )
+        assert foldable_pairs(model) == []
+
+    def test_groupnorm_not_paired(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(3, 4, 3, rng=rng),
+            nn.GroupNorm(2, 4),
+        )
+        assert foldable_pairs(model) == []
+
+
+class TestFoldNumerics:
+    def test_conv_bn_matches_unfolded(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(3, 6, 3, padding=1, rng=rng),
+            _bn_with_stats(6, rng),
+        )
+        x = rng.normal(size=(2, 3, 8, 8))
+        before = _forward(model, x)
+        assert fold_batch_norm(model) == 1
+        after = _forward(model, x)
+        np.testing.assert_allclose(after, before, rtol=1e-5, atol=1e-6)
+
+    def test_norm_replaced_with_identity(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(3, 6, 3, rng=rng),
+            _bn_with_stats(6, rng),
+        )
+        fold_batch_norm(model)
+        kinds = [type(m).__name__ for _, m in model.named_modules()]
+        assert "BatchNorm2d" not in kinds
+        assert any(isinstance(m, Identity) for m in model.modules())
+
+    def test_conv_without_bias_gains_one(self, rng):
+        conv = nn.Conv2d(3, 6, 3, bias=False, rng=rng)
+        model = nn.Sequential(conv, _bn_with_stats(6, rng))
+        x = rng.normal(size=(2, 3, 6, 6))
+        before = _forward(model, x)
+        fold_batch_norm(model)
+        assert conv.bias is not None
+        np.testing.assert_allclose(_forward(model, x), before,
+                                   rtol=1e-5, atol=1e-6)
+
+    def test_fold_is_idempotent(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(3, 6, 3, rng=rng),
+            _bn_with_stats(6, rng),
+        )
+        assert fold_batch_norm(model) == 1
+        assert fold_batch_norm(model) == 0
+
+    def test_fold_bumps_parameter_versions(self, rng):
+        conv = nn.Conv2d(3, 6, 3, rng=rng)
+        model = nn.Sequential(conv, _bn_with_stats(6, rng))
+        v = conv.weight.version
+        fold_batch_norm(model)
+        assert conv.weight.version > v
+
+
+@pytest.mark.parametrize("builder,width,size", [
+    (resnet18, 0.0625, 8),
+    (mobilenet_v2, 0.125, 8),
+])
+def test_model_level_fold_closeness(builder, width, size, rng):
+    """Folded and unfolded models agree on real encoder topologies."""
+    model = builder(width_multiplier=width, rng=np.random.default_rng(0),
+                    **({"stem": "cifar"} if builder is resnet18 else {}))
+    # push nontrivial running stats through the BN layers first
+    model.train()
+    for _ in range(2):
+        model(Tensor(rng.normal(size=(4, 3, size, size)).astype(np.float32)))
+    x = rng.normal(size=(2, 3, size, size))
+    before = _forward(model, x)
+    assert fold_batch_norm(model) > 0
+    after = _forward(model, x)
+    np.testing.assert_allclose(after, before, rtol=1e-4, atol=1e-5)

@@ -10,7 +10,7 @@ from repro.quant import (
     apply_precision,
     count_quantized_modules,
     linear_quantize,
-    quantize_model,
+    prepare,
 )
 
 
@@ -27,13 +27,13 @@ def small_model(rng):
 class TestQLinear:
     def test_full_precision_matches_float(self, rng):
         fp = nn.Linear(6, 3, rng=rng)
-        q = QLinear.from_float(fp)
+        q = QLinear.from_float(fp)  # noqa: RPR007 - twin constructor under test
         x = nn.Tensor(rng.normal(size=(4, 6)))
         np.testing.assert_allclose(q(x).data, fp(x).data, rtol=1e-6)
 
     def test_quantized_forward_uses_quantized_weight(self, rng):
         fp = nn.Linear(6, 3, rng=rng)
-        q = QLinear.from_float(fp)
+        q = QLinear.from_float(fp)  # noqa: RPR007 - twin constructor under test
         q.set_precision(3)
         q.quantize_activations = False
         x = rng.normal(size=(4, 6)).astype(np.float32)
@@ -42,7 +42,7 @@ class TestQLinear:
 
     def test_activation_quantization_applied(self, rng):
         fp = nn.Linear(4, 2, rng=rng)
-        q = QLinear.from_float(fp)
+        q = QLinear.from_float(fp)  # noqa: RPR007 - twin constructor under test
         q.set_precision(2)
         x = rng.normal(size=(3, 4)).astype(np.float32)
         expected = (
@@ -53,7 +53,7 @@ class TestQLinear:
 
     def test_shares_parameters_with_float(self, rng):
         fp = nn.Linear(4, 2, rng=rng)
-        q = QLinear.from_float(fp)
+        q = QLinear.from_float(fp)  # noqa: RPR007 - twin constructor under test
         assert q.weight is fp.weight
         fp.weight.data[...] = 1.0
         assert np.all(q.weight.data == 1.0)
@@ -76,20 +76,20 @@ class TestQLinear:
 class TestQConv2d:
     def test_full_precision_matches_float(self, rng):
         fp = nn.Conv2d(3, 4, 3, padding=1, rng=rng)
-        q = QConv2d.from_float(fp)
+        q = QConv2d.from_float(fp)  # noqa: RPR007 - twin constructor under test
         x = nn.Tensor(rng.normal(size=(2, 3, 5, 5)))
         np.testing.assert_allclose(q(x).data, fp(x).data, rtol=1e-6)
 
     def test_low_precision_changes_output(self, rng):
         fp = nn.Conv2d(3, 4, 3, padding=1, rng=rng)
-        q = QConv2d.from_float(fp)
+        q = QConv2d.from_float(fp)  # noqa: RPR007 - twin constructor under test
         q.set_precision(2)
         x = nn.Tensor(rng.normal(size=(2, 3, 5, 5)))
         assert not np.allclose(q(x).data, fp(x).data)
 
     def test_higher_precision_closer_to_float(self, rng):
         fp = nn.Conv2d(3, 4, 3, padding=1, rng=rng)
-        q = QConv2d.from_float(fp)
+        q = QConv2d.from_float(fp)  # noqa: RPR007 - twin constructor under test
         x = nn.Tensor(rng.normal(size=(2, 3, 5, 5)))
         ref = fp(x).data
         gaps = []
@@ -100,14 +100,14 @@ class TestQConv2d:
 
     def test_grouped_conversion(self, rng):
         fp = nn.Conv2d(4, 4, 3, groups=4, padding=1, rng=rng)
-        q = QConv2d.from_float(fp)
+        q = QConv2d.from_float(fp)  # noqa: RPR007 - twin constructor under test
         x = nn.Tensor(rng.normal(size=(1, 4, 5, 5)))
         np.testing.assert_allclose(q(x).data, fp(x).data, rtol=1e-6)
 
 
 class TestConversion:
     def test_quantize_model_replaces_layers(self, rng):
-        model = quantize_model(small_model(rng))
+        model = prepare(small_model(rng))
         assert count_quantized_modules(model) == 2
         assert isinstance(model[0], QConv2d)
         assert isinstance(model[4], QLinear)
@@ -117,34 +117,34 @@ class TestConversion:
         x = nn.Tensor(rng.normal(size=(2, 3, 6, 6)))
         model.eval()
         before = model(x).data.copy()
-        quantize_model(model)
+        prepare(model)
         np.testing.assert_allclose(model(x).data, before, rtol=1e-5)
 
     def test_conversion_preserves_parameter_identity(self, rng):
         model = small_model(rng)
         params_before = {id(p) for p in model.parameters()}
-        quantize_model(model)
+        prepare(model)
         params_after = {id(p) for p in model.parameters()}
         assert params_before == params_after
 
     def test_skip_predicate(self, rng):
         model = small_model(rng)
-        quantize_model(model, skip=lambda name, m: isinstance(m, nn.Linear))
+        prepare(model, skip=lambda name, m: isinstance(m, nn.Linear))
         assert count_quantized_modules(model) == 1
 
     def test_idempotent(self, rng):
-        model = quantize_model(small_model(rng))
-        quantize_model(model)
+        model = prepare(small_model(rng))
+        prepare(model)
         assert count_quantized_modules(model) == 2
 
     def test_apply_precision_all(self, rng):
-        model = quantize_model(small_model(rng))
+        model = prepare(small_model(rng))
         assert apply_precision(model, 8) == 2
         assert model[0].precision == 8
         assert model[4].precision == 8
 
     def test_apply_precision_back_to_fp(self, rng):
-        model = quantize_model(small_model(rng))
+        model = prepare(small_model(rng))
         apply_precision(model, 4)
         apply_precision(model, None)
         assert model[0].precision is None
@@ -154,7 +154,7 @@ class TestConversion:
             apply_precision(small_model(rng), 8)
 
     def test_precision_switch_changes_features(self, rng):
-        model = quantize_model(small_model(rng))
+        model = prepare(small_model(rng))
         model.eval()
         x = nn.Tensor(rng.normal(size=(2, 3, 6, 6)))
         apply_precision(model, 4)
@@ -166,5 +166,5 @@ class TestConversion:
     def test_state_dict_survives_conversion(self, rng):
         model = small_model(rng)
         state = model.state_dict()
-        quantize_model(model)
+        prepare(model)
         assert set(model.state_dict()) == set(state)

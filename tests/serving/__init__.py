@@ -1,0 +1,1 @@
+"""repro.serving tests."""

@@ -1,0 +1,60 @@
+"""EmbeddingCache: LRU behaviour, key identity, defensive copies."""
+
+import numpy as np
+import pytest
+
+from repro.serving import EmbeddingCache, input_digest
+
+
+def test_digest_sensitive_to_content_shape_and_dtype(rng):
+    x = rng.normal(size=(3, 4))
+    assert input_digest(x) == input_digest(x.copy())
+    assert input_digest(x) != input_digest(x + 1e-9)
+    assert input_digest(x) != input_digest(x.reshape(4, 3))
+    assert input_digest(x) != input_digest(x.astype(np.float32))
+
+
+def test_key_binds_model_identity(rng):
+    x = rng.normal(size=(4,))
+    assert EmbeddingCache.key("enc", 1, x) != EmbeddingCache.key("enc", 2, x)
+    assert EmbeddingCache.key("a", 1, x) != EmbeddingCache.key("b", 1, x)
+
+
+def test_hit_miss_accounting(rng):
+    cache = EmbeddingCache(capacity=4)
+    key = EmbeddingCache.key("enc", 1, rng.normal(size=(4,)))
+    assert cache.get(key) is None
+    cache.put(key, np.ones(2))
+    assert np.array_equal(cache.get(key), np.ones(2))
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.hit_rate == 0.5
+
+
+def test_lru_evicts_oldest(rng):
+    cache = EmbeddingCache(capacity=2)
+    keys = [EmbeddingCache.key("enc", 1, rng.normal(size=(2,)))
+            for _ in range(3)]
+    cache.put(keys[0], np.zeros(1))
+    cache.put(keys[1], np.ones(1))
+    cache.get(keys[0])                 # refresh 0: now 1 is the LRU entry
+    cache.put(keys[2], np.full(1, 2.0))
+    assert keys[0] in cache
+    assert keys[1] not in cache
+    assert keys[2] in cache
+
+
+def test_returned_arrays_are_copies(rng):
+    cache = EmbeddingCache(capacity=2)
+    key = EmbeddingCache.key("enc", 1, rng.normal(size=(2,)))
+    value = np.ones(3)
+    cache.put(key, value)
+    value[:] = 0.0                     # caller mutates their array
+    got = cache.get(key)
+    assert np.array_equal(got, np.ones(3))
+    got[:] = 5.0                       # and the handed-out copy
+    assert np.array_equal(cache.get(key), np.ones(3))
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError, match="capacity"):
+        EmbeddingCache(capacity=0)

@@ -1,0 +1,59 @@
+"""run_load: closed-loop accounting and report arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.serving import EmbeddingService, ModelRegistry, run_load
+
+
+def make_service(**kwargs):
+    reg = ModelRegistry()
+    reg.publish("enc", nn.Linear(6, 3, rng=np.random.default_rng(0)))
+    return EmbeddingService(reg, "enc", **kwargs)
+
+
+def test_report_counts_every_request(rng):
+    inputs = [rng.normal(size=(6,)) for _ in range(4)]
+    with make_service(max_batch_size=8, max_wait_ms=1.0) as svc:
+        report = run_load(svc, inputs, requests=24, concurrency=3,
+                          label="smoke")
+    assert report.label == "smoke"
+    assert report.requests == 24
+    assert report.errors == 0
+    assert report.concurrency == 3
+    assert report.qps > 0
+    assert 0 < report.p50_ms <= report.p99_ms
+    d = report.to_dict()
+    assert d["requests"] == 24 and d["p50_ms"] > 0
+
+
+def test_concurrency_never_exceeds_requests(rng):
+    inputs = [rng.normal(size=(6,))]
+    with make_service(max_wait_ms=0.5) as svc:
+        report = run_load(svc, inputs, requests=2, concurrency=16)
+    assert report.concurrency == 2
+
+
+def test_errors_are_counted_not_raised(rng):
+    reg = ModelRegistry()
+
+    class Exploding(nn.Module):
+        def forward(self, x):
+            raise ValueError("boom")
+
+    reg.publish("enc", Exploding())
+    with EmbeddingService(reg, "enc", max_wait_ms=0.5) as svc:
+        report = run_load(svc, [rng.normal(size=(6,))], requests=6,
+                          concurrency=2)
+    assert report.errors == 6
+
+
+def test_input_validation(rng):
+    svc = make_service()
+    with pytest.raises(ValueError, match="requests"):
+        run_load(svc, [rng.normal(size=(6,))], requests=0)
+    with pytest.raises(ValueError, match="concurrency"):
+        run_load(svc, [rng.normal(size=(6,))], requests=1, concurrency=0)
+    with pytest.raises(ValueError, match="inputs"):
+        run_load(svc, [], requests=1)
