@@ -1,0 +1,222 @@
+"""Quantized retrieval benchmark: QPS + recall@k at 1M synthetic items.
+
+Builds a million-item synthetic corpus (Gaussian mixture, L2-normalized
+— the shape of contrastive embeddings), indexes it three ways and
+measures batched top-10 search throughput plus agreement with the exact
+float oracle:
+
+- ``binary`` — median-threshold sign bits packed to ``uint64``,
+  popcount Hamming scan (64x smaller than float32);
+- ``pq``     — 8 x 256-code EMA product quantizer, ADC lookup-table
+  scan (32x smaller);
+- ``exact``  — blocked float32 brute-force cosine (the recall oracle
+  and QPS baseline).
+
+Writes ``BENCH_retrieval.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_retrieval.py           # full, 1M
+    PYTHONPATH=src python benchmarks/bench_retrieval.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.nn.rng import derive_rng
+from repro.retrieval import (
+    BinaryIndex,
+    BinaryQuantizer,
+    PQIndex,
+    ProductQuantizer,
+    mean_average_precision,
+    recall_at_k,
+    topk_largest,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_retrieval.json"
+
+DIM = 64
+K = 10
+CLUSTERS = 128
+TRAIN_SAMPLE = 20_000
+CHUNK = 100_000
+
+
+def make_corpus(n: int, seed: int = 0) -> np.ndarray:
+    """L2-normalized Gaussian-mixture rows, generated chunk-wise (float32)."""
+    centers = derive_rng(seed, 0).normal(size=(CLUSTERS, DIM))
+    corpus = np.empty((n, DIM), dtype=np.float32)
+    for i, start in enumerate(range(0, n, CHUNK)):
+        rng = derive_rng(seed, 1, i)
+        count = min(CHUNK, n - start)
+        rows = (centers[rng.integers(0, CLUSTERS, size=count)]
+                + 0.5 * rng.normal(size=(count, DIM)))
+        rows /= np.linalg.norm(rows, axis=1, keepdims=True)
+        corpus[start:start + count] = rows.astype(np.float32)
+    return corpus
+
+
+def make_queries(corpus: np.ndarray, n_queries: int,
+                 seed: int = 7) -> np.ndarray:
+    """Perturbed corpus rows: queries with genuine near neighbours."""
+    rng = derive_rng(seed)
+    picks = rng.integers(0, corpus.shape[0], size=n_queries)
+    rows = (corpus[picks].astype(np.float64)
+            + 0.1 * rng.normal(size=(n_queries, DIM)))
+    rows /= np.linalg.norm(rows, axis=1, keepdims=True)
+    return rows
+
+
+def exact_topk_blocked(queries: np.ndarray, corpus: np.ndarray,
+                       k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Blocked brute-force cosine top-k (everything is unit-norm)."""
+    q32 = queries.astype(np.float32)
+    best_ids = None
+    best_sims = None
+    for start in range(0, corpus.shape[0], CHUNK):
+        sims = q32 @ corpus[start:start + CHUNK].T
+        ids = np.arange(start, start + sims.shape[1], dtype=np.int64)
+        if best_ids is None:
+            merged_sims, merged_ids = sims, np.broadcast_to(ids, sims.shape)
+        else:
+            merged_sims = np.concatenate([best_sims, sims], axis=1)
+            merged_ids = np.concatenate(
+                [best_ids, np.broadcast_to(ids, sims.shape)], axis=1)
+        pos, best_sims = topk_largest(merged_sims, k)
+        best_ids = np.take_along_axis(np.asarray(merged_ids), pos, axis=1)
+    return best_ids, best_sims
+
+
+def timed_search(fn, queries: np.ndarray, repeats: int) -> Tuple[float, object]:
+    """Best-of-``repeats`` QPS for a batched search callable."""
+    result = None
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn(queries)
+        best = min(best, time.perf_counter() - started)
+    return queries.shape[0] / best, result
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 20k items, 32 queries")
+    parser.add_argument("--items", type=int, default=None,
+                        help="override corpus size")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    n_items = args.items or (20_000 if args.quick else 1_000_000)
+    n_queries = 32 if args.quick else 256
+    repeats = 1 if args.quick else 3
+    query_block = 8  # bounds the (block, n_items) distance intermediates
+
+    started = time.perf_counter()
+    corpus = make_corpus(n_items)
+    queries = make_queries(corpus, n_queries)
+    train = corpus[:min(TRAIN_SAMPLE, n_items)].astype(np.float64)
+    gen_s = time.perf_counter() - started
+    print(f"corpus: {n_items} x {DIM} in {gen_s:.1f}s")
+
+    oracle_ids, _ = exact_topk_blocked(queries, corpus, K)
+    report: Dict[str, Dict[str, float]] = {}
+
+    # -- exact float baseline ---------------------------------------------
+    exact_qps, _ = timed_search(
+        lambda q: exact_topk_blocked(q, corpus, K), queries, repeats)
+    report["exact"] = {
+        "qps": round(exact_qps, 2),
+        "bytes_per_item": DIM * corpus.itemsize,
+    }
+    print(f"exact    qps={exact_qps:10.1f}")
+
+    # -- binary / Hamming --------------------------------------------------
+    started = time.perf_counter()
+    binary_index = BinaryIndex(BinaryQuantizer.fit_median(train),
+                               query_block=query_block)
+    for start in range(0, n_items, CHUNK):
+        binary_index.add(corpus[start:start + CHUNK])
+    binary_build_s = time.perf_counter() - started
+    binary_qps, (ids, _) = timed_search(
+        lambda q: binary_index.search(q, K), queries, repeats)
+    wide_ids, _ = binary_index.search(queries, 100)
+    report["binary"] = {
+        "qps": round(binary_qps, 2),
+        "build_s": round(binary_build_s, 3),
+        "recall_at_10": round(recall_at_k(ids, oracle_ids, K), 4),
+        # standard ANN metric: oracle top-10 found in 100 candidates
+        "recall10_at_100": round(
+            recall_at_k(wide_ids, oracle_ids, 100), 4),
+        "map": round(mean_average_precision(ids, oracle_ids), 4),
+        "bytes_per_item": binary_index.quantizer.words * 8,
+    }
+    print(f"binary   qps={binary_qps:10.1f} "
+          f"recall@10={report['binary']['recall_at_10']:.3f}")
+
+    # -- product quantizer / ADC ------------------------------------------
+    started = time.perf_counter()
+    pq = ProductQuantizer(DIM, 8, 256, rng=derive_rng(3))
+    pq.fit(train, epochs=3, batch_size=2048, seed=4)
+    pq_index = PQIndex(pq, query_block=query_block)
+    for start in range(0, n_items, CHUNK):
+        pq_index.add(corpus[start:start + CHUNK].astype(np.float64))
+    pq_build_s = time.perf_counter() - started
+    pq_qps, (ids, _) = timed_search(
+        lambda q: pq_index.search(q, K), queries, repeats)
+    wide_ids, _ = pq_index.search(queries, 100)
+    report["pq"] = {
+        "qps": round(pq_qps, 2),
+        "build_s": round(pq_build_s, 3),
+        "recall_at_10": round(recall_at_k(ids, oracle_ids, K), 4),
+        "recall10_at_100": round(
+            recall_at_k(wide_ids, oracle_ids, 100), 4),
+        "map": round(mean_average_precision(ids, oracle_ids), 4),
+        "bytes_per_item": pq.num_subspaces * pq.code_dtype.itemsize,
+    }
+    print(f"pq       qps={pq_qps:10.1f} "
+          f"recall@10={report['pq']['recall_at_10']:.3f}")
+
+    payload = {
+        "quick": bool(args.quick),
+        "items": n_items,
+        "dim": DIM,
+        "queries": n_queries,
+        "k": K,
+        "clusters": CLUSTERS,
+        "train_sample": int(train.shape[0]),
+        "cpu_count": os.cpu_count(),
+        "corpus_gen_s": round(gen_s, 3),
+        "indexes": report,
+        "compression": {
+            name: round(report["exact"]["bytes_per_item"]
+                        / report[name]["bytes_per_item"], 1)
+            for name in ("binary", "pq")
+        },
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    # Quantized scans must beat the float baseline on throughput and
+    # retain real oracle agreement, else the subsystem regressed.
+    for name in ("binary", "pq"):
+        if report[name]["recall_at_10"] <= 0.0:
+            print(f"WARNING: {name} recall@10 is zero")
+            return 1
+    if report["binary"]["qps"] <= report["exact"]["qps"]:
+        print("WARNING: binary scan not faster than exact float search")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -532,6 +532,42 @@ def _register_model_handlers() -> None:
         return _chain(tracer, path, shape, dtype,
                       ("encoder", module.encoder), ("head", module.head))
 
+    from ..retrieval.trainer import _VQModel
+    from ..retrieval.vq import ProductQuantizer, VectorQuantizer
+
+    @register_shape_handler(VectorQuantizer)
+    def _shape_vector_quantizer(module, shape, dtype, path, tracer):
+        if len(shape) != 2 or shape[1] != module.dim:
+            tracer.fail(
+                path,
+                f"VectorQuantizer({module.num_codes}, {module.dim}) "
+                f"expects (N, {module.dim}) embeddings, got {shape}",
+            )
+        # Reconstructions are codebook rows: shape-preserving, float32.
+        return shape, np.result_type(dtype, module.codebook.data.dtype)
+
+    @register_shape_handler(ProductQuantizer)
+    def _shape_product_quantizer(module, shape, dtype, path, tracer):
+        if len(shape) != 2 or shape[1] != module.dim:
+            tracer.fail(
+                path,
+                f"ProductQuantizer over {module.num_subspaces} x "
+                f"{module.subdim} coordinates expects (N, {module.dim}) "
+                f"embeddings, got {shape}",
+            )
+        d = dtype
+        for m, sub in enumerate(module.quantizers):
+            sub_path = (f"{path}.quantizers.{m}" if path
+                        else f"quantizers.{m}")
+            _, d = tracer.trace(sub, (shape[0], module.subdim), dtype,
+                                sub_path)
+        return shape, d
+
+    @register_shape_handler(_VQModel)
+    def _shape_vq_model(module, shape, dtype, path, tracer):
+        return _chain(tracer, path, shape, dtype,
+                      ("quantizer", module.quantizer))
+
 
 _register_model_handlers()
 

@@ -1,0 +1,59 @@
+"""Quantized-embedding retrieval: binary/PQ indexes, training, serving.
+
+The production workload for the paper's contrastive-quant embeddings
+(ROADMAP open item 1): million-item similarity search over compressed
+codes.  Two compression families, one deterministic ranking contract:
+
+- **Binary** — per-coordinate thresholds → packed ``uint64`` words →
+  popcount Hamming search (:class:`BinaryQuantizer`,
+  :class:`BinaryIndex`; PAPERS.md covariance-structure analysis).
+- **Learned codebooks** — EMA :class:`VectorQuantizer` /
+  :class:`ProductQuantizer` with dead-code restart, trained
+  contrastively with a :class:`CodeMemory` queue (:class:`VQTrainer`,
+  MeCoQ) and searched via ADC lookup tables (:class:`PQIndex`).
+
+Every index ranks by ascending ``(distance, id)`` and the float oracle
+:func:`exact_search` by descending ``(similarity, ascending id)``, so
+:func:`recall_at_k` / :func:`mean_average_precision` comparisons are
+reproducible bit for bit.  :class:`RetrievalService` runs the whole
+embed → quantize → search path on :mod:`repro.serving`'s registry and
+micro-batching, refusing cross-model-version queries with
+:class:`StaleIndexError`.
+"""
+
+from .binary import (
+    BinaryIndex,
+    BinaryQuantizer,
+    pack_bits,
+    packed_hamming,
+    packed_words,
+    unpack_bits,
+)
+from .metrics import exact_search, mean_average_precision, recall_at_k
+from .pq import PQIndex
+from .ranking import topk_largest, topk_smallest
+from .service import RetrievalService, StaleIndexError
+from .trainer import VQTrainer, l2_normalize
+from .vq import CodeMemory, ProductQuantizer, VectorQuantizer
+
+__all__ = [
+    "BinaryIndex",
+    "BinaryQuantizer",
+    "CodeMemory",
+    "PQIndex",
+    "ProductQuantizer",
+    "RetrievalService",
+    "StaleIndexError",
+    "VQTrainer",
+    "VectorQuantizer",
+    "exact_search",
+    "l2_normalize",
+    "mean_average_precision",
+    "pack_bits",
+    "packed_hamming",
+    "packed_words",
+    "recall_at_k",
+    "topk_largest",
+    "topk_smallest",
+    "unpack_bits",
+]

@@ -1,0 +1,107 @@
+"""Retrieval evaluation: exact float oracle, recall@k, and mAP.
+
+:func:`exact_search` is the ground truth every quantized index is
+measured against — brute-force cosine (inner-product over L2-normalized
+rows) ranked by descending ``(similarity, ascending id)``, the mirror
+image of the quantized indexes' ascending ``(distance, id)`` order, so
+metric comparisons are deterministic end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .ranking import topk_largest
+from .trainer import l2_normalize
+
+__all__ = ["exact_search", "recall_at_k", "mean_average_precision"]
+
+
+def exact_search(queries: np.ndarray, corpus: np.ndarray,
+                 k: int = 10, *,
+                 normalize: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+    """Brute-force cosine top-k: the float oracle.
+
+    Returns ``(ids, similarities)``, both ``(Q, min(k, N))``, ranked by
+    descending similarity with ties broken by the smaller id.  Pass
+    ``normalize=False`` when both sides are already unit-norm and plain
+    inner product is wanted.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    corpus = np.asarray(corpus, dtype=np.float64)
+    if queries.ndim != 2 or corpus.ndim != 2:
+        raise ValueError(
+            f"expected 2-D queries and corpus, got {queries.shape} and "
+            f"{corpus.shape}"
+        )
+    if queries.shape[1] != corpus.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: queries have {queries.shape[1]} "
+            f"coordinates, corpus has {corpus.shape[1]}"
+        )
+    if corpus.shape[0] == 0:
+        raise ValueError("cannot search an empty corpus")
+    if normalize:
+        queries = l2_normalize(queries)
+        corpus = l2_normalize(corpus)
+    return topk_largest(queries @ corpus.T, k)
+
+
+def _check_id_matrices(retrieved: np.ndarray,
+                       relevant: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    retrieved = np.asarray(retrieved, dtype=np.int64)
+    relevant = np.asarray(relevant, dtype=np.int64)
+    if retrieved.ndim != 2 or relevant.ndim != 2:
+        raise ValueError(
+            f"expected 2-D id matrices, got {retrieved.shape} and "
+            f"{relevant.shape}"
+        )
+    if retrieved.shape[0] != relevant.shape[0]:
+        raise ValueError(
+            f"query count mismatch: {retrieved.shape[0]} vs "
+            f"{relevant.shape[0]}"
+        )
+    if retrieved.shape[0] == 0:
+        raise ValueError("need at least one query")
+    return retrieved, relevant
+
+
+def recall_at_k(retrieved: np.ndarray, relevant: np.ndarray,
+                k: int = 10) -> float:
+    """Mean fraction of ``relevant`` ids found in the top ``k`` retrieved.
+
+    ``retrieved`` is ``(Q, >=k)`` ids from an index (rank order);
+    ``relevant`` is ``(Q, R)`` ground-truth ids from the oracle.
+    """
+    retrieved, relevant = _check_id_matrices(retrieved, relevant)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if retrieved.shape[1] < min(k, relevant.shape[1]):
+        raise ValueError(
+            f"retrieved carries only {retrieved.shape[1]} ids per query "
+            f"but recall@{k} needs {min(k, relevant.shape[1])}"
+        )
+    hits = (retrieved[:, :k, None] == relevant[:, None, :]).any(axis=1)
+    return float(hits.mean())
+
+
+def mean_average_precision(retrieved: np.ndarray,
+                           relevant: np.ndarray) -> float:
+    """Mean (over queries) of average precision over the retrieved list.
+
+    Average precision for one query is the mean of precision@rank over
+    the ranks where a relevant item appears, divided by the number of
+    relevant items — 1.0 iff every relevant id leads the ranking.
+    """
+    retrieved, relevant = _check_id_matrices(retrieved, relevant)
+    if relevant.shape[1] == 0:
+        raise ValueError("relevant must list at least one id per query")
+    is_hit = (retrieved[:, :, None] == relevant[:, None, :]).any(axis=2)
+    ranks = np.arange(1, retrieved.shape[1] + 1, dtype=np.float64)
+    cum_hits = np.cumsum(is_hit, axis=1, dtype=np.float64)
+    precision_at_hits = np.where(is_hit, cum_hits / ranks, 0.0)
+    return float(
+        (precision_at_hits.sum(axis=1) / relevant.shape[1]).mean()
+    )

@@ -1,0 +1,155 @@
+"""Product-quantized index with asymmetric-distance (ADC) search.
+
+Stored items are compact per-subspace code ids from a trained
+:class:`repro.retrieval.ProductQuantizer`; queries stay *float*.  Search
+builds one lookup table per subspace — the distance from each query
+slice to every codebook entry — and accumulates per-item distances by
+gathering table entries at the stored codes, so a scan over N items
+costs ``O(Q * num_codes * dim)`` table work plus ``O(Q * N *
+num_subspaces)`` gathers and never touches a float reconstruction.
+
+Supported metrics: ``"l2"`` (squared Euclidean to the reconstruction)
+and ``"ip"`` (negated inner product, so smaller is still better).
+Results are ranked by ascending ``(distance, id)`` like every index in
+this package, making them directly comparable to the float oracle.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Tuple
+
+import numpy as np
+
+from .ranking import topk_smallest
+from .vq import ProductQuantizer
+
+__all__ = ["PQIndex"]
+
+_METRICS = ("l2", "ip")
+
+
+class PQIndex:
+    """ADC lookup-table search over product-quantized codes.
+
+    Item ids are assignment order.  ``add()`` is thread-safe; ``search``
+    snapshots the current size, so concurrent adds never tear a query.
+    """
+
+    def __init__(self, quantizer: ProductQuantizer, *, metric: str = "l2",
+                 query_block: int = 32) -> None:
+        if not isinstance(quantizer, ProductQuantizer):
+            raise TypeError(
+                f"quantizer must be a ProductQuantizer, got "
+                f"{type(quantizer).__name__}"
+            )
+        if metric not in _METRICS:
+            raise ValueError(
+                f"metric must be one of {_METRICS}, got {metric!r}"
+            )
+        if query_block < 1:
+            raise ValueError(f"query_block must be >= 1, got {query_block}")
+        self.quantizer = quantizer
+        self.metric = metric
+        self.query_block = int(query_block)
+        self._lock = threading.Lock()
+        self._codes = np.zeros((0, quantizer.num_subspaces),
+                               dtype=quantizer.code_dtype)
+        self._size = 0
+
+    @property
+    def dim(self) -> int:
+        return self.quantizer.dim
+
+    def __len__(self) -> int:
+        return self._size
+
+    def codes(self) -> np.ndarray:
+        """Copy of the stored per-subspace codes (in id order)."""
+        return self._codes[:self._size].copy()
+
+    def _grow_to(self, size: int) -> None:
+        if size <= self._codes.shape[0]:
+            return
+        capacity = max(1024, self._codes.shape[0] * 2, size)
+        grown = np.zeros((capacity, self.quantizer.num_subspaces),
+                         dtype=self.quantizer.code_dtype)
+        grown[:self._size] = self._codes[:self._size]
+        self._codes = grown
+
+    def add(self, embeddings: np.ndarray) -> np.ndarray:
+        """Encode and store embeddings; returns their assigned ids."""
+        return self.add_codes(self.quantizer.encode(embeddings))
+
+    def add_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Store pre-encoded codes; returns their assigned ids."""
+        codes = np.asarray(codes)
+        if (codes.ndim != 2
+                or codes.shape[1] != self.quantizer.num_subspaces):
+            raise ValueError(
+                f"codes must have shape (N, "
+                f"{self.quantizer.num_subspaces}), got {codes.shape}"
+            )
+        if codes.size and (int(codes.min()) < 0
+                           or int(codes.max()) >= self.quantizer.num_codes):
+            raise ValueError(
+                f"code ids must be in [0, {self.quantizer.num_codes})"
+            )
+        codes = codes.astype(self.quantizer.code_dtype, copy=False)
+        with self._lock:
+            start = self._size
+            self._grow_to(start + codes.shape[0])
+            self._codes[start:start + codes.shape[0]] = codes
+            self._size += codes.shape[0]
+            return np.arange(start, self._size, dtype=np.int64)
+
+    def _lookup_tables(self, queries: np.ndarray) -> np.ndarray:
+        """``(M, Q, num_codes)`` per-subspace query-to-code distances."""
+        q = self.quantizer
+        tables = np.empty(
+            (q.num_subspaces, queries.shape[0], q.num_codes),
+            dtype=np.float64,
+        )
+        for m, sub in enumerate(q.quantizers):
+            part = queries[:, m * q.subdim:(m + 1) * q.subdim]
+            codebook = sub.codebook.data
+            inner = part @ codebook.T
+            if self.metric == "l2":
+                tables[m] = (np.sum(part ** 2, axis=1)[:, None]
+                             - 2.0 * inner
+                             + np.sum(codebook ** 2, axis=1)[None, :])
+            else:
+                tables[m] = -inner
+        return tables
+
+    def search(self, queries: np.ndarray,
+               k: int = 10) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-k by asymmetric distance for ``(Q, dim)`` float queries.
+
+        Returns ``(ids, distances)``, both ``(Q, min(k, len(self)))``;
+        for ``metric="ip"`` the distances are negated inner products.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValueError(
+                f"queries must have shape (Q, {self.dim}), got "
+                f"{queries.shape}"
+            )
+        with self._lock:
+            size = self._size
+            codes = self._codes  # snapshot; rows < size are frozen
+        if size == 0:
+            raise ValueError("search on an empty PQIndex; add() items first")
+        stored = codes[:size].astype(np.int64, copy=False)
+        id_blocks = []
+        dist_blocks = []
+        for start in range(0, queries.shape[0], self.query_block):
+            block = queries[start:start + self.query_block]
+            tables = self._lookup_tables(block)
+            dists = np.zeros((block.shape[0], size), dtype=np.float64)
+            for m in range(self.quantizer.num_subspaces):
+                dists += tables[m][:, stored[:, m]]
+            ids, top = topk_smallest(dists, k)
+            id_blocks.append(ids)
+            dist_blocks.append(top)
+        return np.concatenate(id_blocks), np.concatenate(dist_blocks)

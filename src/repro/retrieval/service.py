@@ -1,0 +1,232 @@
+"""End-to-end retrieval over the serving layer: embed → quantize → search.
+
+:class:`RetrievalService` composes an
+:class:`~repro.serving.EmbeddingService` (registry-resolved model,
+request micro-batching) with one of this package's quantized indexes.
+``add()`` embeds raw samples and stores their codes; ``search()`` embeds
+raw queries and runs quantized top-k — the full production path the
+ROADMAP's million-item workload describes.
+
+The failure mode this layer exists to catch: the registry hot-swaps the
+embedding model (a new ``publish()`` under the served name) while the
+index still holds codes from the *old* model's embedding space — every
+search result would be silently garbage.  The service binds the index to
+the model version that filled it and re-checks the resolved version both
+*before and after* the embedding round trip (the swap can land mid-query
+while requests sit in the micro-batch queue), raising
+:class:`StaleIndexError` instead of returning cross-space neighbours.
+In-place edits to the published model (fingerprint drift) are caught the
+same way via ``ModelVersion.is_stale()``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..serving.service import EmbeddingService
+from .binary import BinaryIndex
+from .pq import PQIndex
+from .trainer import l2_normalize
+
+__all__ = ["RetrievalService", "StaleIndexError"]
+
+Index = Union[BinaryIndex, PQIndex]
+
+
+class StaleIndexError(RuntimeError):
+    """The index was built against a different model than is now served."""
+
+
+class RetrievalService:
+    """Quantized retrieval behind a micro-batching embedding service.
+
+    Parameters
+    ----------
+    embedder:
+        A (started or startable) :class:`EmbeddingService`; its registry
+        and model name define the embedding space.
+    index:
+        A :class:`BinaryIndex` or :class:`PQIndex` receiving the codes.
+    normalize:
+        L2-normalize embeddings before indexing/searching (the paper's
+        embeddings are unit-norm; quantizer thresholds assume it).
+    """
+
+    def __init__(self, embedder: EmbeddingService, index: Index, *,
+                 normalize: bool = True) -> None:
+        if not isinstance(embedder, EmbeddingService):
+            raise TypeError(
+                f"embedder must be an EmbeddingService, got "
+                f"{type(embedder).__name__}"
+            )
+        if not isinstance(index, (BinaryIndex, PQIndex)):
+            raise TypeError(
+                f"index must be a BinaryIndex or PQIndex, got "
+                f"{type(index).__name__}"
+            )
+        self.embedder = embedder
+        self.normalize = bool(normalize)
+        # RLock: swap_index() may be called from a callback that already
+        # holds the lock through search()'s consistency window.
+        self._lock = threading.RLock()
+        self._index = index
+        self._model_key: Optional[Tuple[str, int]] = None
+        metrics = embedder.metrics
+        labels = {"model": embedder.model_name}
+        self._m_adds = metrics.counter("retrieval.items_indexed", **labels)
+        self._m_searches = metrics.counter("retrieval.searches", **labels)
+        self._m_stale = metrics.counter("retrieval.stale_rejections",
+                                        **labels)
+
+    # -- lifecycle (delegates to the embedder) -----------------------------
+
+    def start(self) -> "RetrievalService":
+        self.embedder.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self.embedder.stop(timeout)
+
+    def __enter__(self) -> "RetrievalService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def index(self) -> Index:
+        with self._lock:
+            return self._index
+
+    @property
+    def model_key(self) -> Optional[Tuple[str, int]]:
+        """``(name, version)`` the index is bound to; None until first add."""
+        with self._lock:
+            return self._model_key
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    # -- consistency checks ------------------------------------------------
+
+    def _resolve_entry(self):
+        return self.embedder.registry.get(self.embedder.model_name)
+
+    def _check_entry(self, when: str):
+        """Resolve the served model and verify it matches the index."""
+        entry = self._resolve_entry()
+        with self._lock:
+            bound = self._model_key
+        if bound is not None and entry.key != bound:
+            self._m_stale.inc()
+            raise StaleIndexError(
+                f"served model is now {entry.key} but the index holds "
+                f"embeddings from {bound} ({when}); rebuild via "
+                f"swap_index() before serving queries"
+            )
+        if entry.is_stale():
+            self._m_stale.inc()
+            raise StaleIndexError(
+                f"published model {entry.key} was modified in place "
+                f"(fingerprint drift, {when}); re-publish and rebuild "
+                f"the index"
+            )
+        return entry
+
+    def _embed(self, samples: Sequence[np.ndarray],
+               timeout: Optional[float]) -> np.ndarray:
+        rows = self.embedder.embed_many(list(samples), timeout)
+        embeddings = np.stack([np.asarray(r, dtype=np.float64)
+                               for r in rows])
+        if embeddings.ndim != 2:
+            raise ValueError(
+                f"embedder produced {embeddings.ndim - 1}-D embeddings; "
+                f"retrieval needs 1-D vectors per sample"
+            )
+        return l2_normalize(embeddings) if self.normalize else embeddings
+
+    # -- indexing / search -------------------------------------------------
+
+    def add(self, samples: Sequence[np.ndarray],
+            timeout: Optional[float] = 30.0) -> np.ndarray:
+        """Embed raw samples and append them to the index; returns ids.
+
+        The first ``add`` binds the index to the currently served model
+        version; later calls (and every search) must still resolve that
+        version or they raise :class:`StaleIndexError`.
+        """
+        if len(samples) == 0:
+            raise ValueError("add() needs at least one sample")
+        entry = self._check_entry("while adding")
+        embeddings = self._embed(samples, timeout)
+        with self._lock:
+            if self._model_key is None:
+                self._model_key = entry.key
+        # The swap may have landed while the embed round-tripped through
+        # the micro-batch queue; never index cross-space vectors.
+        self._check_entry("after embedding the added samples")
+        ids = self.index.add(embeddings)
+        self._m_adds.inc(len(ids))
+        return ids
+
+    def search(self, samples: Sequence[np.ndarray], k: int = 10,
+               timeout: Optional[float] = 30.0
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Embed raw queries and return quantized top-k ``(ids, distances)``."""
+        if len(samples) == 0:
+            raise ValueError("search() needs at least one query sample")
+        index = self.index
+        if len(index) == 0:
+            raise ValueError(
+                "search on an empty retrieval index; add() items first"
+            )
+        self._check_entry("before embedding the queries")
+        queries = self._embed(samples, timeout)
+        self._check_entry("after embedding the queries")
+        self._m_searches.inc(queries.shape[0])
+        return index.search(queries, k)
+
+    def search_embeddings(self, embeddings: np.ndarray, k: int = 10
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        """Search with precomputed embeddings, skipping the embedder."""
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.ndim != 2:
+            raise ValueError(
+                f"expected (Q, dim) embeddings, got shape {embeddings.shape}"
+            )
+        index = self.index
+        if embeddings.shape[1] != index.dim:
+            raise ValueError(
+                f"query embeddings have {embeddings.shape[1]} coordinates "
+                f"but the index stores {index.dim}-dimensional items"
+            )
+        if self.normalize:
+            embeddings = l2_normalize(embeddings)
+        self._m_searches.inc(embeddings.shape[0])
+        return index.search(embeddings, k)
+
+    # -- maintenance -------------------------------------------------------
+
+    def swap_index(self, index: Index,
+                   model_key: Optional[Tuple[str, int]] = None) -> Index:
+        """Install a rebuilt index; returns the replaced one.
+
+        ``model_key`` pins the new index to a specific published version;
+        omit it to re-bind on the next ``add()``.
+        """
+        if not isinstance(index, (BinaryIndex, PQIndex)):
+            raise TypeError(
+                f"index must be a BinaryIndex or PQIndex, got "
+                f"{type(index).__name__}"
+            )
+        with self._lock:
+            previous = self._index
+            self._index = index
+            self._model_key = (tuple(model_key) if model_key is not None
+                               else None)
+            return previous

@@ -1,0 +1,149 @@
+"""Contrastive codebook training with a code-memory queue (MeCoQ-style).
+
+:class:`VQTrainer` plugs the EMA quantizers into the repo's unified
+:class:`repro.contrastive.TrainerBase` contract: each ``train_step``
+takes the usual two augmented views, runs one EMA codebook update on
+view 1, and scores an InfoNCE loss where the *quantized reconstruction*
+of view 1 is the positive for view 2 — so the codebook is pulled toward
+assignments that survive the contrastive task, the MeCoQ objective.
+Negatives are the other in-batch reconstructions plus the contents of a
+:class:`repro.retrieval.CodeMemory` FIFO of reconstructions from earlier
+steps, decoupling the negative count from the batch size.
+
+Determinism: the only randomness is dead-code restart inside the EMA
+update, drawn from ``derive_rng(seed, 3, global_step)`` — a pure
+function of the seed and the step counter, both checkpointed by
+``TrainerBase`` — so ``fit(resume_from=...)`` is bit-exact with an
+uninterrupted run (pinned by ``tests/retrieval/test_vq.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+import numpy as np
+
+from ..contrastive.base import TrainerBase
+from ..nn.module import Module
+from ..nn.rng import derive_rng
+from .vq import CodeMemory, ProductQuantizer, VectorQuantizer
+
+__all__ = ["VQTrainer", "l2_normalize"]
+
+
+def l2_normalize(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Row-wise L2 normalization with a zero-vector guard."""
+    x = np.asarray(x, dtype=np.float64)
+    norms = np.linalg.norm(x, axis=-1, keepdims=True)
+    return x / np.maximum(norms, eps)
+
+
+class _VQModel(Module):
+    """Container so quantizer + code memory checkpoint as one tree."""
+
+    def __init__(self, quantizer: Module, memory: CodeMemory) -> None:
+        super().__init__()
+        self.quantizer = quantizer
+        self.memory = memory
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.quantizer(x)
+
+
+class VQTrainer(TrainerBase):
+    """Contrastive EMA-codebook trainer with a code-memory queue.
+
+    Parameters
+    ----------
+    quantizer:
+        A :class:`VectorQuantizer` or :class:`ProductQuantizer` whose
+        codebooks the trainer updates in place.
+    memory_size:
+        Capacity of the code-memory negative queue (0 disables it).
+    temperature:
+        InfoNCE softmax temperature.
+    seed:
+        Root seed for the dead-code-restart RNG stream.
+    """
+
+    def __init__(
+        self,
+        quantizer: Union[VectorQuantizer, ProductQuantizer],
+        *,
+        memory_size: int = 1024,
+        temperature: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        if not isinstance(quantizer, (VectorQuantizer, ProductQuantizer)):
+            raise TypeError(
+                f"quantizer must be a VectorQuantizer or ProductQuantizer, "
+                f"got {type(quantizer).__name__}"
+            )
+        if memory_size < 0:
+            raise ValueError(
+                f"memory_size must be >= 0, got {memory_size}"
+            )
+        if temperature <= 0.0:
+            raise ValueError(
+                f"temperature must be > 0, got {temperature}"
+            )
+        if seed < 0:
+            raise ValueError(f"seed must be >= 0, got {seed}")
+        self.quantizer = quantizer
+        # A capacity-1 never-pushed memory stands in for "disabled" so the
+        # checkpoint tree shape does not depend on the setting.
+        self.memory = CodeMemory(max(memory_size, 1), quantizer.dim)
+        self.memory_size = int(memory_size)
+        self.model = _VQModel(quantizer, self.memory)
+        self.temperature = float(temperature)
+        self.seed = int(seed)
+        self._init_telemetry()
+
+    # -- TrainerBase hooks -------------------------------------------------
+    def _training_module(self) -> Module:
+        return self.model
+
+    def _aux_state(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "temperature": self.temperature,
+            "memory_size": self.memory_size,
+        }
+
+    def _load_aux_state(self, aux: Dict[str, object]) -> None:
+        if "seed" in aux:
+            self.seed = int(aux["seed"])
+        if "temperature" in aux:
+            self.temperature = float(aux["temperature"])
+        if "memory_size" in aux:
+            self.memory_size = int(aux["memory_size"])
+
+    def train_step(self, view1: np.ndarray, view2: np.ndarray) -> float:
+        """One EMA codebook update + InfoNCE against reconstructions."""
+        x1 = l2_normalize(view1)
+        x2 = l2_normalize(view2)
+        if x1.shape != x2.shape:
+            raise ValueError(
+                f"view shapes differ: {x1.shape} vs {x2.shape}"
+            )
+        # Restart randomness is a pure function of (seed, step): resume-
+        # safe because TrainerBase checkpoints the step counter.
+        step_rng = derive_rng(self.seed, 3, self._global_step)
+        self.quantizer.update(x1, rng=step_rng)
+        recon = l2_normalize(self.quantizer(x1))
+
+        negatives = (self.memory.negatives()
+                     if self.memory_size > 0 and len(self.memory) > 0
+                     else np.zeros((0, x1.shape[1])))
+        candidates = np.concatenate([recon, negatives], axis=0)
+        logits = (x2 @ candidates.T) / self.temperature
+        # InfoNCE: row i's positive is its own quantized view-1.
+        row_max = logits.max(axis=1, keepdims=True)
+        log_denom = (np.log(np.exp(logits - row_max).sum(axis=1))
+                     + row_max[:, 0])
+        positives = np.diagonal(logits[:, :x1.shape[0]])
+        loss = float(np.mean(log_denom - positives))
+
+        if self.memory_size > 0:
+            self.memory.push(recon)
+        return loss

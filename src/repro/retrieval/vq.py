@@ -1,0 +1,370 @@
+"""Learned codebooks: EMA vector quantization with dead-code restart.
+
+The learned-codebook half of the retrieval workload (MeCoQ-style, see
+PAPERS.md "Contrastive Quantization with Code Memory"):
+
+- :class:`VectorQuantizer` — one codebook updated by exponential moving
+  averages of assignment counts/sums (the ``EMAVectorQuantizer`` idiom
+  from the Unseg reference repo), with *dead-code restart*: a code whose
+  EMA usage decays below ``restart_threshold`` is re-seeded from a
+  random batch vector so the codebook never strands capacity.  All
+  randomness flows through an explicit ``rng`` argument, so training is
+  reproducible under :func:`repro.nn.rng.derive_rng` seeding and
+  checkpoint resume is bit-exact.
+- :class:`ProductQuantizer` — ``num_subspaces`` independent codebooks
+  over equal coordinate slices; ``encode`` yields compact per-subspace
+  code ids, the operand of :class:`repro.retrieval.PQIndex`'s
+  asymmetric-distance search.
+- :class:`CodeMemory` — FIFO buffer of quantized reconstructions used as
+  extra contrastive negatives by :class:`repro.retrieval.VQTrainer`,
+  decoupling the negative count from the batch size (the "code memory"
+  of MeCoQ; buffer-registered so it checkpoints with the trainer).
+
+The codebook is a ``Parameter`` (``requires_grad=False``): EMA rewrites
+go through the version-bumping ``Parameter.data`` setter (sanctioned for
+this module under lint rule RPR002, like the BYOL/MoCo EMA updates), so
+a quantizer published in a :class:`repro.serving.ModelRegistry` is
+covered by fingerprint staleness detection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn.layers.container import ModuleList
+from ..nn.module import Module, Parameter
+from ..nn.rng import ensure_rng, derive_rng
+
+__all__ = ["VectorQuantizer", "ProductQuantizer", "CodeMemory"]
+
+
+def _smallest_code_dtype(num_codes: int) -> np.dtype:
+    """Narrowest unsigned dtype that can hold code ids ``0..num_codes-1``."""
+    if num_codes <= 2 ** 8:
+        return np.dtype(np.uint8)
+    if num_codes <= 2 ** 16:
+        return np.dtype(np.uint16)
+    return np.dtype(np.int64)
+
+
+class VectorQuantizer(Module):
+    """EMA-trained codebook of ``num_codes`` vectors of ``dim`` coordinates.
+
+    ``forward``/``assign``/``decode`` are pure lookups; :meth:`update`
+    performs one EMA step (and dead-code restarts) and is the only
+    mutating entry point, taking an explicit ``rng`` so two runs fed the
+    same batches and spawn keys produce byte-identical codebooks.
+    """
+
+    def __init__(
+        self,
+        num_codes: int,
+        dim: int,
+        *,
+        decay: float = 0.99,
+        eps: float = 1e-5,
+        restart_threshold: float = 1e-2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_codes < 2:
+            raise ValueError(f"num_codes must be >= 2, got {num_codes}")
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if not 0.0 <= decay < 1.0:
+            raise ValueError(f"decay must be in [0, 1), got {decay}")
+        if eps <= 0.0:
+            raise ValueError(f"eps must be > 0, got {eps}")
+        if restart_threshold < 0.0:
+            raise ValueError(
+                f"restart_threshold must be >= 0, got {restart_threshold}"
+            )
+        rng = ensure_rng(rng)
+        self.decay = float(decay)
+        self.eps = float(eps)
+        self.restart_threshold = float(restart_threshold)
+        codebook = rng.normal(size=(num_codes, dim)) / np.sqrt(dim)
+        # float32 like every Parameter in the repo; EMA statistics stay
+        # float64 so accumulation error does not depend on history length.
+        self.codebook = Parameter(codebook.astype(np.float32),
+                                  requires_grad=False)
+        self.register_buffer("ema_counts",
+                             np.ones(num_codes, dtype=np.float64))
+        self.register_buffer("ema_sums", codebook.astype(np.float64))
+
+    @property
+    def num_codes(self) -> int:
+        return int(self.codebook.data.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.codebook.data.shape[1])
+
+    def _check_input(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.dim:
+            raise ValueError(
+                f"expected embeddings of shape (N, {self.dim}), got "
+                f"{x.shape}"
+            )
+        return x
+
+    def assign(self, x: np.ndarray) -> np.ndarray:
+        """Nearest code id per row (squared L2; ties pick the lowest id)."""
+        x = self._check_input(x)
+        codebook = self.codebook.data
+        # ||x - c||^2 up to the query norm: argmin is unaffected.
+        scores = (np.sum(codebook ** 2, axis=1)[None, :]
+                  - 2.0 * (x @ codebook.T))
+        return np.argmin(scores, axis=1).astype(np.int64)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Code ids back to codebook vectors."""
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 1:
+            raise ValueError(f"expected 1-D code ids, got shape {codes.shape}")
+        if codes.size and (codes.min() < 0 or codes.max() >= self.num_codes):
+            raise ValueError(
+                f"code ids must be in [0, {self.num_codes}), got range "
+                f"[{codes.min()}, {codes.max()}]"
+            )
+        return self.codebook.data[codes]
+
+    def quantize(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(reconstruction, codes)`` without any codebook update."""
+        codes = self.assign(x)
+        return self.decode(codes), codes
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Pure quantization pass: nearest-code reconstruction of ``x``."""
+        return self.decode(self.assign(x))
+
+    def update(self, x: np.ndarray, *,
+               rng: np.random.Generator) -> np.ndarray:
+        """One EMA step on a batch; returns the (pre-update) assignments.
+
+        Dead codes — EMA count below ``restart_threshold`` after the
+        decay step — are restarted from batch vectors drawn with ``rng``,
+        so pass a derived generator (e.g. ``derive_rng(seed, step)``) to
+        keep restarts reproducible across runs and resumes.
+        """
+        x = self._check_input(x)
+        if x.shape[0] == 0:
+            raise ValueError("cannot update on an empty batch")
+        codes = self.assign(x)
+        counts = np.bincount(codes, minlength=self.num_codes).astype(
+            np.float64
+        )
+        sums = np.zeros((self.num_codes, self.dim), dtype=np.float64)
+        np.add.at(sums, codes, x)
+
+        ema_counts = self.decay * self.ema_counts + (1 - self.decay) * counts
+        ema_sums = self.decay * self.ema_sums + (1 - self.decay) * sums
+        # Laplace smoothing keeps rarely-hit codes finite without
+        # distorting the total mass.
+        total = ema_counts.sum()
+        smoothed = ((ema_counts + self.eps)
+                    / (total + self.num_codes * self.eps) * total)
+        codebook = ema_sums / smoothed[:, None]
+
+        dead = ema_counts < self.restart_threshold
+        if dead.any():
+            replacements = rng.integers(0, x.shape[0], size=int(dead.sum()))
+            codebook[dead] = x[replacements]
+            ema_sums[dead] = x[replacements]
+            ema_counts[dead] = 1.0
+
+        self.set_buffer("ema_counts", ema_counts)
+        self.set_buffer("ema_sums", ema_sums)
+        # Assigning .data bumps the version counter: registry fingerprints
+        # of a published quantizer notice the EMA step.
+        self.codebook.data = codebook.astype(np.float32)
+        return codes
+
+
+class ProductQuantizer(Module):
+    """Independent EMA codebooks over ``num_subspaces`` coordinate slices."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_subspaces: int,
+        num_codes: int = 256,
+        *,
+        decay: float = 0.99,
+        eps: float = 1e-5,
+        restart_threshold: float = 1e-2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_subspaces < 1:
+            raise ValueError(
+                f"num_subspaces must be >= 1, got {num_subspaces}"
+            )
+        if dim % num_subspaces != 0:
+            raise ValueError(
+                f"dim {dim} is not divisible by num_subspaces "
+                f"{num_subspaces}"
+            )
+        rng = ensure_rng(rng)
+        self.subdim = dim // num_subspaces
+        self.quantizers = ModuleList([
+            VectorQuantizer(num_codes, self.subdim, decay=decay, eps=eps,
+                            restart_threshold=restart_threshold, rng=rng)
+            for _ in range(num_subspaces)
+        ])
+        self.code_dtype = _smallest_code_dtype(num_codes)
+
+    @property
+    def num_subspaces(self) -> int:
+        return len(self.quantizers)
+
+    @property
+    def num_codes(self) -> int:
+        return self.quantizers[0].num_codes
+
+    @property
+    def dim(self) -> int:
+        return self.subdim * self.num_subspaces
+
+    def _check_input(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.dim:
+            raise ValueError(
+                f"expected embeddings of shape (N, {self.dim}), got "
+                f"{x.shape}"
+            )
+        return x
+
+    def _slices(self, x: np.ndarray):
+        for m in range(self.num_subspaces):
+            yield x[:, m * self.subdim:(m + 1) * self.subdim]
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """``(N, dim)`` embeddings to ``(N, num_subspaces)`` code ids."""
+        x = self._check_input(x)
+        codes = np.stack(
+            [q.assign(part) for q, part in zip(self.quantizers,
+                                               self._slices(x))],
+            axis=1,
+        )
+        return codes.astype(self.code_dtype)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """``(N, num_subspaces)`` code ids back to ``(N, dim)`` vectors."""
+        codes = np.asarray(codes)
+        if codes.ndim != 2 or codes.shape[1] != self.num_subspaces:
+            raise ValueError(
+                f"expected codes of shape (N, {self.num_subspaces}), got "
+                f"{codes.shape}"
+            )
+        return np.concatenate(
+            [q.decode(codes[:, m].astype(np.int64))
+             for m, q in enumerate(self.quantizers)],
+            axis=1,
+        )
+
+    def quantize(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        codes = self.encode(x)
+        return self.decode(codes), codes
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Pure quantization pass: per-subspace reconstruction of ``x``."""
+        return self.decode(self.encode(x))
+
+    def update(self, x: np.ndarray, *,
+               rng: np.random.Generator) -> np.ndarray:
+        """One EMA step on every subspace; returns the assignments."""
+        x = self._check_input(x)
+        codes = np.stack(
+            [q.update(part, rng=rng) for q, part in zip(self.quantizers,
+                                                        self._slices(x))],
+            axis=1,
+        )
+        return codes.astype(self.code_dtype)
+
+    def fit(self, embeddings: np.ndarray, *, epochs: int = 5,
+            batch_size: int = 1024, seed: int = 0) -> "ProductQuantizer":
+        """Offline codebook training: shuffled minibatch EMA passes.
+
+        Deterministic by construction — the epoch shuffle derives from
+        spawn key ``(seed, 1, epoch)`` and each batch's restart RNG from
+        ``(seed, 2, epoch, batch)`` — so ``fit`` with the same data and
+        seed always yields the same codebooks.
+        """
+        embeddings = self._check_input(embeddings)
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        n = embeddings.shape[0]
+        if n == 0:
+            raise ValueError("cannot fit on an empty sample")
+        for epoch in range(epochs):
+            order = derive_rng(seed, 1, epoch).permutation(n)
+            for batch_index, start in enumerate(range(0, n, batch_size)):
+                batch = embeddings[order[start:start + batch_size]]
+                self.update(batch, rng=derive_rng(seed, 2, epoch,
+                                                  batch_index))
+        return self
+
+
+class CodeMemory(Module):
+    """FIFO buffer of quantized reconstructions (contrastive negatives).
+
+    Registered as buffers so the memory — contents, write pointer, and
+    fill count — travels with trainer checkpoints and restores
+    bit-exactly.
+    """
+
+    def __init__(self, capacity: int, dim: int) -> None:
+        super().__init__()
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.register_buffer("memory",
+                             np.zeros((capacity, dim), dtype=np.float64))
+        self.register_buffer("ptr", np.array(0, dtype=np.int64))
+        self.register_buffer("count", np.array(0, dtype=np.int64))
+
+    @property
+    def capacity(self) -> int:
+        return int(self.memory.shape[0])
+
+    def __len__(self) -> int:
+        return int(self.count)
+
+    def push(self, z: np.ndarray) -> None:
+        """Append rows of ``z``, wrapping FIFO-style once full."""
+        z = np.asarray(z, dtype=np.float64)
+        if z.ndim != 2 or z.shape[1] != self.memory.shape[1]:
+            raise ValueError(
+                f"expected (N, {self.memory.shape[1]}) rows, got {z.shape}"
+            )
+        memory = self.memory.copy()
+        ptr = int(self.ptr)
+        size = self.capacity
+        n = z.shape[0]
+        if n >= size:
+            memory[:] = z[-size:]
+            ptr = 0
+        else:
+            end = ptr + n
+            if end <= size:
+                memory[ptr:end] = z
+            else:
+                first = size - ptr
+                memory[ptr:] = z[:first]
+                memory[:end % size] = z[first:]
+            ptr = end % size
+        self.set_buffer("memory", memory)
+        self.set_buffer("ptr", np.array(ptr, dtype=np.int64))
+        self.set_buffer("count", np.array(min(int(self.count) + n, size),
+                                          dtype=np.int64))
+
+    def negatives(self) -> np.ndarray:
+        """The filled portion of the memory (copy, oldest-slot order)."""
+        return self.memory[:len(self)].copy()

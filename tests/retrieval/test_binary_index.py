@@ -1,0 +1,119 @@
+"""Unit tests for BinaryQuantizer/BinaryIndex beyond the property suite."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.retrieval import BinaryIndex, BinaryQuantizer, l2_normalize
+
+
+def make_index(rng, n=100, dim=24, **kwargs):
+    items = l2_normalize(rng.normal(size=(n, dim)))
+    quantizer = BinaryQuantizer.fit_median(items)
+    index = BinaryIndex(quantizer, **kwargs)
+    index.add(items)
+    return index, items
+
+
+class TestBinaryQuantizer:
+    def test_median_thresholds_balance_bits(self, rng):
+        items = rng.normal(loc=3.0, size=(101, 8))  # offset: sign would fail
+        quantizer = BinaryQuantizer.fit_median(items)
+        bits = quantizer.binarize(items)
+        on_fraction = bits.mean(axis=0)
+        assert ((on_fraction > 0.3) & (on_fraction < 0.7)).all()
+
+    def test_sign_is_zero_thresholds(self):
+        quantizer = BinaryQuantizer.sign(5)
+        assert (quantizer.thresholds == 0).all()
+        assert quantizer.dim == 5 and quantizer.words == 1
+
+    def test_rejects_bad_shapes(self, rng):
+        with pytest.raises(ValueError):
+            BinaryQuantizer(np.zeros((2, 3)))
+        quantizer = BinaryQuantizer.sign(4)
+        with pytest.raises(ValueError):
+            quantizer.binarize(rng.normal(size=(3, 5)))
+        with pytest.raises(ValueError):
+            BinaryQuantizer.fit_median(np.zeros((0, 4)))
+
+
+class TestBinaryIndex:
+    def test_ids_are_assignment_order(self, rng):
+        index, items = make_index(rng, n=10)
+        more = l2_normalize(rng.normal(size=(4, 24)))
+        ids = index.add(more)
+        assert ids.tolist() == [10, 11, 12, 13]
+        assert len(index) == 14
+
+    def test_self_query_returns_self_first(self, rng):
+        index, items = make_index(rng, n=50)
+        ids, dists = index.search(items[:7], k=1)
+        assert ids[:, 0].tolist() == list(range(7))
+        assert (dists[:, 0] == 0).all()
+
+    def test_k_clamped_to_size(self, rng):
+        index, items = make_index(rng, n=5)
+        ids, dists = index.search(items[:2], k=50)
+        assert ids.shape == (2, 5) and dists.shape == (2, 5)
+
+    def test_query_block_invariant(self, rng):
+        index, items = make_index(rng, n=60, query_block=7)
+        reference = BinaryIndex(index.quantizer, query_block=1000)
+        reference.add_codes(index.codes())
+        queries = l2_normalize(rng.normal(size=(23, 24)))
+        ids_a, d_a = index.search(queries, k=9)
+        ids_b, d_b = reference.search(queries, k=9)
+        assert (ids_a == ids_b).all() and (d_a == d_b).all()
+
+    def test_empty_index_raises(self, rng):
+        index = BinaryIndex(BinaryQuantizer.sign(8))
+        with pytest.raises(ValueError, match="empty"):
+            index.search(rng.normal(size=(1, 8)), k=1)
+
+    def test_dimension_mismatch_raises(self, rng):
+        index, _ = make_index(rng)
+        with pytest.raises(ValueError):
+            index.search(rng.normal(size=(2, 25)), k=1)
+        with pytest.raises(ValueError):
+            index.add_codes(np.zeros((2, 9), dtype=np.uint64))
+
+    def test_requires_binary_quantizer(self):
+        with pytest.raises(TypeError):
+            BinaryIndex(object())
+
+    def test_concurrent_add_and_search(self, rng):
+        index, items = make_index(rng, n=200)
+        queries = l2_normalize(rng.normal(size=(8, 24)))
+        expected_ids, expected_d = index.search(queries, k=5)
+        errors = []
+        stop = threading.Event()
+
+        def adder():
+            local = np.random.default_rng(99)
+            while not stop.is_set():
+                index.add(l2_normalize(local.normal(size=(16, 24))))
+
+        def searcher():
+            try:
+                for _ in range(30):
+                    ids, dists = index.search(queries, k=5)
+                    # Earlier items keep their ids; new items can only
+                    # displace by being strictly better or tying later,
+                    # so distances never get worse.
+                    assert (dists <= expected_d).all()
+            except BaseException as exc:  # surfaced on the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=adder) for _ in range(2)]
+        threads += [threading.Thread(target=searcher) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads[2:]:
+            t.join()
+        stop.set()
+        for t in threads[:2]:
+            t.join()
+        assert not errors
+        assert len(index) > 200

@@ -1,0 +1,77 @@
+"""Evaluation harness: exact oracle determinism, recall@k, mAP."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval import (
+    exact_search,
+    l2_normalize,
+    mean_average_precision,
+    recall_at_k,
+)
+
+
+class TestExactSearch:
+    def test_self_query_is_top_hit(self, rng):
+        corpus = l2_normalize(rng.normal(size=(30, 8)))
+        ids, sims = exact_search(corpus[:5], corpus, k=3)
+        assert ids[:, 0].tolist() == [0, 1, 2, 3, 4]
+        np.testing.assert_allclose(sims[:, 0], 1.0, atol=1e-12)
+
+    def test_descending_similarity_with_id_tiebreak(self):
+        # Duplicate corpus rows: ties must resolve to the smaller id.
+        corpus = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        ids, sims = exact_search(np.array([[1.0, 0.0]]), corpus, k=3)
+        assert ids[0].tolist() == [0, 2, 1]
+        assert sims[0][0] == sims[0][1] == 1.0
+
+    def test_normalize_flag(self):
+        corpus = np.array([[2.0, 0.0], [0.0, 1.0]])
+        query = np.array([[1.0, 0.0]])
+        _, sims_norm = exact_search(query, corpus, k=1)
+        _, sims_raw = exact_search(query, corpus, k=1, normalize=False)
+        assert sims_norm[0, 0] == pytest.approx(1.0)
+        assert sims_raw[0, 0] == pytest.approx(2.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            exact_search(rng.normal(size=(2, 3)), rng.normal(size=(5, 4)))
+        with pytest.raises(ValueError):
+            exact_search(rng.normal(size=(2, 3)), np.zeros((0, 3)))
+
+
+class TestRecallAtK:
+    def test_perfect_and_partial(self):
+        oracle = np.array([[0, 1], [2, 3]])
+        assert recall_at_k(oracle, oracle, k=2) == 1.0
+        retrieved = np.array([[0, 9], [8, 7]])
+        assert recall_at_k(retrieved, oracle, k=2) == pytest.approx(0.25)
+
+    def test_k_prefix_only(self):
+        retrieved = np.array([[9, 0]])
+        oracle = np.array([[0]])
+        assert recall_at_k(retrieved, oracle, k=1) == 0.0
+        assert recall_at_k(retrieved, oracle, k=2) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.array([[0]]), np.array([[0], [1]]))
+        with pytest.raises(ValueError, match="recall@5"):
+            recall_at_k(np.array([[0, 1]]), np.array([[0] * 5]), k=5)
+
+
+class TestMeanAveragePrecision:
+    def test_perfect_ranking_is_one(self):
+        assert mean_average_precision(np.array([[3, 1]]),
+                                      np.array([[3, 1]])) == 1.0
+
+    def test_known_value(self):
+        # Hits at ranks 1 and 3 of 2 relevant: (1/1 + 2/3) / 2 = 5/6.
+        retrieved = np.array([[5, 9, 6]])
+        relevant = np.array([[5, 6]])
+        assert mean_average_precision(retrieved, relevant) == pytest.approx(
+            5.0 / 6.0)
+
+    def test_no_hits_is_zero(self):
+        assert mean_average_precision(np.array([[7, 8]]),
+                                      np.array([[0, 1]])) == 0.0

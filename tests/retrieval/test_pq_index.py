@@ -1,0 +1,103 @@
+"""PQIndex: ADC lookup-table search must equal explicit reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.nn.rng import derive_rng
+from repro.retrieval import (
+    PQIndex,
+    ProductQuantizer,
+    l2_normalize,
+    topk_smallest,
+)
+
+DIM = 16
+
+
+def make_pq(seed=0, num_subspaces=4, num_codes=16):
+    data = l2_normalize(derive_rng(seed).normal(size=(400, DIM)))
+    pq = ProductQuantizer(DIM, num_subspaces, num_codes,
+                          rng=derive_rng(seed + 1))
+    pq.fit(data, epochs=3, batch_size=100, seed=seed + 2)
+    return pq, data
+
+
+class TestADCCorrectness:
+    def test_l2_matches_explicit_reconstruction(self, rng):
+        pq, data = make_pq()
+        index = PQIndex(pq, query_block=5)
+        index.add(data[:120])
+        queries = l2_normalize(rng.normal(size=(13, DIM)))
+        ids, dists = index.search(queries, k=7)
+
+        recon = pq.decode(index.codes())
+        explicit = ((queries[:, None, :] - recon[None, :, :]) ** 2).sum(-1)
+        ref_ids, ref_d = topk_smallest(explicit, 7)
+        assert (ids == ref_ids).all()
+        np.testing.assert_allclose(dists, ref_d, atol=1e-9)
+
+    def test_ip_matches_explicit_reconstruction(self, rng):
+        pq, data = make_pq()
+        index = PQIndex(pq, metric="ip")
+        index.add(data[:80])
+        queries = l2_normalize(rng.normal(size=(6, DIM)))
+        ids, dists = index.search(queries, k=5)
+
+        recon = pq.decode(index.codes())
+        ref_ids, ref_d = topk_smallest(-(queries @ recon.T), 5)
+        assert (ids == ref_ids).all()
+        np.testing.assert_allclose(dists, ref_d, atol=1e-9)
+
+    def test_query_block_invariant(self, rng):
+        pq, data = make_pq()
+        small = PQIndex(pq, query_block=2)
+        big = PQIndex(pq, query_block=500)
+        small.add(data[:90])
+        big.add_codes(small.codes())
+        queries = l2_normalize(rng.normal(size=(11, DIM)))
+        ids_a, d_a = small.search(queries, k=4)
+        ids_b, d_b = big.search(queries, k=4)
+        assert (ids_a == ids_b).all()
+        np.testing.assert_array_equal(d_a, d_b)
+
+
+class TestPQIndexContract:
+    def test_ids_are_assignment_order(self):
+        pq, data = make_pq()
+        index = PQIndex(pq)
+        assert index.add(data[:3]).tolist() == [0, 1, 2]
+        assert index.add(data[3:5]).tolist() == [3, 4]
+        assert len(index) == 5
+
+    def test_empty_index_raises(self, rng):
+        pq, _ = make_pq()
+        with pytest.raises(ValueError, match="empty"):
+            PQIndex(pq).search(rng.normal(size=(1, DIM)))
+
+    def test_dimension_and_code_validation(self, rng):
+        pq, data = make_pq()
+        index = PQIndex(pq)
+        index.add(data[:10])
+        with pytest.raises(ValueError):
+            index.search(rng.normal(size=(2, DIM + 1)))
+        with pytest.raises(ValueError):
+            index.add_codes(np.zeros((2, 3), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            index.add_codes(np.full((2, 4), 16, dtype=np.int64))
+
+    def test_constructor_validation(self):
+        pq, _ = make_pq()
+        with pytest.raises(TypeError):
+            PQIndex(object())
+        with pytest.raises(ValueError):
+            PQIndex(pq, metric="cosine")
+        with pytest.raises(ValueError):
+            PQIndex(pq, query_block=0)
+
+    def test_k_clamped_to_size(self, rng):
+        pq, data = make_pq()
+        index = PQIndex(pq)
+        index.add(data[:3])
+        ids, dists = index.search(l2_normalize(rng.normal(size=(2, DIM))),
+                                  k=99)
+        assert ids.shape == (2, 3) and dists.shape == (2, 3)

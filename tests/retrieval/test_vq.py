@@ -1,0 +1,259 @@
+"""Bit-exact determinism for the EMA quantizers and VQTrainer.
+
+ISSUE 7 satellite: state_dict round trip, EMA/dead-code-restart
+reproducibility under ``derive_rng`` seeding, and checkpoint-resume via
+the existing ``TrainerBase`` aux-state hooks — all with zero tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import CheckpointCallback, Checkpointer
+from repro.nn.rng import derive_rng
+from repro.retrieval import (
+    CodeMemory,
+    ProductQuantizer,
+    VectorQuantizer,
+    VQTrainer,
+    l2_normalize,
+)
+
+DIM = 16
+TOTAL_EPOCHS = 4
+
+
+def make_loader(batches=3, batch_size=12, seed=7):
+    """Deterministic in-memory loader (a list is re-iterable per epoch)."""
+    rng = derive_rng(seed)
+    return [
+        (l2_normalize(rng.normal(size=(batch_size, DIM))),
+         l2_normalize(rng.normal(size=(batch_size, DIM))))
+        for _ in range(batches)
+    ]
+
+
+def make_trainer(seed=11):
+    quantizer = VectorQuantizer(8, DIM, decay=0.9, rng=derive_rng(seed))
+    return VQTrainer(quantizer, memory_size=20, temperature=0.3, seed=seed)
+
+
+def assert_same_model_state(a, b):
+    state_a = a.model.state_dict()
+    state_b = b.model.state_dict()
+    assert sorted(state_a) == sorted(state_b)
+    for key, value in state_a.items():
+        np.testing.assert_array_equal(value, state_b[key], err_msg=key)
+
+
+class TestVectorQuantizer:
+    def test_state_dict_round_trip(self):
+        source = VectorQuantizer(8, DIM, rng=derive_rng(1))
+        source.update(l2_normalize(derive_rng(2).normal(size=(40, DIM))),
+                      rng=derive_rng(3))
+        clone = VectorQuantizer(8, DIM, rng=derive_rng(99))
+        clone.load_state_dict(source.state_dict())
+        np.testing.assert_array_equal(clone.codebook.data,
+                                      source.codebook.data)
+        np.testing.assert_array_equal(clone.ema_counts, source.ema_counts)
+        np.testing.assert_array_equal(clone.ema_sums, source.ema_sums)
+        x = l2_normalize(derive_rng(4).normal(size=(10, DIM)))
+        np.testing.assert_array_equal(clone.assign(x), source.assign(x))
+
+    def test_update_is_reproducible(self):
+        runs = []
+        for _ in range(2):
+            quantizer = VectorQuantizer(8, DIM, decay=0.5,
+                                        restart_threshold=0.6,
+                                        rng=derive_rng(5))
+            for step in range(6):
+                x = l2_normalize(derive_rng(6, step).normal(size=(20, DIM)))
+                quantizer.update(x, rng=derive_rng(7, step))
+            runs.append(quantizer.codebook.data.copy())
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+    def test_dead_code_restart_reseeds_from_batch(self):
+        # Aggressive decay + high threshold: unhit codes die immediately.
+        quantizer = VectorQuantizer(32, DIM, decay=0.2,
+                                    restart_threshold=0.5,
+                                    rng=derive_rng(8))
+        x = l2_normalize(derive_rng(9).normal(size=(4, DIM)))
+        codes = quantizer.update(x, rng=derive_rng(10))
+        # Unhit codes decay to 0.2 < 0.5 and restart with count 1.0.
+        restarted = np.setdiff1d(np.arange(32), codes)
+        assert restarted.size >= 32 - 4  # at most 4 codes were hit
+        assert (quantizer.ema_counts[restarted] == 1.0).all()
+        # Restarted rows are exact (float32) copies of batch rows.
+        batch32 = x.astype(np.float32)
+        for row in quantizer.codebook.data[restarted]:
+            assert any(np.array_equal(row, xi) for xi in batch32)
+
+    def test_versions_bump_on_update(self):
+        quantizer = VectorQuantizer(8, DIM, rng=derive_rng(11))
+        before = quantizer.codebook.version
+        quantizer.update(l2_normalize(derive_rng(12).normal(size=(6, DIM))),
+                         rng=derive_rng(13))
+        assert quantizer.codebook.version > before
+
+    def test_input_validation(self):
+        quantizer = VectorQuantizer(8, DIM, rng=derive_rng(14))
+        with pytest.raises(ValueError):
+            quantizer.assign(np.zeros((3, DIM + 1)))
+        with pytest.raises(ValueError):
+            quantizer.decode(np.array([0, 8]))
+        with pytest.raises(ValueError):
+            quantizer.update(np.zeros((0, DIM)), rng=derive_rng(15))
+        with pytest.raises(ValueError):
+            VectorQuantizer(1, DIM)
+        with pytest.raises(ValueError):
+            VectorQuantizer(8, DIM, decay=1.0)
+
+
+class TestProductQuantizer:
+    def test_fit_is_deterministic(self):
+        data = l2_normalize(derive_rng(20).normal(size=(300, DIM)))
+        books = []
+        for _ in range(2):
+            pq = ProductQuantizer(DIM, 4, 16, rng=derive_rng(21))
+            pq.fit(data, epochs=3, batch_size=64, seed=22)
+            books.append(np.concatenate(
+                [q.codebook.data for q in pq.quantizers]))
+        np.testing.assert_array_equal(books[0], books[1])
+
+    def test_encode_decode_shapes_and_dtype(self):
+        pq = ProductQuantizer(DIM, 4, 16, rng=derive_rng(23))
+        x = l2_normalize(derive_rng(24).normal(size=(9, DIM)))
+        codes = pq.encode(x)
+        assert codes.shape == (9, 4) and codes.dtype == np.uint8
+        assert pq.decode(codes).shape == (9, DIM)
+        recon, codes2 = pq.quantize(x)
+        np.testing.assert_array_equal(codes, codes2)
+        np.testing.assert_array_equal(recon, pq(x))
+
+    def test_dim_must_divide(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ProductQuantizer(DIM, 5, 16)
+
+
+class TestCodeMemory:
+    def test_fifo_wraparound(self):
+        memory = CodeMemory(5, 2)
+        memory.push(np.arange(6.0).reshape(3, 2))
+        assert len(memory) == 3
+        memory.push(np.arange(6.0, 14.0).reshape(4, 2))
+        assert len(memory) == 5
+        contents = {tuple(row) for row in memory.negatives()}
+        # The last 5 pushed rows survive, slot order irrelevant.
+        expected = {(4.0, 5.0), (6.0, 7.0), (8.0, 9.0), (10.0, 11.0),
+                    (12.0, 13.0)}
+        assert contents == expected
+
+    def test_oversized_push_keeps_tail(self):
+        memory = CodeMemory(3, 1)
+        memory.push(np.arange(10.0).reshape(10, 1))
+        np.testing.assert_array_equal(memory.negatives().ravel(),
+                                      [7.0, 8.0, 9.0])
+
+    def test_buffers_round_trip(self):
+        memory = CodeMemory(4, 2)
+        memory.push(np.ones((2, 2)))
+        clone = CodeMemory(4, 2)
+        clone.load_state_dict(memory.state_dict())
+        assert len(clone) == 2
+        np.testing.assert_array_equal(clone.negatives(), memory.negatives())
+
+
+class TestShapecheckCoverage:
+    """The static auditor traces the retrieval modules (ISSUE 7 lint/audit)."""
+
+    def test_vector_quantizer_traced(self):
+        from repro.analysis.graph import shapecheck
+
+        quantizer = VectorQuantizer(8, DIM, rng=derive_rng(40))
+        report = shapecheck(quantizer, (4, DIM))
+        assert report.output_shape == (4, DIM)
+
+    def test_product_quantizer_traces_subspaces(self):
+        from repro.analysis.graph import shapecheck
+
+        pq = ProductQuantizer(DIM, 4, 8, rng=derive_rng(41))
+        report = shapecheck(pq, (4, DIM))
+        assert report.output_shape == (4, DIM)
+        paths = [entry.path for entry in report.entries]
+        assert "quantizers.0" in paths and "quantizers.3" in paths
+
+    def test_dim_mismatch_fails_statically(self):
+        from repro.analysis.graph import ShapeError, shapecheck
+
+        quantizer = VectorQuantizer(8, DIM, rng=derive_rng(42))
+        with pytest.raises(ShapeError, match=f"N, {DIM}"):
+            shapecheck(quantizer, (4, DIM + 1))
+
+    def test_trainer_model_traced(self):
+        from repro.analysis.graph import shapecheck
+
+        trainer = make_trainer()
+        report = shapecheck(trainer.model, (6, DIM))
+        assert report.output_shape == (6, DIM)
+
+
+class TestVQTrainerResume:
+    def test_same_seed_same_history(self):
+        histories = []
+        for _ in range(2):
+            trainer = make_trainer()
+            histories.append(trainer.fit(make_loader(), TOTAL_EPOCHS))
+        assert histories[0] == histories[1]
+
+    def test_resume_is_bit_exact(self, tmp_path):
+        reference = make_trainer()
+        ref_history = reference.fit(make_loader(), TOTAL_EPOCHS)
+
+        checkpointer = Checkpointer(tmp_path)
+        first = make_trainer()
+        first.fit(make_loader(), 2,
+                  callbacks=(CheckpointCallback(checkpointer),))
+
+        resumed = make_trainer()
+        history = resumed.fit(make_loader(), TOTAL_EPOCHS,
+                              resume_from=checkpointer)
+        assert history == ref_history
+        assert_same_model_state(resumed, reference)
+
+    def test_resume_restores_memory_queue(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path)
+        first = make_trainer()
+        first.fit(make_loader(), 2,
+                  callbacks=(CheckpointCallback(checkpointer),))
+        resumed = make_trainer()
+        resumed.load_state_dict(checkpointer.load_latest().state)
+        assert len(resumed.memory) == len(first.memory)
+        np.testing.assert_array_equal(resumed.memory.negatives(),
+                                      first.memory.negatives())
+        assert resumed.seed == first.seed
+
+    def test_trainer_validation(self):
+        with pytest.raises(TypeError):
+            VQTrainer(object())
+        quantizer = VectorQuantizer(8, DIM, rng=derive_rng(30))
+        with pytest.raises(ValueError):
+            VQTrainer(quantizer, temperature=0.0)
+        with pytest.raises(ValueError):
+            VQTrainer(quantizer, memory_size=-1)
+
+    def test_loss_decreases_on_clustered_data(self):
+        # Tight clusters: codebook converges and InfoNCE should improve.
+        rng = derive_rng(31)
+        centers = l2_normalize(rng.normal(size=(8, DIM)))
+        loader = []
+        for _ in range(4):
+            picks = rng.integers(0, 8, size=16)
+            base = centers[picks]
+            loader.append((
+                l2_normalize(base + 0.05 * rng.normal(size=(16, DIM))),
+                l2_normalize(base + 0.05 * rng.normal(size=(16, DIM))),
+            ))
+        trainer = VQTrainer(VectorQuantizer(8, DIM, decay=0.5,
+                                            rng=derive_rng(32)),
+                            memory_size=0, seed=33)
+        history = trainer.fit(loader, 6)["loss"]
+        assert history[-1] < history[0]
