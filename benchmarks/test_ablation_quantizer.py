@@ -11,6 +11,7 @@ import numpy as np
 
 from repro import nn
 from repro.contrastive import nt_xent
+from repro.engine import run_backward
 from repro.experiments import format_table
 from repro.models import resnet18
 from repro.models.heads import ProjectionHead
@@ -63,7 +64,7 @@ def _train(kind: str, steps: int = 30) -> dict:
         q1, q2 = precisions.sample_pair(precision_rng)
         optimizer.zero_grad()
         loss = nt_xent(model(nn.Tensor(v1), q1), model(nn.Tensor(v2), q2))
-        loss.backward()
+        run_backward(loss)
         total = sum(
             float(np.sum(p.grad.astype(np.float64) ** 2))
             for p in model.parameters() if p.grad is not None

@@ -42,6 +42,14 @@ RPR007 ``QConv2d.from_float`` / ``QLinear.from_float`` called outside
        shim): hand-rolled swaps skip observer attachment and the
        skip-callback contract, producing models ``calibrate()`` and
        ``convert()`` reject.
+RPR008 Direct tape execution outside the engine layer: calling
+       ``<expr>.backward(...)``, referencing ``_topological_order``, or
+       importing ``backward`` from :mod:`repro.nn.autograd` anywhere
+       but :mod:`repro.nn` / :mod:`repro.engine`.  Training code must
+       route through :func:`repro.engine.run_backward` so the tracing
+       executor observes every step and plan replay stays the default
+       step path; a raw ``.backward()`` call silently bypasses trace
+       capture and the buffer arena.
 ====== ==============================================================
 """
 
@@ -69,6 +77,8 @@ RULES: Dict[str, str] = {
               "worker RNG",
     "RPR007": "QConv2d/QLinear.from_float outside repro.quant; use "
               "prepare()",
+    "RPR008": "direct tape execution outside repro.engine/repro.nn; use "
+              "run_backward()",
 }
 
 # Modules allowed to break a rule, matched as a path suffix (so the
@@ -107,6 +117,10 @@ SANCTIONED: Dict[str, Tuple[str, ...]] = {
     "RPR006": ("repro/parallel/",),
     # The quant package is where from_float lives and is orchestrated.
     "RPR007": ("repro/quant/",),
+    # The autograd core defines the tape, and the engine is the one
+    # consumer allowed to drive it directly (trace capture + replay).
+    # Tests exercise both layers on purpose.
+    "RPR008": ("repro/nn/", "repro/engine/", "tests/"),
 }
 
 # Module roots whose import anywhere else signals ad-hoc parallelism.
@@ -214,6 +228,18 @@ class _RuleVisitor(ast.NodeVisitor):
                     "import of deprecated set_precision; use "
                     "apply_precision or the precision() context",
                 )
+            if (
+                node.module is not None
+                and node.module.rsplit(".", 1)[-1] == "autograd"
+                and alias.name in ("backward", "_topological_order")
+            ):
+                self._emit(
+                    node, "RPR008",
+                    f"import of autograd.{alias.name} outside the engine "
+                    f"layer; drive the tape through "
+                    f"repro.engine.run_backward so traced plans stay the "
+                    f"default step path",
+                )
         self.generic_visit(node)
 
     # -- call-based rules (RPR001, RPR003) ------------------------------
@@ -309,6 +335,38 @@ class _RuleVisitor(ast.NodeVisitor):
                     f"swap layers via repro.quant.prepare() so observers "
                     f"and the skip contract are applied consistently",
                 )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "backward"
+        ):
+            self._emit(
+                node, "RPR008",
+                "direct .backward() call bypasses the tracing executor; "
+                "use repro.engine.run_backward(loss) so the step can be "
+                "captured into a replayable plan",
+            )
+        self.generic_visit(node)
+
+    # -- RPR008: tape internals referenced outside the engine -------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "_topological_order":
+            self._emit(
+                node, "RPR008",
+                "reference to autograd._topological_order outside the "
+                "engine layer; the traversal order is an engine-internal "
+                "contract — use repro.engine.run_backward or the Plan API",
+            )
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id == "_topological_order":
+            self._emit(
+                node, "RPR008",
+                "reference to _topological_order outside the engine "
+                "layer; the traversal order is an engine-internal "
+                "contract — use repro.engine.run_backward or the Plan API",
+            )
         self.generic_visit(node)
 
     # -- RPR002: raw .data assignment -----------------------------------
@@ -464,7 +522,7 @@ def lint_paths(paths: Sequence[str],
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Repo-invariant linter (rules RPR001-RPR007; "
+        description="Repo-invariant linter (rules RPR001-RPR008; "
                     "suppress per line with '# noqa: RPRxxx').",
     )
     parser.add_argument("paths", nargs="+",

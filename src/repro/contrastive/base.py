@@ -167,6 +167,10 @@ class TrainerBase:
         cache = getattr(self, "quant_cache", None)
         if cache is not None:
             cache.clear()
+        # Compiled plans capture pre-restore constants; retrace after load.
+        engine = getattr(self, "engine", None)
+        if engine is not None:
+            engine.invalidate()
         optimizer = getattr(self, "optimizer", None)
         if optimizer is not None and "optimizer" in state:
             optimizer.load_state_dict(state["optimizer"])

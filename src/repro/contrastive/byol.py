@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from .. import nn
+from ..engine import run_backward
 from ..models.heads import PredictionHead, ProjectionHead
 from ..nn import functional as F
 from ..nn.layers import contains_batch_statistics
@@ -148,7 +149,7 @@ class BYOLTrainer(TrainerBase):
     def train_step(self, view1: np.ndarray, view2: np.ndarray) -> float:
         self.optimizer.zero_grad()
         loss = self.compute_loss(view1, view2)
-        loss.backward()
+        run_backward(loss)
         self.optimizer.step()
         self.model.update_target()
         return float(loss.data)

@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..engine import ExecutionEngine, run_backward
 from ..nn import functional as F
 from ..nn.layers import contains_batch_statistics
 from ..nn.optim import Optimizer
@@ -54,6 +55,7 @@ from ..quant import (
     precision,
     prepare,
 )
+from ..quant.qmodules import QuantizedModule
 from ..telemetry import SeriesView
 from .base import TrainerBase
 from .byol import BYOL
@@ -136,6 +138,14 @@ class ContrastiveQuantTrainer(TrainerBase):
         Memoize fake-quantized weights across same-step forwards (see
         :class:`repro.quant.QuantCache`).  When False, lookups still count
         as misses so quant-sweep telemetry stays comparable.
+    engine:
+        ``"trace"`` (default) records the first eager step per plan
+        signature into a :class:`repro.engine.ExecutionEngine` plan and
+        replays it on subsequent steps — byte-identical to eager, with
+        fused elementwise chains and arena-planned buffers.  Steps the
+        engine cannot prove replayable (batch-statistics layers, active
+        range observers) fall back to eager automatically.  ``"eager"``
+        disables tracing entirely.
     """
 
     def __init__(
@@ -150,6 +160,7 @@ class ContrastiveQuantTrainer(TrainerBase):
         precision_sampler=None,
         fuse_views: bool = True,
         weight_cache: bool = True,
+        engine: str = "trace",
     ) -> None:
         if not isinstance(method, (SimCLRModel, BYOL)):
             raise TypeError(
@@ -168,9 +179,16 @@ class ContrastiveQuantTrainer(TrainerBase):
         self.precision_sampler = precision_sampler
         self.fuse_views = bool(fuse_views)
         self.quant_cache = QuantCache(enabled=bool(weight_cache))
+        self.engine = ExecutionEngine(mode=engine, training=True)
         self._last_pair: Optional[Tuple[int, int]] = None
         self._last_terms: Dict[str, float] = {}
+        self._term_taps: Dict[str, Tensor] = {}
         self._last_cache: Optional[Tuple[int, int]] = None
+        self._last_engine: Optional[Dict[str, int]] = None
+        # Per-signature counter effects of one step (quant-cache hits,
+        # forward counts), captured while tracing so replayed steps can
+        # advance the same telemetry the eager step would have.
+        self._traced_effects: Dict[object, Dict[str, float]] = {}
         self._init_telemetry()
 
         encoder = self._encoder()
@@ -279,11 +297,23 @@ class ContrastiveQuantTrainer(TrainerBase):
         """
         scalar = float(value.data)
         self._last_terms[name] = scalar
+        self._term_taps[name] = value
         self.metrics.gauge("loss", term=name).set(scalar)
         return value
 
     # -- loss assembly (Fig. 1) -------------------------------------------------
     def compute_loss(self, view1: np.ndarray, view2: np.ndarray) -> Tensor:
+        q1, q2 = self._sample_pair()
+        v1, v2 = Tensor(view1), Tensor(view2)
+        return self._loss_for_pair(v1, v2, q1, q2)
+
+    def _sample_pair(self) -> Tuple[int, int]:
+        """Draw this step's ``(q1, q2)`` and reset per-step term telemetry.
+
+        Always runs eagerly (even when the step itself replays a plan) so
+        the precision-sampling RNG stream advances identically in traced
+        and eager runs.
+        """
         if self.precision_sampler is not None:
             q1, q2 = self.precision_sampler.next_pair()
         else:
@@ -292,8 +322,10 @@ class ContrastiveQuantTrainer(TrainerBase):
         self.metrics.gauge("precision_q1").set(q1)
         self.metrics.gauge("precision_q2").set(q2)
         self._last_terms = {}
-        v1, v2 = Tensor(view1), Tensor(view2)
+        self._term_taps = {}
+        return int(q1), int(q2)
 
+    def _loss_for_pair(self, v1: Tensor, v2: Tensor, q1: int, q2: int) -> Tensor:
         if self.variant is CQVariant.A:
             return self._loss_a(v1, v2, q1, q2)
         if self.variant is CQVariant.QUANT:
@@ -348,19 +380,142 @@ class ContrastiveQuantTrainer(TrainerBase):
             return list(self.method.trainable_parameters())
         return list(self.method.parameters())
 
+    def _engine_supported(self) -> bool:
+        """Whether this step is safe to trace and replay.
+
+        Batch-statistics layers update running buffers in module-level
+        Python (outside the tape) and active range observers mutate their
+        fitted range per forward — neither side effect survives a replay,
+        so such steps are vetoed up front and run eagerly.
+        """
+        if contains_batch_statistics(self.method):
+            return False
+        return not any(
+            isinstance(m, QuantizedModule) and m.observing
+            for m in self.method.modules()
+        )
+
+    def _quant_state(self) -> Tuple:
+        """Quantization config baked into a traced step's constants."""
+        return tuple(
+            (
+                module.quantize_activations,
+                module.per_channel_weights,
+                module.frozen_range,
+                module.activation_range,
+            )
+            for module in self._encoder().modules()
+            if isinstance(module, QuantizedModule)
+        )
+
+    def _plan_signature(self, v1: Tensor, v2: Tensor, q1: int, q2: int):
+        """Everything that determines a traced step's topology.
+
+        The sampled bit-widths themselves are *symbols* (rebound per
+        replay); only their equality class matters here — a same-precision
+        pair collapses the second quantize of each weight into a cache
+        hit, which is a different graph than a mixed pair.
+        """
+        return (
+            "cq-step",
+            self.variant.name,
+            self.is_byol,
+            self.fusion_active,
+            self.quant_cache.enabled,
+            v1.shape,
+            str(v1.data.dtype),
+            v2.shape,
+            str(v2.data.dtype),
+            q1 == q2,
+            self._quant_state(),
+        )
+
+    def _execute_step(self, v1: Tensor, v2: Tensor, q1: int, q2: int):
+        """One loss+backward pass through the execution engine."""
+        sig = self._plan_signature(v1, v2, q1, q2)
+        if not self._engine_supported():
+            self.engine.veto(sig)
+
+        def eager_fn():
+            cache_before = (self.quant_cache.hits, self.quant_cache.misses)
+            fwd_before = (
+                self.metrics.counter("encoder_forwards").value,
+                self.metrics.counter("target_forwards").value,
+            )
+            loss = self._loss_for_pair(v1, v2, q1, q2)
+            run_backward(loss)
+            self._traced_effects[sig] = {
+                "cache_hits": self.quant_cache.hits - cache_before[0],
+                "cache_misses": self.quant_cache.misses - cache_before[1],
+                "encoder_forwards": (
+                    self.metrics.counter("encoder_forwards").value
+                    - fwd_before[0]
+                ),
+                "target_forwards": (
+                    self.metrics.counter("target_forwards").value
+                    - fwd_before[1]
+                ),
+            }
+            return loss, dict(self._term_taps)
+
+        before = self.engine.stats()
+        result = self.engine.execute(
+            sig,
+            inputs={"view1": v1, "view2": v2},
+            symbols={"q1": q1, "q2": q2},
+            eager_fn=eager_fn,
+        )
+        self._last_engine = {
+            key: int(value - before[key])
+            for key, value in self.engine.stats().items()
+        }
+        for key, delta in self._last_engine.items():
+            if delta:
+                self.metrics.counter(f"engine_{key}").inc(delta)
+        if result.replayed:
+            self._apply_replayed_telemetry(sig, result)
+        return result
+
+    def _apply_replayed_telemetry(self, sig, result) -> None:
+        """Advance the counters a replayed step's eager twin would have.
+
+        A replay never enters module ``forward`` Python, so the quant
+        cache and forward counters don't move on their own; the deltas
+        recorded while tracing this signature are applied instead, and
+        per-term losses are read from the plan's tapped outputs.
+        """
+        effects = self._traced_effects.get(sig)
+        if effects is not None:
+            self.quant_cache.hits += int(effects["cache_hits"])
+            self.quant_cache.misses += int(effects["cache_misses"])
+            if effects["encoder_forwards"]:
+                self.metrics.counter("encoder_forwards").inc(
+                    effects["encoder_forwards"]
+                )
+            if effects["target_forwards"]:
+                self.metrics.counter("target_forwards").inc(
+                    effects["target_forwards"]
+                )
+        for name, value in result.outputs.items():
+            scalar = float(value)
+            self._last_terms[name] = scalar
+            self.metrics.gauge("loss", term=name).set(scalar)
+
     def train_step(self, view1: np.ndarray, view2: np.ndarray) -> float:
         from ..nn.optim import clip_grad_norm, global_grad_norm
 
         self.optimizer.zero_grad()
         hits0, misses0 = self.quant_cache.hits, self.quant_cache.misses
-        loss = self.compute_loss(view1, view2)
+        q1, q2 = self._sample_pair()
+        v1, v2 = Tensor(view1), Tensor(view2)
+        result = self._execute_step(v1, v2, q1, q2)
+        loss_value = float(result.root)
         self._last_cache = (
             self.quant_cache.hits - hits0,
             self.quant_cache.misses - misses0,
         )
         self.metrics.counter("quant_cache_hits").inc(self._last_cache[0])
         self.metrics.counter("quant_cache_misses").inc(self._last_cache[1])
-        loss.backward()
         params = self._parameters()
         if self.max_grad_norm is not None:
             norm = clip_grad_norm(params, self.max_grad_norm)
@@ -370,7 +525,7 @@ class ContrastiveQuantTrainer(TrainerBase):
         self.optimizer.step()
         if self.is_byol:
             self.method.update_target()
-        return float(loss.data)
+        return loss_value
 
     def step_info(self) -> Dict[str, object]:
         """Sampled precisions, per-term losses, and grad norm for events."""
@@ -386,6 +541,9 @@ class ContrastiveQuantTrainer(TrainerBase):
         grad_norm = self.metrics.gauge("grad_norm").value
         if grad_norm is not None:
             info["grad_norm"] = grad_norm
+        if self._last_engine is not None:
+            for key, delta in self._last_engine.items():
+                info[f"engine_{key}"] = delta
         return info
 
     def _history_dict(self) -> Dict[str, List[float]]:
@@ -433,3 +591,4 @@ class ContrastiveQuantTrainer(TrainerBase):
         if self.is_byol and count_quantized_modules(self.method.target_encoder):
             apply_precision(self.method.target_encoder, None)
         self.quant_cache.clear()
+        self.engine.invalidate()

@@ -21,6 +21,7 @@ import copy
 import numpy as np
 
 from .. import nn
+from ..engine import run_backward
 from ..models.heads import ProjectionHead
 from ..nn import functional as F
 from ..nn.optim import Optimizer
@@ -169,7 +170,7 @@ class MoCoTrainer(TrainerBase):
     def train_step(self, view1: np.ndarray, view2: np.ndarray) -> float:
         self.optimizer.zero_grad()
         loss = self.compute_loss(view1, view2)
-        loss.backward()
+        run_backward(loss)
         self.optimizer.step()
         self.model.update_key_encoder()
         self.model.enqueue(self._last_keys)

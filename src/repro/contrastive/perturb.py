@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..engine import run_backward
 from ..nn.module import Module
 from ..nn.optim import Optimizer
 from ..nn.rng import ensure_rng
@@ -116,7 +117,7 @@ class NoiseContrastiveTrainer(TrainerBase):
     def train_step(self, view1: np.ndarray, view2: np.ndarray) -> float:
         self.optimizer.zero_grad()
         loss = self.compute_loss(view1, view2)
-        loss.backward()
+        run_backward(loss)
         self.optimizer.step()
         return float(loss.data)
 

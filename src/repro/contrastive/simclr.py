@@ -12,6 +12,7 @@ from typing import Optional
 import numpy as np
 
 from .. import nn
+from ..engine import run_backward
 from ..models.heads import ProjectionHead
 from ..nn import functional as F
 from ..nn.layers import contains_batch_statistics
@@ -98,6 +99,6 @@ class SimCLRTrainer(TrainerBase):
     def train_step(self, view1: np.ndarray, view2: np.ndarray) -> float:
         self.optimizer.zero_grad()
         loss = self.compute_loss(view1, view2)
-        loss.backward()
+        run_backward(loss)
         self.optimizer.step()
         return float(loss.data)

@@ -14,6 +14,7 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from .. import nn
+from ..engine import run_backward
 from ..models.heads import PredictionHead, ProjectionHead
 from ..nn import functional as F
 from ..nn.layers import contains_batch_statistics
@@ -138,7 +139,7 @@ class SimSiamTrainer(TrainerBase):
     def train_step(self, view1: np.ndarray, view2: np.ndarray) -> float:
         self.optimizer.zero_grad()
         loss = self.compute_loss(view1, view2)
-        loss.backward()
+        run_backward(loss)
         self.optimizer.step()
         return float(loss.data)
 

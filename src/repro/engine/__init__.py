@@ -1,0 +1,53 @@
+"""Tracing graph executor: trace one eager step, compile, replay.
+
+The engine records a single eager training or serving step into a
+:class:`~repro.engine.graph.Graph` (via a ``Function.apply`` hook),
+compiles it into a :class:`~repro.engine.plan.Plan` — fusing elementwise
+chains and pre-planning output buffers in a reusing
+:class:`~repro.engine.arena.Arena` — and replays the plan on subsequent
+steps.  Replays are byte-identical to eager execution by construction;
+anything the tracer or compiler cannot prove replayable falls back to
+eager, permanently for that signature.
+
+:func:`run_backward` is the sanctioned eager entry to the autograd tape
+outside :mod:`repro.nn` (lint rule RPR008).
+"""
+
+from .arena import Arena, plan_buffers
+from .engine import EngineResult, ExecutionEngine, run_backward
+from .graph import (
+    ConstRef,
+    DataRef,
+    Graph,
+    InputRef,
+    ParamRef,
+    Record,
+    SlotRef,
+    SymbolRef,
+    TraceError,
+)
+from .plan import Plan, PlanError, ReplayResult, compile_plan
+from .tracer import Tracer, tracing
+
+__all__ = [
+    "Arena",
+    "ConstRef",
+    "DataRef",
+    "EngineResult",
+    "ExecutionEngine",
+    "Graph",
+    "InputRef",
+    "ParamRef",
+    "Plan",
+    "PlanError",
+    "Record",
+    "ReplayResult",
+    "SlotRef",
+    "SymbolRef",
+    "TraceError",
+    "Tracer",
+    "compile_plan",
+    "plan_buffers",
+    "run_backward",
+    "tracing",
+]

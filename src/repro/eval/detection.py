@@ -15,6 +15,7 @@ import numpy as np
 
 from .. import nn
 from ..data.detection import Box, SyntheticDetection
+from ..engine import run_backward
 from ..nn import functional as F
 from ..nn.losses import bce_with_logits, cross_entropy, mse_loss
 from ..nn.optim import SGD, CosineAnnealingLR
@@ -219,7 +220,7 @@ def train_detector(
             optimizer.zero_grad()
             raw = model(Tensor(images))
             loss = yolo_loss(raw, boxes, dataset.num_classes)
-            loss.backward()
+            run_backward(loss)
             optimizer.step()
     return model
 

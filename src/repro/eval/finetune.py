@@ -17,6 +17,7 @@ import numpy as np
 
 from .. import nn
 from ..data.datasets import ArrayDataset, DataLoader, Subset, stratified_label_fraction
+from ..engine import run_backward
 from ..nn.optim import SGD, CosineAnnealingLR
 from ..nn.rng import ensure_rng
 from ..nn.tensor import Tensor
@@ -132,7 +133,7 @@ def finetune(
         for images, labels in loader:
             optimizer.zero_grad()
             loss = nn.losses.cross_entropy(model(Tensor(images)), labels)
-            loss.backward()
+            run_backward(loss)
             optimizer.step()
             batch_losses.append(float(loss.data))
         train_losses.append(float(np.mean(batch_losses)))

@@ -13,6 +13,7 @@ import numpy as np
 
 from .. import nn
 from ..data.datasets import ArrayDataset, DataLoader
+from ..engine import run_backward
 from ..nn.optim import SGD, CosineAnnealingLR
 from ..nn.rng import ensure_rng
 from ..nn.tensor import Tensor
@@ -77,7 +78,7 @@ def linear_evaluation(
             loss = nn.losses.cross_entropy(
                 probe(Tensor(x_train[idx])), y_train[idx]
             )
-            loss.backward()
+            run_backward(loss)
             optimizer.step()
 
     with nn.no_grad():

@@ -114,6 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the static shapecheck run before "
                              "pre-training (on by default; see "
                              "repro.analysis.shapecheck)")
+    parser.add_argument("--engine", default="trace",
+                        choices=("trace", "eager"),
+                        help="step executor: 'trace' replays compiled "
+                             "plans (default), 'eager' runs every step "
+                             "through Python dispatch")
     parser.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -171,6 +176,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         preflight=not args.no_preflight,
         num_workers=args.num_workers,
         prefetch_factor=args.prefetch_factor,
+        engine=args.engine,
     )
     protocol = EvalProtocol(
         label_fractions=tuple(args.fractions),

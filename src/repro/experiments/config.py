@@ -55,6 +55,11 @@ class PretrainConfig:
     #: contains batch-statistics layers (BatchNorm/Dropout), so reference
     #: BatchNorm configurations are unaffected.
     fuse_views: bool = True
+    #: step execution path: "trace" records one eager step per plan
+    #: signature into a replayable plan (fused elementwise chains,
+    #: arena-planned buffers; byte-identical to eager, with automatic
+    #: eager fallback for untraceable steps), "eager" disables tracing.
+    engine: str = "trace"
     #: shapecheck the assembled model against the training data shape
     #: before fit() — a misconfigured encoder/head combination fails
     #: immediately with a layer-by-layer report instead of mid-epoch.
@@ -82,6 +87,10 @@ class PretrainConfig:
         if self.prefetch_factor < 1:
             raise ValueError(
                 f"prefetch_factor must be >= 1, got {self.prefetch_factor}"
+            )
+        if self.engine not in ("trace", "eager"):
+            raise ValueError(
+                f"engine must be 'trace' or 'eager', got {self.engine!r}"
             )
 
 

@@ -179,6 +179,7 @@ def pretrain(
             rng=np.random.default_rng(config.seed + 7),
             temperature=config.temperature,
             fuse_views=config.fuse_views,
+            engine=config.engine,
         )
         identity_views = trainer.variant.name == "QUANT"
 

@@ -41,6 +41,31 @@ class _GradMode(threading.local):
 _grad_mode = _GradMode()
 
 
+class _TraceState(threading.local):
+    """Thread-local slot for the active :mod:`repro.engine` tracer.
+
+    ``Function.apply`` checks this slot on every call; when a tracer is
+    installed it receives ``(cls, ctx, inputs, kwargs, out)`` for each op.
+    The check is a single attribute read so the eager path pays nothing
+    measurable when no trace is running.
+    """
+
+    def __init__(self) -> None:
+        self.tracer = None
+
+
+_trace_state = _TraceState()
+
+
+def _set_tracer(tracer) -> None:
+    """Install (or clear, with None) the active tracer for this thread."""
+    _trace_state.tracer = tracer
+
+
+def _active_tracer():
+    return _trace_state.tracer
+
+
 def is_grad_enabled() -> bool:
     """Return True when operations currently record the autograd graph."""
     return _grad_mode.enabled
@@ -133,6 +158,9 @@ class Function:
             ctx.parents = tensor_inputs
             ctx.needs_input_grad = tuple(t.requires_grad for t in tensor_inputs)
             out._ctx = ctx
+        tracer = _trace_state.tracer
+        if tracer is not None:
+            tracer.record(cls, ctx, inputs, kwargs, out)
         return out
 
 

@@ -69,6 +69,7 @@ class Module:
         object.__setattr__(self, "_parameters", OrderedDict())
         object.__setattr__(self, "_modules", OrderedDict())
         object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_buffer_versions", OrderedDict())
         object.__setattr__(self, "training", True)
 
     # -- attribute interception --------------------------------------------
@@ -87,13 +88,23 @@ class Module:
             if name in self._buffers:
                 # Plain assignment to a registered buffer keeps it registered.
                 self._buffers[name] = np.asarray(value)
+                self._buffer_versions[name] += 1
                 object.__setattr__(self, name, self._buffers[name])
                 return
         object.__setattr__(self, name, value)
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
-        """Register non-trainable state saved with the model (e.g. BN stats)."""
+        """Register non-trainable state saved with the model (e.g. BN stats).
+
+        Like :attr:`Parameter.version`, every (re-)registration or
+        :meth:`set_buffer` call bumps a per-buffer version counter (see
+        :meth:`buffer_version`), so derived caches — e.g. the lowered
+        integer modules' GEMM operand matrices — can key on
+        ``(id(buffer), version)`` and never serve values computed from a
+        replaced buffer that happens to reuse the same storage.
+        """
         self._buffers[name] = np.asarray(value)
+        self._buffer_versions[name] = self._buffer_versions.get(name, -1) + 1
         object.__setattr__(self, name, self._buffers[name])
 
     def set_buffer(self, name: str, value: np.ndarray) -> None:
@@ -101,7 +112,14 @@ class Module:
         if name not in self._buffers:
             raise KeyError(f"{name!r} is not a registered buffer")
         self._buffers[name] = np.asarray(value)
+        self._buffer_versions[name] += 1
         object.__setattr__(self, name, self._buffers[name])
+
+    def buffer_version(self, name: str) -> int:
+        """Monotonic counter identifying the current value of buffer ``name``."""
+        if name not in self._buffer_versions:
+            raise KeyError(f"{name!r} is not a registered buffer")
+        return self._buffer_versions[name]
 
     # -- forward ------------------------------------------------------------
     def forward(self, *args: Any, **kwargs: Any):

@@ -8,17 +8,48 @@ circular imports.  Importing :mod:`repro.nn` guarantees installation.
 
 from __future__ import annotations
 
+import contextlib
+import threading
 from typing import Any, Optional, Tuple, Union
 
 import numpy as np
 
 from . import autograd
 
-__all__ = ["Tensor", "as_tensor"]
+__all__ = ["Tensor", "as_tensor", "forbid_silent_downcast"]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _DEFAULT_DTYPE = np.float32
+
+
+class _DowncastGuard(threading.local):
+    depth = 0
+    label = ""
+
+
+_downcast_guard = _DowncastGuard()
+
+
+@contextlib.contextmanager
+def forbid_silent_downcast(label: str = "a float64-exact computation"):
+    """Turn :class:`Tensor`'s silent float64→float32 downcast into an error.
+
+    Constructing a Tensor from a float64 array without an explicit
+    ``dtype=`` normally casts to float32 (the framework default).  Inside
+    computations whose correctness *depends* on float64 — the integer
+    quantization grids, where ``step * code`` must dequantize exactly —
+    that silent cast is a data-corruption bug, so the code wraps itself
+    in this guard and the constructor raises ``TypeError`` instead.
+    """
+    _downcast_guard.depth += 1
+    previous = _downcast_guard.label
+    _downcast_guard.label = label
+    try:
+        yield
+    finally:
+        _downcast_guard.depth -= 1
+        _downcast_guard.label = previous
 
 
 class Tensor:
@@ -46,6 +77,12 @@ class Tensor:
             data = data.data
         array = np.asarray(data, dtype=dtype)
         if dtype is None and array.dtype == np.float64:
+            if _downcast_guard.depth:
+                raise TypeError(
+                    f"silent float64->float32 downcast inside "
+                    f"{_downcast_guard.label}; pass dtype= explicitly "
+                    f"(dtype=np.float64 to keep the wide grid)"
+                )
             array = array.astype(_DEFAULT_DTYPE)
         self.data: np.ndarray = array
         self.grad: Optional[np.ndarray] = None

@@ -25,7 +25,7 @@ from ..nn.autograd import no_grad
 from ..nn.layers.conv import Conv2d
 from ..nn.layers.linear import Linear
 from ..nn.module import Module
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, forbid_silent_downcast
 from .context import apply_precision
 from .fold import fold_batch_norm
 from .lowered import IntConv2d, IntLinear, LoweredModule
@@ -220,8 +220,10 @@ def convert(
     if check and input_shape is not None:
         rng = np.random.default_rng(0)
         probe = rng.standard_normal(input_shape)
-        with no_grad():
-            # float64 throughout (Tensor would downcast the probe): the
+        with no_grad(), forbid_silent_downcast(
+            "the convert() fake-quant reference forward"
+        ):
+            # float64 throughout (a silent Tensor downcast now raises): the
             # reference must share the integer engine's activation values
             # exactly, or code-boundary rounding flips whole steps.
             reference = np.asarray(
@@ -247,7 +249,9 @@ def convert(
         )
 
     if probe is not None:
-        with no_grad():
+        with no_grad(), forbid_silent_downcast(
+            "the convert() integer-engine check forward"
+        ):
             lowered_out = np.asarray(
                 model(Tensor(probe, dtype=np.float64)).data, dtype=np.float64
             )

@@ -38,7 +38,7 @@ import numpy as np
 from ..nn._ops.conv import _im2col, conv2d_output_shape
 from ..nn.layers.conv import _pair
 from ..nn.module import Module
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, forbid_silent_downcast
 from .quantizer import integer_quantization_params, quantize_to_int
 
 __all__ = ["LoweredModule", "IntConv2d", "IntLinear"]
@@ -121,7 +121,7 @@ class LoweredModule(Module):
             "qconfig", np.array([int(weight_bits), int(act_bits)], dtype=np.int64)
         )
         self.register_buffer("act_range", np.array([lo, hi], dtype=np.float64))
-        self._operand_cache = None  # (weight_q ref, act_range ref, dtype, w_mat)
+        self._operand_cache = None  # (operand key, acc dtype, w_mat)
 
     # qconfig/act_range are read through properties (not stashed as plain
     # attrs) so load_state_dict updates take effect everywhere.
@@ -149,20 +149,35 @@ class LoweredModule(Module):
         self.register_buffer("weight_zero", zero.astype(np.int64))
         self.register_buffer("weight_scale", scale.astype(np.float64))
 
+    def _operand_key(self):
+        """Cache key for the GEMM operands: buffer ids *and* versions.
+
+        Identity alone is not enough — ``load_state_dict`` may hand back
+        an array at a recycled ``id()``, and ``set_buffer`` bumps the
+        version even when numpy reuses storage — so the key pairs each
+        buffer's id with its monotonic registration version.
+        """
+        return (
+            id(self.weight_q),
+            self.buffer_version("weight_q"),
+            id(self.act_range),
+            self.buffer_version("act_range"),
+            self.buffer_version("qconfig"),
+        )
+
     def _weight_operand(self):
         """Signed weight codes as a GEMM-ready matrix in the exact carrier.
 
-        Cached per (weight buffer, range buffer) identity so repeated
-        forwards skip the reconstruction; ``load_state_dict`` rebinds the
-        buffers, which invalidates the cache.
+        Cached per (buffer id, buffer version) so repeated forwards skip
+        the reconstruction while any rebinding of the weight/range
+        buffers — ``load_state_dict``, ``set_buffer``, re-registration —
+        invalidates the cache even if the replacement array reuses the
+        old storage address.
         """
+        key = self._operand_key()
         cache = self._operand_cache
-        if (
-            cache is not None
-            and cache[0] is self.weight_q
-            and cache[1] is self.act_range
-        ):
-            return cache[2], cache[3]
+        if cache is not None and cache[0] == key:
+            return cache[1], cache[2]
         codes = self.weight_q.astype(np.int64) + self.weight_zero.reshape(
             (-1,) + (1,) * (self.weight_q.ndim - 1)
         )
@@ -173,7 +188,7 @@ class LoweredModule(Module):
         x_abs = max(abs(x_lo), abs(x_hi))
         acc_dtype = _choose_accumulator(w_abs, x_abs, self._gemm_terms())
         w_mat = self._as_gemm_matrix(codes).astype(acc_dtype)
-        self._operand_cache = (self.weight_q, self.act_range, acc_dtype, w_mat)
+        self._operand_cache = (key, acc_dtype, w_mat)
         return acc_dtype, w_mat
 
     def _quantize_input(self, x) -> Tuple[np.ndarray, float]:
@@ -263,6 +278,10 @@ class IntConv2d(LoweredModule):
         )
 
     def forward(self, x) -> Tensor:
+        with forbid_silent_downcast("the integer conv requantization grid"):
+            return self._forward_exact(x)
+
+    def _forward_exact(self, x) -> Tensor:
         x_codes, x_step = self._quantize_input(x)
         if x_codes.ndim != 4 or x_codes.shape[1] != self.in_channels:
             raise ValueError(
@@ -369,6 +388,10 @@ class IntLinear(LoweredModule):
         return codes.reshape(self.out_features, self.in_features)
 
     def forward(self, x) -> Tensor:
+        with forbid_silent_downcast("the integer linear requantization grid"):
+            return self._forward_exact(x)
+
+    def _forward_exact(self, x) -> Tensor:
         x_codes, x_step = self._quantize_input(x)
         if x_codes.ndim != 2 or x_codes.shape[1] != self.in_features:
             raise ValueError(

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine import ExecutionEngine
 from ..nn.autograd import no_grad
 from ..nn.tensor import Tensor
 from ..telemetry import MetricsRegistry
@@ -94,8 +95,18 @@ class EmbeddingService:
         service creates a private one when omitted.  Series:
         ``serving.requests`` / ``serving.batches`` / ``serving.errors``
         counters, ``serving.cache_hits`` / ``serving.cache_misses``
-        counters, ``serving.latency_ms`` / ``serving.batch_size``
-        histograms, all labelled ``model=<model_name>``.
+        counters, ``serving.engine_plan_hits`` /
+        ``serving.engine_plan_misses`` / ``serving.engine_retraces`` /
+        ``serving.engine_fallbacks`` counters, ``serving.latency_ms`` /
+        ``serving.batch_size`` histograms, all labelled
+        ``model=<model_name>``.
+    engine:
+        ``"trace"`` (default) compiles one forward plan per (model
+        version, batch shape) and replays it — buffers come from a
+        reusing arena, elementwise chains are fused, and a
+        ``Parameter.version`` bump (in-place republish of live weights)
+        retraces automatically.  ``"eager"`` runs every forward through
+        the module graph.
     """
 
     def __init__(
@@ -107,6 +118,7 @@ class EmbeddingService:
         max_wait_ms: float = 2.0,
         cache: Optional[EmbeddingCache] = None,
         metrics: Optional[MetricsRegistry] = None,
+        engine: str = "trace",
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(
@@ -120,6 +132,7 @@ class EmbeddingService:
         self.max_wait_ms = max_wait_ms
         self.cache = cache
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.engine = ExecutionEngine(mode=engine, training=False)
         self._queue: "queue.Queue[object]" = queue.Queue()
         self._thread: Optional[threading.Thread] = None
         self._running = False
@@ -135,6 +148,10 @@ class EmbeddingService:
                                                  **labels)
         self._m_batch_size = self.metrics.histogram("serving.batch_size",
                                                     **labels)
+        self._m_engine = {
+            key: self.metrics.counter(f"serving.engine_{key}", **labels)
+            for key in ("plan_hits", "plan_misses", "retraces", "fallbacks")
+        }
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -263,10 +280,7 @@ class EmbeddingService:
                 misses = list(range(len(requests)))
             if misses:
                 stacked = np.stack([requests[i].x for i in misses])
-                with no_grad():
-                    out = np.asarray(
-                        model(Tensor(stacked, dtype=np.float64)).data
-                    )
+                out = self._forward(model, entry, stacked)
                 for row, i in enumerate(misses):
                     results[i] = out[row]
                     if self.cache is not None and keys[i] is not None:
@@ -285,3 +299,33 @@ class EmbeddingService:
             for request in requests:
                 if not request.future.done():
                     request.future.set_exception(exc)
+
+    def _forward(self, model, entry, stacked: np.ndarray) -> np.ndarray:
+        """One batched forward, replayed from a compiled plan when possible.
+
+        Plans are keyed on (model version, batch shape): a hot-swap
+        publishes a new registry key and traces a fresh plan, while an
+        in-place mutation of the served weights bumps
+        ``Parameter.version`` and fails the plan's staleness guard, so
+        either route retraces instead of serving stale math.
+        """
+        x = Tensor(stacked, dtype=np.float64)
+        signature = (entry.key, stacked.shape, str(x.data.dtype))
+
+        def eager_fn():
+            with no_grad():
+                return model(x), {}
+
+        before = self.engine.stats()
+        result = self.engine.execute(signature, {"x": x}, None, eager_fn)
+        for key, counter in self._m_engine.items():
+            delta = self.engine.stats()[key] - before[key]
+            if delta:
+                counter.inc(delta)
+        out = np.asarray(result.root)
+        if result.replayed:
+            # Replay outputs live in arena buffers reused by the next
+            # replay of the same plan; copy before rows escape to futures
+            # and the embedding cache.
+            out = np.array(out, copy=True)
+        return out

@@ -77,6 +77,22 @@ def summarize(records: List[Dict]) -> Dict[str, object]:
         summary["quant_cache_misses"] = misses
         total = hits + misses
         summary["quant_cache_hit_rate"] = hits / total if total else 0.0
+    engine_steps = [r for r in steps if "engine_plan_hits" in r]
+    if engine_steps:
+        plan_hits = sum(int(r["engine_plan_hits"]) for r in engine_steps)
+        plan_misses = sum(
+            int(r.get("engine_plan_misses", 0)) for r in engine_steps
+        )
+        retraces = sum(int(r.get("engine_retraces", 0)) for r in engine_steps)
+        fallbacks = sum(
+            int(r.get("engine_fallbacks", 0)) for r in engine_steps
+        )
+        summary["engine_plan_hits"] = plan_hits
+        summary["engine_plan_misses"] = plan_misses
+        summary["engine_retraces"] = retraces
+        summary["engine_fallbacks"] = fallbacks
+        total = plan_hits + plan_misses + fallbacks
+        summary["engine_plan_hit_rate"] = plan_hits / total if total else 0.0
     if fit_end is not None and "history" in fit_end:
         summary["history_keys"] = sorted(fit_end["history"])
     if profile is not None:
@@ -115,6 +131,14 @@ def format_summary(path: pathlib.Path, summary: Dict[str, object]) -> str:
             f"quant cache: {100.0 * summary['quant_cache_hit_rate']:.1f}% "
             f"hit rate ({summary['quant_cache_hits']} hits, "
             f"{summary['quant_cache_misses']} misses)"
+        )
+    if "engine_plan_hit_rate" in summary:
+        lines.append(
+            f"engine: {summary['engine_retraces']} retraces, "
+            f"{100.0 * summary['engine_plan_hit_rate']:.1f}% plan hits "
+            f"({summary['engine_plan_hits']} hits, "
+            f"{summary['engine_plan_misses']} misses, "
+            f"{summary['engine_fallbacks']} fallbacks)"
         )
     if "loss_terms" in summary:
         terms = ", ".join(

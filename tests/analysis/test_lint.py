@@ -202,6 +202,58 @@ def test_rpr007_other_from_float_passes():
     assert lint("x = Decimal.from_float(0.5)\n") == []
 
 
+# -- RPR008: direct tape execution outside the engine layer ------------------
+
+def test_rpr008_direct_backward_call_flagged():
+    findings = lint(
+        """\
+        loss = model(x)
+        loss.backward()
+        """
+    )
+    assert _codes(findings) == [("RPR008", 2)]
+
+
+def test_rpr008_autograd_backward_and_import_flagged():
+    findings = lint(
+        """\
+        from repro.nn.autograd import backward
+        from repro.nn import autograd
+        autograd.backward(loss)
+        """
+    )
+    assert _codes(findings) == [("RPR008", 1), ("RPR008", 3)]
+
+
+def test_rpr008_topological_order_reference_flagged():
+    findings = lint(
+        """\
+        from repro.nn.autograd import _topological_order
+        order = _topological_order(root)
+        """
+    )
+    assert [c for c, _ in _codes(findings)] == ["RPR008"] * 2
+
+
+def test_rpr008_run_backward_passes():
+    assert lint(
+        """\
+        from repro.engine import run_backward
+        run_backward(loss)
+        """
+    ) == []
+
+
+def test_rpr008_sanctioned_inside_engine_nn_and_tests():
+    snippet = "loss.backward()\n"
+    assert lint(snippet, path="src/repro/engine/plan.py") == []
+    assert lint(snippet, path="src/repro/nn/tensor.py") == []
+    assert lint(snippet, path="tests/nn/test_autograd.py") == []
+    assert _codes(lint(snippet, path="src/repro/eval/finetune.py")) == [
+        ("RPR008", 1)
+    ]
+
+
 # -- RPR004: mutable defaults ------------------------------------------------
 
 def test_rpr004_mutable_defaults():
@@ -416,4 +468,4 @@ def test_src_tree_is_clean():
 
 def test_every_rule_documented():
     assert sorted(RULES) == ["RPR001", "RPR002", "RPR003", "RPR004",
-                             "RPR005", "RPR006", "RPR007"]
+                             "RPR005", "RPR006", "RPR007", "RPR008"]

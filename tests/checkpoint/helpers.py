@@ -70,6 +70,20 @@ def make_trainer(name="cq", seed=SEED):
         )
         assert trainer.fusion_active
         return trainer
+    if name == "cq-traced":
+        # The tracing executor replays compiled plans by default; resumed
+        # runs retrace from restored state, so plan replay must splice
+        # into the reference trajectory bit-exactly.
+        encoder = resnet18(width_multiplier=0.0625,
+                           rng=np.random.default_rng(seed), norm="group")
+        model = SimCLRModel(encoder, projection_dim=8, rng=model_rng,
+                            head_norm="layer")
+        trainer = ContrastiveQuantTrainer(
+            model, "C", "2-8", Adam(list(model.parameters()), lr=1e-3),
+            rng=trainer_rng, engine="trace",
+        )
+        assert trainer.engine.mode == "trace"
+        return trainer
     model = SimCLRModel(encoder, projection_dim=8, rng=model_rng)
     return ContrastiveQuantTrainer(
         model, "C", "2-8", Adam(list(model.parameters()), lr=1e-3),

@@ -26,7 +26,7 @@ from .helpers import (
     run_uninterrupted,
 )
 
-FAST_TRAINERS = ["simclr", "cq", "cq-fused"]
+FAST_TRAINERS = ["simclr", "cq", "cq-fused", "cq-traced"]
 SLOW_TRAINERS = ["byol", "moco", "simsiam"]
 
 

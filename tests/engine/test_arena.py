@@ -1,0 +1,100 @@
+"""Arena storage identity and liveness-driven buffer planning."""
+
+import numpy as np
+
+from repro.engine.arena import Arena, plan_buffers
+from repro.engine.graph import Record, SlotRef
+from repro.nn.tensor import Tensor
+
+
+def rec(args=(), shape=(4, 4), dtype=np.float32):
+    return Record(
+        op=None,
+        ctx=None,
+        args=tuple(args),
+        kwargs={},
+        out=Tensor(np.zeros(shape, dtype)),
+        requires_grad=False,
+    )
+
+
+# -- Arena -------------------------------------------------------------------
+
+def test_buffer_identity_is_stable_per_key():
+    arena = Arena()
+    a = arena.buffer("k", (2, 3), np.float32)
+    b = arena.buffer("k", (2, 3), np.float32)
+    assert a is b
+    assert len(arena) == 1
+
+
+def test_buffer_reallocates_on_shape_or_dtype_change():
+    arena = Arena()
+    a = arena.buffer("k", (2, 3), np.float32)
+    b = arena.buffer("k", (3, 2), np.float32)
+    assert b.shape == (3, 2) and a is not b
+    c = arena.buffer("k", (3, 2), np.float64)
+    assert c.dtype == np.float64 and c is not b
+
+
+def test_distinct_keys_get_distinct_buffers():
+    arena = Arena()
+    a = arena.buffer(("p", 0), (2,), np.float32)
+    b = arena.buffer(("p", 1), (2,), np.float32)
+    assert a is not b
+    assert arena.nbytes == a.nbytes + b.nbytes
+
+
+# -- plan_buffers ------------------------------------------------------------
+
+def test_no_reuse_gives_every_slot_a_private_key():
+    records = [rec(), rec([SlotRef(0)]), rec([SlotRef(1)])]
+    keys = plan_buffers(records, pinned=(), reuse=False)
+    assert keys == {0: ("slot", 0), 1: ("slot", 1), 2: ("slot", 2)}
+
+
+def test_freed_slot_key_is_reused_downstream():
+    # chain 0 -> 1 -> 2: slot 0 dies when record 1 reads it, so record 2
+    # inherits slot 0's pool key.
+    records = [rec(), rec([SlotRef(0)]), rec([SlotRef(1)])]
+    keys = plan_buffers(records, pinned=(), reuse=True)
+    assert keys[2] == keys[0]
+    assert keys[1] != keys[0]
+
+
+def test_output_never_aliases_its_own_input():
+    # record 1 is slot 0's last use; releasing only after assignment means
+    # record 1 cannot write into the buffer it is reading.
+    records = [rec(), rec([SlotRef(0)])]
+    keys = plan_buffers(records, pinned=(), reuse=True)
+    assert keys[1] != keys[0]
+
+
+def test_pinned_slots_stay_private_and_never_enter_the_pool():
+    records = [rec(), rec([SlotRef(0)]), rec([SlotRef(1)])]
+    keys = plan_buffers(records, pinned={0}, reuse=True)
+    assert keys[0] == ("slot", 0)
+    # slot 0 is pinned, so record 2 cannot inherit its storage.
+    assert keys[2] != keys[0]
+
+
+def test_shape_mismatch_blocks_reuse():
+    records = [rec(shape=(2, 2)), rec([SlotRef(0)], shape=(4, 4)),
+               rec([SlotRef(1)], shape=(4, 4))]
+    keys = plan_buffers(records, pinned=(), reuse=True)
+    # slot 0 is free when record 2 is planned, but its (2, 2) buffer
+    # cannot hold a (4, 4) output.
+    assert keys[2] != keys[0]
+
+
+def test_double_reference_releases_only_once():
+    # record 1 reads slot 0 twice; slot 0's key must enter the free pool
+    # exactly once, so only one later record can claim it.
+    records = [rec(), rec([SlotRef(0), SlotRef(0)]), rec([SlotRef(1)]),
+               rec([SlotRef(2)])]
+    keys = plan_buffers(records, pinned=(), reuse=True)
+    # if the double ref released twice, records 2 and 3 would both claim
+    # slot 0's key and alias each other.
+    assert keys[2] == keys[0]
+    assert keys[3] == keys[1]
+    assert keys[2] != keys[3]

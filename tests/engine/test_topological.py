@@ -1,0 +1,68 @@
+"""`_topological_order` on shared subgraphs — the shapes plans replay.
+
+The traced executor precompiles its backward schedule from
+`_topological_order` (see `repro.engine.plan`), so diamonds and grad-free
+leaves must come back deduplicated and parent-before-child.
+"""
+
+import numpy as np
+
+from repro.engine import run_backward
+from repro.nn import functional as F
+from repro.nn.autograd import _topological_order
+from repro.nn.module import Parameter
+from repro.nn.tensor import Tensor
+
+
+def const(value, shape=(3,)):
+    return Tensor(np.full(shape, value, dtype=np.float32))
+
+
+def test_diamond_visits_every_node_exactly_once():
+    x = Parameter(np.ones(3, dtype=np.float32))
+    a = F.mul(x, const(2.0))
+    b = F.add(x, const(1.0))
+    d = F.mul(a, b)
+
+    order = _topological_order(d)
+    ids = [id(t) for t in order]
+    assert len(ids) == len(set(ids)), "shared subgraph node emitted twice"
+    assert order[-1] is d
+    # x is reachable through both branches but appears once
+    assert sum(1 for t in order if t is x) == 1
+
+
+def test_parents_always_precede_children():
+    x = Parameter(np.ones((2, 2), dtype=np.float32))
+    s = F.mul(x, const(3.0, (2, 2)))
+    y = F.mul(s, s)  # both parents are the same node
+    z = F.sum(F.add(y, s))
+
+    order = _topological_order(z)
+    position = {id(t): i for i, t in enumerate(order)}
+    for node in order:
+        if node._ctx is None:
+            continue
+        for parent in node._ctx.parents:
+            assert position[id(parent)] < position[id(node)]
+    assert sum(1 for t in order if t is s) == 1
+
+
+def test_grad_free_leaves_are_kept_and_backward_skips_them():
+    x = Parameter(np.ones(3, dtype=np.float32))
+    c = const(4.0)
+    assert not c.requires_grad
+    loss = F.sum(F.mul(x, c))
+
+    order = _topological_order(loss)
+    assert any(t is c for t in order)  # grad-free leaf still scheduled
+
+    x.grad = None
+    run_backward(loss)
+    assert c.grad is None
+    assert np.array_equal(x.grad, c.data)
+
+
+def test_single_node_graph():
+    lone = Parameter(np.ones(2, dtype=np.float32))
+    assert _topological_order(lone) == [lone]

@@ -1,0 +1,95 @@
+"""Traced training is byte-identical to eager for every CQ variant.
+
+The acceptance bar for the tracing executor: replaying the compiled plan
+must reproduce the fused eager engine bit-for-bit — losses, loss terms,
+and every parameter after optimization — for SimCLR and BYOL bases across
+all CQ variants.  Models with batch statistics cannot replay; they must
+fall back to eager with identical results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.contrastive import BYOL, ContrastiveQuantTrainer, SimCLRModel
+from repro.models import resnet18
+from repro.nn.optim import Adam
+
+STEPS = 3
+
+
+def build(engine, base, variant, fuse=True, norm="group", seed=5):
+    encoder = resnet18(width_multiplier=0.0625,
+                       rng=np.random.default_rng(seed), norm=norm)
+    model_rng = np.random.default_rng(seed + 1)
+    if base == "byol":
+        model = BYOL(encoder, projection_dim=8, rng=model_rng,
+                     head_norm="layer")
+        params = list(model.trainable_parameters())
+    else:
+        model = SimCLRModel(encoder, projection_dim=8, rng=model_rng,
+                            head_norm="layer")
+        params = list(model.parameters())
+    return ContrastiveQuantTrainer(
+        model, variant, "2-8", Adam(params, lr=1e-3),
+        rng=np.random.default_rng(seed + 2), fuse_views=fuse, engine=engine,
+    )
+
+
+def batches(count, seed=5):
+    rng = np.random.default_rng(seed + 99)
+    images = rng.normal(size=(count, 2, 4, 3, 8, 8)).astype(np.float32)
+    return [(images[i, 0], images[i, 1]) for i in range(count)]
+
+
+def run(engine, base, variant, fuse=True, norm="group"):
+    trainer = build(engine, base, variant, fuse=fuse, norm=norm)
+    losses, infos = [], []
+    for v1, v2 in batches(STEPS):
+        losses.append(trainer.train_step(v1, v2))
+        infos.append(trainer.step_info())
+    params = [p.data.copy() for p in trainer._parameters()]
+    return trainer, losses, infos, params
+
+
+def assert_runs_match(eager_run, traced_run):
+    _, eager_losses, eager_infos, eager_params = eager_run
+    _, traced_losses, traced_infos, traced_params = traced_run
+    assert traced_losses == eager_losses
+    for a, b in zip(eager_params, traced_params):
+        assert a.tobytes() == b.tobytes()
+    for a, b in zip(eager_infos, traced_infos):
+        assert a.get("loss_terms") == b.get("loss_terms")
+        assert a.get("quant_cache_hits") == b.get("quant_cache_hits")
+        assert a.get("quant_cache_misses") == b.get("quant_cache_misses")
+
+
+@pytest.mark.parametrize("variant", ["A", "B", "C", "QUANT"])
+@pytest.mark.parametrize("base", ["simclr", "byol"])
+def test_traced_step_is_byte_identical_to_eager(base, variant):
+    eager_run = run("eager", base, variant)
+    traced_run = run("trace", base, variant)
+    assert_runs_match(eager_run, traced_run)
+
+    stats = traced_run[0].engine.stats()
+    assert stats["fallbacks"] == 0, "fully traceable model fell back"
+    assert stats["plan_hits"] >= 1
+
+
+def test_unfused_views_trace_and_match():
+    eager_run = run("eager", "simclr", "C", fuse=False)
+    traced_run = run("trace", "simclr", "C", fuse=False)
+    assert_runs_match(eager_run, traced_run)
+    assert traced_run[0].engine.stats()["fallbacks"] == 0
+
+
+def test_batchnorm_model_falls_back_to_identical_eager():
+    # BatchNorm updates running statistics outside the tape: the trainer
+    # vetoes tracing and every step must run (and count) as a fallback,
+    # still byte-identical to the eager engine.
+    eager_run = run("eager", "simclr", "C", norm="batch")
+    traced_run = run("trace", "simclr", "C", norm="batch")
+    assert_runs_match(eager_run, traced_run)
+
+    stats = traced_run[0].engine.stats()
+    assert stats["fallbacks"] >= 1
+    assert stats["plan_hits"] == 0

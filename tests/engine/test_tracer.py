@@ -1,0 +1,171 @@
+"""Tracer leaf classification, poisoning, and finalize contracts."""
+
+import numpy as np
+import pytest
+
+from repro.engine.graph import (
+    ConstRef,
+    DataRef,
+    InputRef,
+    ParamRef,
+    SlotRef,
+    SymbolRef,
+    TraceError,
+)
+from repro.engine.tracer import Tracer, tracing
+from repro.nn import functional as F
+from repro.nn.module import Parameter
+from repro.nn.tensor import Tensor
+from repro.quant import fake_quantize
+
+
+def make_input(shape=(2, 3), seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape).astype(np.float32))
+
+
+# -- leaf classification -----------------------------------------------------
+
+def test_input_param_slot_and_const_classification():
+    x = make_input()
+    p = Parameter(np.ones((2, 3), dtype=np.float32))
+    c = Tensor(np.full((2, 3), 0.5, dtype=np.float32))
+    tracer = Tracer(inputs={"x": x})
+    with tracing(tracer):
+        y = F.mul(x, p)
+        z = F.add(y, c)
+    graph = tracer.finalize(z)
+
+    mul_args = graph.records[0].args
+    assert isinstance(mul_args[0], InputRef) and mul_args[0].name == "x"
+    assert isinstance(mul_args[1], ParamRef) and mul_args[1].param is p
+
+    add_args = graph.records[1].args
+    assert isinstance(add_args[0], SlotRef) and add_args[0].index == 0
+    assert isinstance(add_args[1], ConstRef)
+    # Consts are snapshotted: later mutation of the source tensor must not
+    # leak into the recorded graph.
+    before = add_args[1].array.copy()
+    c.data[...] = -1.0
+    assert np.array_equal(add_args[1].array, before)
+
+
+def test_detach_alias_becomes_dataref():
+    x = make_input()
+    p = Parameter(np.ones((2, 3), dtype=np.float32))
+    tracer = Tracer(inputs={"x": x})
+    with tracing(tracer):
+        y = F.mul(x, p)
+        z = F.add(y, y.detach())
+    graph = tracer.finalize(z)
+    args = graph.records[1].args
+    assert isinstance(args[0], SlotRef) and args[0].index == 0
+    assert isinstance(args[1], DataRef) and args[1].index == 0
+
+
+def test_bits_kwarg_binds_to_first_matching_symbol():
+    x = make_input()
+    tracer = Tracer(inputs={"x": x}, symbols={"q1": 4, "q2": 4})
+    with tracing(tracer):
+        q = fake_quantize(x, 4)
+    graph = tracer.finalize(q)
+    bits = graph.records[-1].kwargs["bits"]
+    assert isinstance(bits, SymbolRef)
+    assert bits.name == "q1"  # ties resolve to mapping order
+    assert graph.symbols == ("q1", "q2")
+
+
+def test_bits_kwarg_without_matching_symbol_stays_literal():
+    x = make_input()
+    tracer = Tracer(inputs={"x": x}, symbols={"q1": 4})
+    with tracing(tracer):
+        q = fake_quantize(x, 3)
+    graph = tracer.finalize(q)
+    assert graph.records[-1].kwargs["bits"] == 3
+
+
+# -- poisoning ---------------------------------------------------------------
+
+def test_foreign_autograd_graph_poisons_trace():
+    x = make_input()
+    p = Parameter(np.ones((2, 3), dtype=np.float32))
+    pre = F.mul(p, Tensor(np.full((2, 3), 2.0, dtype=np.float32)))
+    assert pre._ctx is not None  # built outside the trace, carries a tape
+    tracer = Tracer(inputs={"x": x})
+    with tracing(tracer):
+        z = F.add(x, pre)
+    assert isinstance(tracer.failed, TraceError)
+    with pytest.raises(TraceError, match="foreign autograd graph"):
+        tracer.finalize(z)
+
+
+def test_trainable_non_parameter_leaf_poisons_trace():
+    x = make_input()
+    loose = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+    tracer = Tracer(inputs={"x": x})
+    with tracing(tracer):
+        z = F.add(x, loose)
+    with pytest.raises(TraceError, match="not a Parameter"):
+        tracer.finalize(z)
+
+
+def test_poisoned_tracer_stops_recording():
+    x = make_input()
+    loose = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+    tracer = Tracer(inputs={"x": x})
+    with tracing(tracer):
+        z = F.add(x, loose)
+        F.mul(z, z)  # recorded after the poison: must be dropped
+    assert tracer.failed is not None
+
+
+# -- finalize contracts ------------------------------------------------------
+
+def test_finalize_empty_trace_raises():
+    tracer = Tracer(inputs={"x": make_input()})
+    with pytest.raises(TraceError, match="no ops were traced"):
+        tracer.finalize(make_input())
+
+
+def test_finalize_untraced_root_raises():
+    x = make_input()
+    tracer = Tracer(inputs={"x": x})
+    with tracing(tracer):
+        F.mul(x, x)
+    with pytest.raises(TraceError, match="root tensor is not the output"):
+        tracer.finalize(Tensor(np.zeros(3, dtype=np.float32)))
+
+
+def test_finalize_untraced_tap_raises():
+    x = make_input()
+    tracer = Tracer(inputs={"x": x})
+    with tracing(tracer):
+        y = F.mul(x, x)
+    stray = Tensor(np.zeros(3, dtype=np.float32))
+    with pytest.raises(TraceError, match="output tap 'aux'"):
+        tracer.finalize(y, {"aux": stray})
+
+
+def test_finalize_resolves_taps_to_slots():
+    x = make_input()
+    tracer = Tracer(inputs={"x": x})
+    with tracing(tracer):
+        y = F.mul(x, x)
+        z = F.add(y, y)
+    graph = tracer.finalize(z, {"pre": y})
+    assert isinstance(graph.outputs["pre"], SlotRef)
+    assert graph.outputs["pre"].index == 0
+
+
+def test_non_tensor_input_rejected():
+    with pytest.raises(TypeError, match="must be a Tensor"):
+        Tracer(inputs={"x": np.zeros(3)})
+
+
+def test_nested_tracing_raises():
+    t1 = Tracer(inputs={"x": make_input()})
+    t2 = Tracer(inputs={"x": make_input()})
+    with tracing(t1):
+        with pytest.raises(TraceError, match="already active"):
+            with tracing(t2):
+                pass  # pragma: no cover

@@ -21,6 +21,7 @@ import pytest
 from repro.nn._ops import (
     conv as ops_conv,
     elementwise as ops_elementwise,
+    fused as ops_fused,
     matmul as ops_matmul,
     pool as ops_pool,
     reduce as ops_reduce,
@@ -34,6 +35,7 @@ from ..helpers import gradcheck, tensor64
 OP_MODULES = (
     ops_conv,
     ops_elementwise,
+    ops_fused,
     ops_matmul,
     ops_pool,
     ops_reduce,
@@ -117,6 +119,25 @@ SPECS = {
     ),
     "Sigmoid": lambda: ((normal((2, 3), 23),), {}),
     "Tanh": lambda: ((normal((2, 3), 24),), {}),
+    # fused elementwise chains (engine plan compiler) -- the relu-tailed
+    # ones pin the pre-activation away from the kink by construction
+    "FusedMulAdd": lambda: (
+        (normal((2, 3), 60), normal((1, 3), 61), normal((2, 1), 62)), {}
+    ),
+    "FusedAddRelu": lambda: (
+        # b = target - a, so a + b lands in +-[0.5, 1.5]: no kink ties.
+        (normal((2, 3), 63),
+         tensor64(away_from_zero((2, 3), 0.5, 64).data
+                  - normal((2, 3), 63).data)),
+        {},
+    ),
+    "FusedMulAddRelu": lambda: (
+        # c = target - a*b, so the pre-relu sum stays off the kink.
+        (normal((2, 3), 65), normal((2, 3), 66),
+         tensor64(away_from_zero((2, 3), 0.5, 67).data
+                  - normal((2, 3), 65).data * normal((2, 3), 66).data)),
+        {},
+    ),
     # matmul
     "MatMul": lambda: ((normal((2, 3), 25), normal((3, 4), 26)), {}),
     "Linear": lambda: (

@@ -123,3 +123,39 @@ class TestOperatorSurface:
     def test_as_tensor_wraps_arrays(self):
         t = as_tensor(np.zeros(3))
         assert isinstance(t, Tensor)
+
+
+class TestDowncastGuard:
+    def test_guard_turns_silent_downcast_into_error(self):
+        from repro.nn.tensor import forbid_silent_downcast
+
+        wide = np.zeros(3, dtype=np.float64)
+        with forbid_silent_downcast("the unit-test grid"):
+            with pytest.raises(TypeError, match="the unit-test grid"):
+                Tensor(wide)
+
+    def test_explicit_dtypes_pass_inside_guard(self):
+        from repro.nn.tensor import forbid_silent_downcast
+
+        wide = np.zeros(3, dtype=np.float64)
+        with forbid_silent_downcast():
+            assert Tensor(wide, dtype=np.float64).dtype == np.float64
+            assert Tensor(wide, dtype=np.float32).dtype == np.float32
+            # non-float64 sources never downcast, so they stay legal
+            assert Tensor(np.zeros(3, dtype=np.float32)).dtype == np.float32
+
+    def test_downcast_still_silent_outside_guard(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_nested_guards_restore_outer_label(self):
+        from repro.nn.tensor import forbid_silent_downcast
+
+        wide = np.zeros(2, dtype=np.float64)
+        with forbid_silent_downcast("outer"):
+            with forbid_silent_downcast("inner"):
+                with pytest.raises(TypeError, match="inner"):
+                    Tensor(wide)
+            with pytest.raises(TypeError, match="outer"):
+                Tensor(wide)
+        assert Tensor(wide).dtype == np.float32

@@ -1,0 +1,81 @@
+"""GEMM operand cache: keyed on (buffer id, version), never identity alone."""
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.quant.lowered import IntLinear
+
+
+def make_module(fill=0):
+    m = IntLinear(4, 3, weight_bits=8, act_bits=8, act_range=(-1.0, 1.0),
+                  bias=False)
+    if fill:
+        codes = m.weight_q.copy()
+        codes[...] = fill
+        m.set_buffer("weight_q", codes)
+    return m
+
+
+def batch(seed=0):
+    return Tensor(
+        np.random.default_rng(seed).uniform(-1.0, 1.0, size=(2, 4))
+        .astype(np.float64)
+    )
+
+
+def test_repeated_forwards_reuse_the_cached_operand():
+    m = make_module(fill=7)
+    x = batch()
+    m(x)
+    _, first = m._weight_operand()
+    m(x)
+    _, second = m._weight_operand()
+    assert first is second  # identical key -> no reconstruction
+
+
+def test_in_place_rebind_with_recycled_id_invalidates_cache():
+    # The regression: mutate the buffer array in place and re-register the
+    # *same* ndarray object.  id(weight_q) is unchanged, so an identity-only
+    # cache key would keep serving the stale GEMM matrix; the version half
+    # of the key must force a rebuild.
+    m = make_module(fill=0)
+    x = batch()
+    stale = np.asarray(m(x).data).copy()
+    assert np.array_equal(stale, np.zeros_like(stale))
+
+    codes = m.weight_q
+    version_before = m.buffer_version("weight_q")
+    codes[...] = 7               # in-place write: same id, new contents
+    m.set_buffer("weight_q", codes)
+    assert m.weight_q is codes   # numpy reused the storage address
+    assert m.buffer_version("weight_q") == version_before + 1
+
+    fresh = np.asarray(m(x).data)
+    reference = np.asarray(make_module(fill=7)(x).data)
+    assert fresh.tobytes() == reference.tobytes()
+    assert not np.array_equal(fresh, stale)
+
+
+def test_load_state_dict_invalidates_warm_cache():
+    m = make_module(fill=7)
+    x = batch()
+    original = np.asarray(m(x).data).copy()
+    snapshot = {k: v.copy() for k, v in m.state_dict().items()}
+
+    altered = m.weight_q.copy()
+    altered[...] = 3
+    m.set_buffer("weight_q", altered)
+    assert not np.array_equal(np.asarray(m(x).data), original)
+
+    m.load_state_dict(snapshot)
+    restored = np.asarray(m(x).data)
+    assert restored.tobytes() == original.tobytes()
+
+
+def test_act_range_rebind_also_invalidates():
+    m = make_module(fill=7)
+    x = batch()
+    before = np.asarray(m(x).data).copy()
+    m.set_buffer("act_range", np.array([-2.0, 2.0]))
+    after = np.asarray(m(x).data)
+    assert not np.array_equal(before, after)

@@ -177,3 +177,40 @@ class TestQuantCacheColumn:
         summary = summarize(records)
         assert "quant_cache_hit_rate" not in summary
         assert "quant cache" not in format_summary(path, summary)
+
+
+class TestEngineLine:
+    def write_engine_run(self, tmp_path):
+        logger = JsonlLogger(tmp_path, run_name="engine-run")
+        trainer = FakeTrainer()
+        logger.on_fit_start(trainer, {"epochs": 1})
+        logger.on_epoch_start(trainer, {"epoch": 0})
+        step_deltas = [(0, 1, 0, 0), (1, 0, 0, 0), (0, 1, 1, 0), (1, 0, 0, 0)]
+        for step, (hits, misses, retraces, fallbacks) in enumerate(step_deltas):
+            logger.on_step(trainer, {
+                "epoch": 0, "step": step, "loss": 1.0, "batch_size": 4,
+                "engine_plan_hits": hits, "engine_plan_misses": misses,
+                "engine_retraces": retraces, "engine_fallbacks": fallbacks,
+            })
+        logger.on_epoch_end(trainer, {"epoch": 0, "loss": 1.0})
+        return logger.path
+
+    def test_replay_coverage_summarized(self, tmp_path):
+        path = self.write_engine_run(tmp_path)
+        records = [json.loads(line) for line in open(path)]
+        summary = summarize(records)
+        assert summary["engine_plan_hits"] == 2
+        assert summary["engine_plan_misses"] == 2
+        assert summary["engine_retraces"] == 1
+        assert summary["engine_fallbacks"] == 0
+        assert summary["engine_plan_hit_rate"] == pytest.approx(0.5)
+        rendered = format_summary(path, summary)
+        assert ("engine: 1 retraces, 50.0% plan hits "
+                "(2 hits, 2 misses, 0 fallbacks)") in rendered
+
+    def test_absent_without_engine_fields(self, tmp_path):
+        path = write_run(tmp_path)
+        records = [json.loads(line) for line in open(path)]
+        summary = summarize(records)
+        assert "engine_plan_hit_rate" not in summary
+        assert "engine:" not in format_summary(path, summary)
