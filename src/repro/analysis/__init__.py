@@ -7,10 +7,20 @@ Two pillars, one :class:`~repro.analysis.findings.Finding` vocabulary:
   (quantization coverage, parameter registration, batch statistics,
   state-dict symmetry).  CLI: ``python -m repro.analysis.graph``.
 - :mod:`repro.analysis.lint` — AST invariant linter with stable
-  ``RPRxxx`` codes and ``# noqa`` suppression.  CLI:
+  ``RPRxxx`` codes and ``# noqa`` suppression, including the
+  lock-discipline rules RPR009-RPR011 from
+  :mod:`repro.analysis.concurrency`.  CLI:
   ``python -m repro.analysis.lint src/``.
 
-Both CLIs exit nonzero iff any error-severity finding exists, which is
+Two concurrency companions share the vocabulary:
+
+- :mod:`repro.analysis.plans` — AUD006 static plan-aliasing verifier
+  over compiled :class:`~repro.engine.plan.Plan` buffers.  CLI:
+  ``python -m repro.analysis.plans``.
+- :mod:`repro.analysis.sanitize` — runtime lock-order/lockset
+  sanitizer (``REPRO_SANITIZE=1``), dynamic counterpart to RPR009/010.
+
+The CLIs exit nonzero iff any error-severity finding exists, which is
 what the CI ``analysis`` job gates on.
 
 Exports resolve lazily (PEP 562) so ``python -m repro.analysis.lint``
@@ -27,7 +37,13 @@ _EXPORTS = {
     "INFO": "findings",
     "render_text": "findings",
     "render_json": "findings",
+    "render_github": "findings",
+    "sort_findings": "findings",
     "exit_code": "findings",
+    "LockEdge": "concurrency",
+    "analyze_tree": "concurrency",
+    "cycle_findings": "concurrency",
+    "verify_plan": "plans",
     "ShapeEntry": "graph",
     "ShapeReport": "graph",
     "ShapeError": "graph",
@@ -67,9 +83,12 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from .concurrency import LockEdge, analyze_tree, cycle_findings
     from .findings import (ERROR, INFO, WARNING, Finding, exit_code,
-                           render_json, render_text)
+                           render_github, render_json, render_text,
+                           sort_findings)
     from .functions import discover_autograd_functions
+    from .plans import verify_plan
     from .graph import (QuantizationReport, QuantLayerEntry, ShapeEntry,
                         ShapeError, ShapeReport, audit_batch_statistics,
                         audit_model, audit_parameters, audit_quantization,

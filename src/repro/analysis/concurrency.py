@@ -1,0 +1,741 @@
+"""Static lock-discipline analysis (rules RPR009, RPR010, RPR011).
+
+The serving/retrieval layers share mutable state across threads (batcher
+thread + callers, loadgen drivers, registry publishers), so this module
+extends the AST linter with three concurrency rules:
+
+RPR009
+    A class that owns a lock (an attribute whose name contains ``lock``,
+    acquired via ``with self._lock:`` or assigned from
+    ``threading.Lock()``/``RLock()``) has *guarded* attributes: anything
+    written under that lock.  Reading or writing a guarded attribute in
+    a public method without the lock held is a data race in waiting —
+    torn reads of paired fields, lost updates.  Suppress per line with
+    ``# noqa: RPR009`` or opt an attribute/method out of the discipline
+    by naming it with a ``_lock_free`` suffix (the convention documents
+    the intent in the code itself).
+
+RPR010
+    Lock-order violations: the analysis derives a static lock-order
+    graph — acquiring ``B`` while holding ``A`` adds the edge ``A → B``
+    — and reports every cycle (two call paths acquiring the same pair of
+    locks in opposite order can deadlock).  Two local hazards are
+    flagged at their site: re-acquiring a *non-reentrant*
+    ``threading.Lock`` already held (guaranteed self-deadlock), and
+    calling a caller-supplied callable while holding a lock (the
+    callback can acquire arbitrary locks, making the order graph
+    unknowable).
+
+RPR011
+    Threads and futures that can leak: ``threading.Thread(...)`` created
+    without ``daemon=`` and with no ``join()`` (or ``.daemon =``
+    assignment) in scope outlives interpreter teardown silently; a
+    ``try`` block that calls ``set_result`` whose ``except`` handler
+    neither calls ``set_exception`` nor re-raises leaves waiters blocked
+    forever when the producer fails.
+
+The lock-order graph is *global*: :func:`analyze_tree` returns per-file
+:class:`LockEdge` records and ``lint_paths`` aggregates them across the
+whole tree before calling :func:`cycle_findings`, so an inversion split
+across two modules is still caught.  Lock identity is best-effort
+static naming: ``self._lock`` inside ``class C`` is node ``C._lock``, a
+local ``foo_lock`` in function ``f`` is ``f:foo_lock``, and a lock on a
+foreign object merges by attribute name as ``?.attr``.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .findings import ERROR, Finding
+
+__all__ = ["LockEdge", "analyze_tree", "cycle_findings"]
+
+#: attribute/variable name tokens that mark a threading lock.
+_LOCK_TOKENS = frozenset({"lock", "rlock", "mutex"})
+
+#: suffix opting an attribute or method out of the RPR009 discipline.
+_LOCK_FREE_SUFFIX = "_lock_free"
+
+#: dunder methods checked as public entry points by RPR009 (lifecycle
+#: and representation dunders are exempt: they run during single-threaded
+#: setup/teardown or debugging, and ``__enter__``/``__exit__`` usually
+#: manage the lock itself).
+_CHECKED_DUNDERS = frozenset({
+    "__len__", "__contains__", "__iter__", "__getitem__", "__setitem__",
+    "__delitem__", "__call__", "__next__", "__bool__",
+})
+
+_THREADING_CTORS = frozenset({
+    "Lock", "RLock", "Thread", "Condition", "Semaphore",
+    "BoundedSemaphore",
+})
+
+
+def _is_lockish(name: str) -> bool:
+    lowered = name.lower()
+    if lowered.endswith(_LOCK_FREE_SUFFIX):
+        return False
+    return any(tok in _LOCK_TOKENS for tok in lowered.split("_"))
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.X`` (or ``cls.X``) -> ``X``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("self", "cls")
+    ):
+        return node.attr
+    return None
+
+
+def _write_root(target: ast.AST) -> Optional[str]:
+    """The self-attribute a store ultimately mutates.
+
+    ``self.x = v`` and ``self.x[i] = v`` and ``self.x.y = v`` all mutate
+    the object reachable through ``self.x``.
+    """
+    while True:
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        elif (
+            isinstance(target, ast.Attribute)
+            and not isinstance(target.value, ast.Name)
+        ):
+            target = target.value
+        else:
+            break
+    return _self_attr(target)
+
+
+@dataclasses.dataclass(frozen=True)
+class LockEdge:
+    """One observed nesting: ``second`` acquired while ``first`` held."""
+
+    first: str
+    second: str
+    file: str
+    line: int
+
+
+@dataclasses.dataclass(frozen=True)
+class _Aliases:
+    """How ``threading`` is visible in one module."""
+
+    modules: frozenset  # names bound to the threading module
+    names: Dict[str, str]  # local name -> threading constructor name
+
+
+def _threading_aliases(tree: ast.Module) -> _Aliases:
+    modules: Set[str] = set()
+    names: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "threading":
+                    modules.add(alias.asname or "threading")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "threading" and node.level == 0:
+                for alias in node.names:
+                    if alias.name in _THREADING_CTORS:
+                        names[alias.asname or alias.name] = alias.name
+    return _Aliases(frozenset(modules), names)
+
+
+def _threading_ctor(call: ast.Call, aliases: _Aliases) -> Optional[str]:
+    """``threading.Lock()`` / imported ``Lock()`` -> ctor name, else None."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in aliases.modules
+        and func.attr in _THREADING_CTORS
+    ):
+        return func.attr
+    if isinstance(func, ast.Name) and func.id in aliases.names:
+        return aliases.names[func.id]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# RPR009: guarded attributes accessed without the lock
+# ---------------------------------------------------------------------------
+
+
+def _class_methods(cls: ast.ClassDef) -> List[ast.FunctionDef]:
+    return [
+        stmt for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _with_self_locks(node: ast.With, lock_attrs: Set[str]) -> int:
+    """How many of the with-items acquire one of the class's locks."""
+    count = 0
+    for item in node.items:
+        attr = _self_attr(item.context_expr)
+        if attr is not None and attr in lock_attrs:
+            count += 1
+    return count
+
+
+class _GuardedCollector(ast.NodeVisitor):
+    """Attributes written while one of the class's locks is held."""
+
+    def __init__(self, lock_attrs: Set[str]) -> None:
+        self.lock_attrs = lock_attrs
+        self.guarded: Set[str] = set()
+        self._held = 0
+
+    # Closures may run long after the lock is dropped; neither collect
+    # from nor descend into nested definitions.
+    def visit_FunctionDef(self, node):
+        return
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+    visit_ClassDef = visit_FunctionDef
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired = _with_self_locks(node, self.lock_attrs)
+        self._held += acquired
+        for stmt in node.body:
+            self.visit(stmt)
+        self._held -= acquired
+
+    visit_AsyncWith = visit_With
+
+    def _note_targets(self, targets: Sequence[ast.AST]) -> None:
+        if not self._held:
+            return
+        stack = list(targets)
+        while stack:
+            target = stack.pop()
+            if isinstance(target, (ast.Tuple, ast.List)):
+                stack.extend(target.elts)
+                continue
+            attr = _write_root(target)
+            if attr is not None:
+                self.guarded.add(attr)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._note_targets(node.targets)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._note_targets([node.target])
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._note_targets([node.target])
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        self._note_targets(node.targets)
+        self.generic_visit(node)
+
+
+class _GuardChecker(ast.NodeVisitor):
+    """Flag guarded-attribute access outside the lock in one method."""
+
+    def __init__(self, cls: str, method: str, lock_attrs: Set[str],
+                 guarded: Set[str], path: str,
+                 findings: List[Finding]) -> None:
+        self.cls = cls
+        self.method = method
+        self.lock_attrs = lock_attrs
+        self.guarded = guarded
+        self.path = path
+        self.findings = findings
+        self._held = 0
+
+    def visit_FunctionDef(self, node):  # closures checked separately
+        return
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+    visit_ClassDef = visit_FunctionDef
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            self.visit(item.context_expr)
+        acquired = _with_self_locks(node, self.lock_attrs)
+        self._held += acquired
+        for stmt in node.body:
+            self.visit(stmt)
+        self._held -= acquired
+
+    visit_AsyncWith = visit_With
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = _self_attr(node)
+        if attr in self.guarded and not self._held:
+            self.findings.append(Finding(
+                self.path, node.lineno, "RPR009", ERROR,
+                f"self.{attr} is written under {self.cls}'s lock elsewhere "
+                f"but accessed in public method {self.method}() without "
+                f"holding it; take the lock (or rename with a _lock_free "
+                f"suffix if the access is intentionally unguarded)",
+            ))
+        self.generic_visit(node)
+
+
+def _is_public_method(name: str) -> bool:
+    if name.endswith(_LOCK_FREE_SUFFIX):
+        return False
+    if name.startswith("__") and name.endswith("__"):
+        return name in _CHECKED_DUNDERS
+    return not name.startswith("_")
+
+
+def _check_class(cls: ast.ClassDef, path: str,
+                 aliases: _Aliases) -> List[Finding]:
+    methods = _class_methods(cls)
+
+    # Which self attributes are this class's locks?
+    lock_attrs: Set[str] = set()
+    for method in methods:
+        for node in ast.walk(method):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    attr = _self_attr(item.context_expr)
+                    if attr is not None and _is_lockish(attr):
+                        lock_attrs.add(attr)
+            elif isinstance(node, ast.Assign) and isinstance(node.value,
+                                                             ast.Call):
+                if _threading_ctor(node.value, aliases) in ("Lock", "RLock"):
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            lock_attrs.add(attr)
+    if not lock_attrs:
+        return []
+
+    collector = _GuardedCollector(lock_attrs)
+    for method in methods:
+        for stmt in method.body:
+            collector.visit(stmt)
+    guarded = {
+        attr for attr in collector.guarded
+        if attr not in lock_attrs
+        and not attr.endswith(_LOCK_FREE_SUFFIX)
+        and not _is_lockish(attr)
+    }
+    if not guarded:
+        return []
+
+    findings: List[Finding] = []
+    for method in methods:
+        if not _is_public_method(method.name):
+            continue
+        checker = _GuardChecker(cls.name, method.name, lock_attrs, guarded,
+                                path, findings)
+        for stmt in method.body:
+            checker.visit(stmt)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# RPR010 + RPR011: lock order, callbacks under locks, leaked threads
+# ---------------------------------------------------------------------------
+
+
+def _bound_names(func: ast.AST) -> Set[str]:
+    """Names bound by simple statements directly inside ``func`` (no
+    descent into nested definitions): enough to tell a local lock from a
+    module-level one."""
+    bound: Set[str] = set()
+    global_names: Set[str] = set()
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign,
+                             ast.For, ast.AsyncFor)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            tstack = list(targets)
+            while tstack:
+                target = tstack.pop()
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    tstack.extend(target.elts)
+                elif isinstance(target, ast.Name):
+                    bound.add(target.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    bound.add(item.optional_vars.id)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            global_names.update(node.names)
+        stack.extend(ast.iter_child_nodes(node))
+    return bound - global_names
+
+
+@dataclasses.dataclass
+class _Held:
+    node_id: str
+    line: int
+    kind: Optional[str]  # "Lock" | "RLock" | None (unknown)
+
+
+class _FlowVisitor(ast.NodeVisitor):
+    """One walk collecting lock-order edges and thread findings."""
+
+    def __init__(self, tree: ast.Module, path: str, aliases: _Aliases,
+                 findings: List[Finding], edges: List[LockEdge]) -> None:
+        self.tree = tree
+        self.path = path
+        self.aliases = aliases
+        self.findings = findings
+        self.edges = edges
+        self._class_stack: List[Tuple[str, ast.ClassDef]] = []
+        # (name, node, parameter names, locally bound names)
+        self._func_stack: List[Tuple[str, ast.AST, Set[str], Set[str]]] = []
+        self._held: List[_Held] = []
+        self._kinds: Dict[str, str] = {}  # lock node id -> ctor name
+        self._assigning_self = False
+
+    # -- naming ---------------------------------------------------------
+
+    def _scope_name(self) -> str:
+        parts = [name for name, _ in self._class_stack]
+        parts += [name for name, _, _, _ in self._func_stack]
+        return ".".join(parts) or "<module>"
+
+    def _lock_node_id(self, expr: ast.AST) -> Optional[str]:
+        if isinstance(expr, ast.Attribute) and _is_lockish(expr.attr):
+            if isinstance(expr.value, ast.Name) and expr.value.id in (
+                    "self", "cls"):
+                owner = (self._class_stack[-1][0]
+                         if self._class_stack else "?")
+                return f"{owner}.{expr.attr}"
+            return f"?.{expr.attr}"
+        if isinstance(expr, ast.Name) and _is_lockish(expr.id):
+            # Qualify by the scope that *binds* the name: a true local is
+            # a distinct lock per call frame, while a module-level lock
+            # must resolve to one node no matter which function uses it.
+            for name, _, _, local_names in reversed(self._func_stack):
+                if expr.id in local_names:
+                    return f"{self._scope_name()}:{expr.id}"
+            return f"{self.path}:{expr.id}"
+        return None
+
+    # -- scope bookkeeping ----------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append((node.name, node))
+        saved, self._held = self._held, []
+        self.generic_visit(node)
+        self._held = saved
+        self._class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        args = node.args
+        params = {
+            a.arg
+            for a in (args.posonlyargs + args.args + args.kwonlyargs)
+        }
+        if args.vararg:
+            params.add(args.vararg.arg)
+        if args.kwarg:
+            params.add(args.kwarg.arg)
+        params -= {"self", "cls"}
+        self._func_stack.append(
+            (node.name, node, params, params | _bound_names(node))
+        )
+        saved, self._held = self._held, []
+        self.generic_visit(node)
+        self._held = saved
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- lock construction / acquisition --------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if isinstance(node.value, ast.Call):
+            kind = _threading_ctor(node.value, self.aliases)
+            if kind in ("Lock", "RLock"):
+                for target in node.targets:
+                    node_id = self._lock_node_id(target)
+                    if node_id is not None:
+                        self._kinds[node_id] = kind
+        assigns_self = any(_self_attr(t) is not None for t in node.targets)
+        for target in node.targets:
+            self.visit(target)
+        prev = self._assigning_self
+        if assigns_self and self._class_stack:
+            self._assigning_self = True
+        self.visit(node.value)
+        self._assigning_self = prev
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: List[_Held] = []
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+            node_id = self._lock_node_id(item.context_expr)
+            if node_id is None:
+                continue
+            line = item.context_expr.lineno
+            kind = self._kinds.get(node_id)
+            already = next((h for h in self._held + acquired
+                            if h.node_id == node_id), None)
+            if already is not None:
+                if kind == "Lock":
+                    self.findings.append(Finding(
+                        self.path, line, "RPR010", ERROR,
+                        f"non-reentrant lock {node_id} re-acquired while "
+                        f"already held (acquired at line {already.line}); "
+                        f"this self-deadlocks — use an RLock or split the "
+                        f"critical section",
+                    ))
+                continue
+            for held in self._held + acquired:
+                self.edges.append(
+                    LockEdge(held.node_id, node_id, self.path, line)
+                )
+            acquired.append(_Held(node_id, line, kind))
+        self._held.extend(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        if acquired:
+            del self._held[-len(acquired):]
+
+    visit_AsyncWith = visit_With
+
+    # -- calls: callbacks under locks, thread construction ---------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self._held
+            and self._func_stack
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._func_stack[-1][2]
+        ):
+            held = self._held[-1]
+            self.findings.append(Finding(
+                self.path, node.lineno, "RPR010", ERROR,
+                f"caller-supplied callable {node.func.id}() invoked while "
+                f"holding {held.node_id}; callbacks can acquire arbitrary "
+                f"locks, so run them outside the critical section",
+            ))
+        if _threading_ctor(node, self.aliases) == "Thread":
+            self._check_thread(node)
+        self.generic_visit(node)
+
+    def _check_thread(self, node: ast.Call) -> None:
+        if any(kw.arg == "daemon" for kw in node.keywords):
+            return
+        if self._assigning_self and self._class_stack:
+            scope: ast.AST = self._class_stack[-1][1]
+        elif self._func_stack:
+            scope = self._func_stack[-1][1]
+        else:
+            scope = self.tree
+        if _scope_joins_threads(scope):
+            return
+        self.findings.append(Finding(
+            self.path, node.lineno, "RPR011", ERROR,
+            "Thread created without daemon= and with no join() in scope; "
+            "a hung or forgotten worker outlives process teardown "
+            "silently — pass daemon=True or join it (with a timeout)",
+        ))
+
+
+def _scope_joins_threads(scope: ast.AST) -> bool:
+    """True when the scope joins a thread or sets ``.daemon`` later."""
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+        ):
+            return True
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) and \
+                        target.attr == "daemon":
+                    return True
+    return False
+
+
+def _calls_attr(nodes: Sequence[ast.AST], attr: str) -> bool:
+    for node in nodes:
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == attr
+            ):
+                return True
+    return False
+
+
+def _check_future_paths(tree: ast.Module, path: str) -> List[Finding]:
+    """RPR011: try-blocks that set_result but swallow producer failures."""
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Try):
+            continue
+        if not _calls_attr(node.body + node.orelse, "set_result"):
+            continue
+        for handler in node.handlers:
+            if _calls_attr(handler.body, "set_exception"):
+                continue
+            if any(isinstance(sub, ast.Raise)
+                   for stmt in handler.body for sub in ast.walk(stmt)):
+                continue
+            findings.append(Finding(
+                path, handler.lineno, "RPR011", ERROR,
+                "except handler around a set_result() producer neither "
+                "calls set_exception() nor re-raises; on failure the "
+                "future is never completed and waiters block forever",
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+
+
+def analyze_tree(
+    tree: ast.Module, path: str
+) -> Tuple[List[Finding], List[LockEdge]]:
+    """Run the per-file concurrency rules over a parsed module.
+
+    Returns site findings (RPR009, local RPR010 hazards, RPR011) and the
+    file's lock-order edges.  Cycle detection over edges is a separate
+    step (:func:`cycle_findings`) so callers can aggregate edges across
+    files first.
+    """
+    aliases = _threading_aliases(tree)
+    findings: List[Finding] = []
+    edges: List[LockEdge] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            findings.extend(_check_class(node, path, aliases))
+    _FlowVisitor(tree, path, aliases, findings, edges).visit(tree)
+    findings.extend(_check_future_paths(tree, path))
+    return findings, edges
+
+
+def _strongly_connected(graph: Dict[str, Set[str]]) -> List[Set[str]]:
+    """Tarjan's SCC algorithm, iterative (analysis graphs are tiny but
+    recursion limits are not worth risking in a linter)."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[Set[str]] = []
+    counter = [0]
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: List[Tuple[str, List[str]]] = [(root, sorted(graph[root]))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, succs = work[-1]
+            if succs:
+                nxt = succs.pop(0)
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, sorted(graph.get(nxt, set()))))
+                elif nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    scc: Set[str] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.add(member)
+                        if member == node:
+                            break
+                    sccs.append(scc)
+    return sccs
+
+
+def _resolve_foreign(edges: Sequence[LockEdge]) -> Sequence[LockEdge]:
+    """Unify ``?.attr`` (a lock on a foreign object) with ``Cls.attr``
+    when exactly one known class owns a lock attribute of that name.
+    Ambiguous names (every class calls its lock ``_lock``) stay foreign —
+    merging them would fabricate cycles between unrelated classes."""
+    owners: Dict[str, Set[str]] = {}
+    for edge in edges:
+        for node in (edge.first, edge.second):
+            if node.startswith("?."):
+                continue
+            if "." in node and ":" not in node:
+                owner, attr = node.rsplit(".", 1)
+                owners.setdefault(attr, set()).add(node)
+    rename: Dict[str, str] = {}
+    for edge in edges:
+        for node in (edge.first, edge.second):
+            if node.startswith("?."):
+                candidates = owners.get(node[2:], set())
+                if len(candidates) == 1:
+                    rename[node] = next(iter(candidates))
+    if not rename:
+        return edges
+    return [
+        dataclasses.replace(
+            e,
+            first=rename.get(e.first, e.first),
+            second=rename.get(e.second, e.second),
+        )
+        for e in edges
+    ]
+
+
+def cycle_findings(edges: Sequence[LockEdge]) -> List[Finding]:
+    """RPR010 findings for every cycle in the aggregated lock-order graph."""
+    edges = _resolve_foreign(edges)
+    graph: Dict[str, Set[str]] = {}
+    for edge in edges:
+        graph.setdefault(edge.first, set()).add(edge.second)
+        graph.setdefault(edge.second, set())
+    findings: List[Finding] = []
+    for scc in _strongly_connected(graph):
+        if len(scc) < 2:
+            continue
+        intra = sorted(
+            {(e.first, e.second, e.file, e.line) for e in edges
+             if e.first in scc and e.second in scc and e.first != e.second},
+            key=lambda item: (item[2], item[3], item[0], item[1]),
+        )
+        if not intra:
+            continue
+        sites = ", ".join(
+            f"{first}->{second} ({file}:{line})"
+            for first, second, file, line in intra
+        )
+        anchor = intra[0]
+        findings.append(Finding(
+            anchor[2], anchor[3], "RPR010", ERROR,
+            f"inconsistent lock acquisition order: "
+            f"{{{', '.join(sorted(scc))}}} form a cycle in the lock-order "
+            f"graph [{sites}]; pick one global order and acquire nested "
+            f"locks in it everywhere",
+        ))
+    return findings

@@ -20,6 +20,8 @@ __all__ = [
     "INFO",
     "render_text",
     "render_json",
+    "render_github",
+    "sort_findings",
     "exit_code",
 ]
 
@@ -83,6 +85,37 @@ def render_json(findings: Sequence[Finding]) -> str:
     return json.dumps(
         [dataclasses.asdict(f) for f in sort_findings(findings)], indent=2
     )
+
+
+#: Finding severity -> GitHub Actions annotation level.
+_GITHUB_LEVEL = {ERROR: "error", WARNING: "warning", INFO: "notice"}
+
+
+def _github_escape(text: str) -> str:
+    """Escape per the Actions workflow-command grammar (single line)."""
+    return (text.replace("%", "%25")
+                .replace("\r", "%0D")
+                .replace("\n", "%0A"))
+
+
+def render_github(findings: Sequence[Finding]) -> str:
+    """GitHub Actions workflow commands: one ``::error``-style annotation
+    per finding (rendered inline on the PR diff), plus the same summary
+    line ``render_text`` ends with so job logs stay self-describing."""
+    findings = sort_findings(findings)
+    lines = [
+        f"::{_GITHUB_LEVEL[f.severity]} "
+        f"file={_github_escape(f.file)},line={f.line},"
+        f"title={_github_escape(f.code)}::{_github_escape(f.message)}"
+        for f in findings
+    ]
+    errors = sum(1 for f in findings if f.severity == ERROR)
+    warnings = sum(1 for f in findings if f.severity == WARNING)
+    lines.append(
+        f"{len(findings)} finding(s): {errors} error(s), "
+        f"{warnings} warning(s)"
+    )
+    return "\n".join(lines)
 
 
 def exit_code(findings: Sequence[Finding]) -> int:

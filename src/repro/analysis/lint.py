@@ -50,6 +50,20 @@ RPR008 Direct tape execution outside the engine layer: calling
        executor observes every step and plan replay stays the default
        step path; a raw ``.backward()`` call silently bypasses trace
        capture and the buffer arena.
+RPR009 Guarded attribute accessed without the owning class's lock: any
+       attribute written under ``with self._lock:`` is *guarded*, and a
+       public method touching it lock-free is a data race in waiting.
+       Opt out per line with ``# noqa: RPR009`` or via a ``_lock_free``
+       name suffix on the attribute or method.  (See
+       :mod:`repro.analysis.concurrency`.)
+RPR010 Lock-order hazards: cycles in the statically derived lock-order
+       graph (aggregated across every linted file), re-acquiring a
+       non-reentrant ``threading.Lock`` already held, and invoking a
+       caller-supplied callable while holding a lock.
+RPR011 Leaked threads/futures: ``threading.Thread(...)`` without
+       ``daemon=`` or a ``join()`` in scope; ``except`` handlers around
+       a ``set_result()`` producer that neither ``set_exception()`` nor
+       re-raise, leaving waiters blocked forever on failure.
 ====== ==============================================================
 """
 
@@ -62,7 +76,10 @@ import re
 import sys
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from .findings import ERROR, Finding, exit_code, render_json, render_text
+from . import concurrency
+from .concurrency import LockEdge
+from .findings import (ERROR, Finding, exit_code, render_github,
+                       render_json, render_text, sort_findings)
 
 __all__ = ["RULES", "lint_source", "lint_file", "lint_paths", "main"]
 
@@ -79,6 +96,10 @@ RULES: Dict[str, str] = {
               "prepare()",
     "RPR008": "direct tape execution outside repro.engine/repro.nn; use "
               "run_backward()",
+    "RPR009": "guarded attribute accessed without the owning class's lock",
+    "RPR010": "lock-order cycle / re-acquire / callback under a held lock",
+    "RPR011": "thread without daemon= or join; future with an unset "
+              "exception path",
 }
 
 # Modules allowed to break a rule, matched as a path suffix (so the
@@ -457,31 +478,59 @@ class _RuleVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def lint_source(source: str, path: str,
-                select: Optional[Sequence[str]] = None) -> List[Finding]:
-    """Lint one source string; ``path`` is used for reporting/allowlists."""
+def _line_suppresses(suppressions: Dict[int, Optional[Set[str]]],
+                     line: int, code: str) -> bool:
+    suppressed = suppressions.get(line, "absent")
+    if suppressed is None:  # blanket `# noqa`
+        return True
+    return suppressed != "absent" and code in suppressed
+
+
+def _collect(source: str, path: str,
+             select: Optional[Sequence[str]] = None
+             ) -> Tuple[List[Finding], List[LockEdge]]:
+    """One file's filtered findings plus its surviving lock-order edges.
+
+    Edges pass through the same ``select``/allowlist/``# noqa`` gates as
+    RPR010 site findings (suppressing the acquisition line removes the
+    edge, and with it any cycle it would close), so cross-file cycle
+    detection honors per-line suppressions.
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         return [Finding(path, exc.lineno or 0, "RPR000", ERROR,
-                        f"could not parse file: {exc.msg}")]
+                        f"could not parse file: {exc.msg}")], []
     visitor = _RuleVisitor(path)
     visitor.visit(tree)
+    conc_findings, edges = concurrency.analyze_tree(tree, path)
     suppressions = _noqa_map(source)
     selected = {c.upper() for c in select} if select else None
     findings = []
-    for finding in visitor.findings:
+    for finding in visitor.findings + conc_findings:
         if selected is not None and finding.code not in selected:
             continue
         if _is_sanctioned(finding.code, path):
             continue
-        suppressed = suppressions.get(finding.line, "absent")
-        if suppressed is None:  # blanket `# noqa`
-            continue
-        if suppressed != "absent" and finding.code in suppressed:
+        if _line_suppresses(suppressions, finding.line, finding.code):
             continue
         findings.append(finding)
-    return findings
+    if (selected is not None and "RPR010" not in selected) or \
+            _is_sanctioned("RPR010", path):
+        edges = []
+    else:
+        edges = [
+            e for e in edges
+            if not _line_suppresses(suppressions, e.line, "RPR010")
+        ]
+    return sort_findings(findings), edges
+
+
+def lint_source(source: str, path: str,
+                select: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint one source string; ``path`` is used for reporting/allowlists."""
+    findings, edges = _collect(source, path, select=select)
+    return sort_findings(findings + concurrency.cycle_findings(edges))
 
 
 def lint_file(path: str,
@@ -493,6 +542,18 @@ def lint_file(path: str,
         return [Finding(path, 0, "RPR000", ERROR,
                         f"could not read file: {exc}")]
     return lint_source(source, path, select=select)
+
+
+def _collect_file(path: str,
+                  select: Optional[Sequence[str]] = None
+                  ) -> Tuple[List[Finding], List[LockEdge]]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        return [Finding(path, 0, "RPR000", ERROR,
+                        f"could not read file: {exc}")], []
+    return _collect(source, path, select=select)
 
 
 def _iter_python_files(paths: Sequence[str]):
@@ -512,31 +573,41 @@ def _iter_python_files(paths: Sequence[str]):
 
 def lint_paths(paths: Sequence[str],
                select: Optional[Sequence[str]] = None) -> List[Finding]:
-    """Lint files and directories (recursively); the public API."""
+    """Lint files and directories (recursively); the public API.
+
+    Lock-order edges (RPR010) are aggregated across every linted file
+    before cycle detection, so an inversion whose two halves live in
+    different modules is still reported.
+    """
     findings: List[Finding] = []
+    edges: List[LockEdge] = []
     for path in _iter_python_files(paths):
-        findings.extend(lint_file(path, select=select))
-    return findings
+        file_findings, file_edges = _collect_file(path, select=select)
+        findings.extend(file_findings)
+        edges.extend(file_edges)
+    return sort_findings(findings + concurrency.cycle_findings(edges))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Repo-invariant linter (rules RPR001-RPR008; "
+        description="Repo-invariant linter (rules RPR001-RPR011; "
                     "suppress per line with '# noqa: RPRxxx').",
     )
     parser.add_argument("paths", nargs="+",
                         help="files or directories to lint")
-    parser.add_argument("--format", choices=("text", "json"),
-                        default="text")
+    parser.add_argument("--format", choices=("text", "json", "github"),
+                        default="text",
+                        help="'github' emits Actions workflow annotations")
     parser.add_argument("--select", default=None,
                         help="comma-separated rule codes to enable "
                              "(default: all)")
     args = parser.parse_args(argv)
     select = args.select.split(",") if args.select else None
     findings = lint_paths(args.paths, select=select)
-    print(render_json(findings) if args.format == "json"
-          else render_text(findings))
+    renderer = {"text": render_text, "json": render_json,
+                "github": render_github}[args.format]
+    print(renderer(findings))
     return exit_code(findings)
 
 

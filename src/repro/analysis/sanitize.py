@@ -1,0 +1,425 @@
+"""Runtime concurrency sanitizer: instrumented locks + write tracking.
+
+The static rules in :mod:`repro.analysis.concurrency` prove what they
+can see; this module watches what actually happens.  While enabled it
+replaces ``threading.Lock``/``threading.RLock`` with wrappers that
+record, per thread, the stack of locks currently held and every
+*order edge* (lock B acquired while A was held).  Two detectors run on
+that stream:
+
+- **Lock-order inversion**: the first time an edge ``B → A`` appears
+  whose reverse ``A → B`` was already observed (from any thread), a
+  report is filed with both acquisition sites.  This catches the
+  deadlock *potential* deterministically — no unlucky interleaving
+  needed, sequential executions of the two paths suffice.
+- **Unguarded shared writes** (Eraser-style lockset): instances
+  registered with :func:`track` have attribute rebinds intercepted.
+  Each ``(instance, attribute)`` starts *exclusive* to its first
+  writing thread; once a second thread writes, the candidate lockset is
+  the intersection of the locksets held at every cross-thread write.
+  An empty intersection means no single lock guards the field — a data
+  race, again detected without needing the racy interleaving itself.
+
+Enablement:
+
+- ``REPRO_SANITIZE=1`` (any non-empty value except ``0``) plus the
+  autouse pytest fixture in ``tests/conftest.py`` wraps every test in
+  ``enable()``/``assert_clean()``/``disable()``.
+- Programmatic: the :func:`sanitized` context manager, or
+  ``enable()``/``disable()`` directly.
+
+Limitations (by design, to stay dependency-free and cheap): locks
+created *before* ``enable()`` are not instrumented; write tracking sees
+attribute rebinds (``self.x = ...``, ``self.x += ...``), not in-place
+container mutation (``self.xs.append(...)``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+import threading
+import traceback
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Type
+
+__all__ = [
+    "Report",
+    "SanitizerError",
+    "SanitizedLock",
+    "SanitizedRLock",
+    "assert_clean",
+    "disable",
+    "enable",
+    "enabled",
+    "reports",
+    "reset",
+    "sanitize_enabled",
+    "sanitized",
+    "track",
+]
+
+#: the real factories, captured before any monkeypatching.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+_STACK_LIMIT = 12
+
+
+class SanitizerError(AssertionError):
+    """Raised by :func:`assert_clean` when the sanitizer has reports."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Report:
+    """One detected hazard."""
+
+    kind: str  # "lock-order-inversion" | "unguarded-write"
+    message: str
+    details: str = ""
+
+    def render(self) -> str:
+        body = f"[{self.kind}] {self.message}"
+        if self.details:
+            body += "\n" + self.details
+        return body
+
+
+def _site(skip: int = 3) -> str:
+    frames = traceback.extract_stack(limit=_STACK_LIMIT + skip)[:-skip]
+    keep = [
+        f"  {f.filename}:{f.lineno} in {f.name}"
+        for f in frames
+        if "repro/analysis/sanitize" not in f.filename.replace(os.sep, "/")
+    ]
+    return "\n".join(keep[-_STACK_LIMIT:])
+
+
+class _Monitor:
+    """Global sanitizer state: order graph, locksets, write shadow."""
+
+    def __init__(self) -> None:
+        self._state_lock = _REAL_LOCK()
+        self.enabled_lock_free = False
+        self._tls = threading.local()
+        self._edges: Dict[Tuple[int, int], str] = {}
+        self._names: Dict[int, str] = {}
+        self._shadow: Dict[Tuple[int, str], Dict[str, object]] = {}
+        self._tracked: Dict[int, Tuple[object, str]] = {}
+        self._reports: List[Report] = []
+        self._reported_keys: Set[Tuple[str, object]] = set()
+
+    # -- per-thread held stack -------------------------------------------
+
+    def _held(self) -> List[Tuple[int, int]]:
+        """This thread's held locks as ``[lock_id, depth]`` entries."""
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = []
+            self._tls.held = held
+        return held
+
+    # -- lock events -----------------------------------------------------
+
+    def on_acquire(self, lock_id: int, name: str, reentrant: bool) -> None:
+        if not self.enabled_lock_free:
+            return
+        held = self._held()
+        for entry in held:
+            if entry[0] == lock_id:
+                if reentrant:
+                    entry[1] += 1
+                    return
+                break
+        site = _site()
+        with self._state_lock:
+            self._names[lock_id] = name
+            for other_id, _depth in held:
+                if other_id == lock_id:
+                    continue
+                edge = (other_id, lock_id)
+                if edge not in self._edges:
+                    self._edges[edge] = site
+                    reverse = self._edges.get((lock_id, other_id))
+                    if reverse is not None:
+                        key = ("lock-order-inversion",
+                               frozenset((lock_id, other_id)))
+                        if key not in self._reported_keys:
+                            self._reported_keys.add(key)
+                            a = self._names.get(other_id, "?")
+                            b = self._names.get(lock_id, "?")
+                            self._reports.append(Report(
+                                "lock-order-inversion",
+                                f"{b} acquired while holding {a}, but the "
+                                f"opposite order {a}-under-{b} was also "
+                                f"observed; these paths can deadlock",
+                                f"--- {a} -> {b} at:\n{site}\n"
+                                f"--- {b} -> {a} at:\n{reverse}",
+                            ))
+        held.append([lock_id, 1])
+
+    def on_release(self, lock_id: int) -> None:
+        if not self.enabled_lock_free:
+            return
+        held = self._held()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i][0] == lock_id:
+                held[i][1] -= 1
+                if held[i][1] == 0:
+                    del held[i]
+                return
+
+    def held_lockset(self) -> FrozenSet[int]:
+        return frozenset(entry[0] for entry in self._held())
+
+    # -- write tracking --------------------------------------------------
+
+    def track(self, obj: object, name: Optional[str]) -> None:
+        with self._state_lock:
+            self._tracked[id(obj)] = (obj, name or type(obj).__name__)
+
+    def is_tracked_lock_free(self, obj: object) -> bool:
+        return id(obj) in self._tracked
+
+    def on_write(self, obj: object, attr: str) -> None:
+        if not self.enabled_lock_free:
+            return
+        lockset = self.held_lockset()
+        tid = threading.get_ident()
+        site = _site()
+        with self._state_lock:
+            entry = self._tracked.get(id(obj))
+            if entry is None:
+                return
+            label = f"{entry[1]}.{attr}"
+            key = (id(obj), attr)
+            shadow = self._shadow.get(key)
+            if shadow is None:
+                self._shadow[key] = {
+                    "owner": tid,
+                    "lockset": None,  # exclusive: no candidates yet
+                    "sites": {tid: site},
+                }
+                return
+            shadow["sites"][tid] = site
+            if shadow["lockset"] is None:
+                if shadow["owner"] == tid:
+                    return  # still exclusive to the first thread
+                shadow["lockset"] = lockset
+            else:
+                shadow["lockset"] = shadow["lockset"] & lockset
+            if shadow["lockset"]:
+                return
+            report_key = ("unguarded-write", key)
+            if report_key in self._reported_keys:
+                return
+            self._reported_keys.add(report_key)
+            sites = "\n".join(
+                f"--- thread {t} wrote at:\n{s}"
+                for t, s in sorted(shadow["sites"].items())
+            )
+            self._reports.append(Report(
+                "unguarded-write",
+                f"{label} written by multiple threads with no common "
+                f"lock held; concurrent read-modify-writes can be lost",
+                sites,
+            ))
+
+    # -- reporting -------------------------------------------------------
+
+    def reports(self) -> List[Report]:
+        with self._state_lock:
+            return list(self._reports)
+
+    def reset(self) -> None:
+        with self._state_lock:
+            self._edges.clear()
+            self._names.clear()
+            self._shadow.clear()
+            self._tracked.clear()
+            self._reports.clear()
+            self._reported_keys.clear()
+        self._tls = threading.local()
+
+
+_monitor = _Monitor()
+
+
+# ---------------------------------------------------------------------------
+# instrumented locks
+# ---------------------------------------------------------------------------
+
+
+class SanitizedLock:
+    """Drop-in ``threading.Lock`` reporting to the sanitizer monitor.
+
+    Deliberately does *not* define ``_release_save``/``_acquire_restore``
+    so ``threading.Condition`` uses its documented release()/acquire()
+    fallback through the wrapper.
+    """
+
+    _reentrant = False
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self._inner = _REAL_LOCK()
+        self._name = name or f"{type(self).__name__}@{id(self):#x}"
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            _monitor.on_acquire(id(self), self._name, self._reentrant)
+        return got
+
+    def release(self) -> None:
+        _monitor.on_release(id(self))
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def _at_fork_reinit(self) -> None:  # pragma: no cover - fork safety
+        self._inner._at_fork_reinit()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self._name} {self._inner!r}>"
+
+
+class SanitizedRLock(SanitizedLock):
+    """Drop-in ``threading.RLock``; owner-aware for ``Condition``."""
+
+    _reentrant = True
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self._inner = _REAL_RLOCK()
+
+    # Condition integration: these mirror threading._RLock's private
+    # protocol so `Condition(SanitizedRLock())` (and Condition() after
+    # install) keeps exact CPython semantics, with held-stack
+    # bookkeeping wrapped around the full release/reacquire.
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+    def _release_save(self):
+        state = self._inner._release_save()
+        _monitor.on_release(id(self))
+        return state
+
+    def _acquire_restore(self, state) -> None:
+        self._inner._acquire_restore(state)
+        _monitor.on_acquire(id(self), self._name, True)
+
+
+# ---------------------------------------------------------------------------
+# write tracking
+# ---------------------------------------------------------------------------
+
+_patched_setattr: Dict[Type, object] = {}
+
+
+def track(obj: object, name: Optional[str] = None) -> object:
+    """Register ``obj`` for unguarded-shared-write detection.
+
+    Patches the *class* ``__setattr__`` once (subsequent instances cost
+    one dict lookup) and shadows every attribute rebind on registered
+    instances.  Returns ``obj`` for chaining.
+    """
+    cls = type(obj)
+    if cls not in _patched_setattr:
+        original = cls.__setattr__
+
+        def _sanitized_setattr(self, attr, value, _original=original):
+            if _monitor.enabled_lock_free and \
+                    _monitor.is_tracked_lock_free(self):
+                _monitor.on_write(self, attr)
+            _original(self, attr, value)
+
+        cls.__setattr__ = _sanitized_setattr
+        _patched_setattr[cls] = original
+    _monitor.track(obj, name)
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# lifecycle
+# ---------------------------------------------------------------------------
+
+
+def sanitize_enabled() -> bool:
+    """True when the ``REPRO_SANITIZE`` env flag requests sanitizing."""
+    value = os.environ.get("REPRO_SANITIZE", "").strip().lower()
+    return value not in ("", "0", "false", "off", "no")
+
+
+def enabled() -> bool:
+    """True while the sanitizer is actively recording."""
+    return _monitor.enabled_lock_free
+
+
+def enable() -> None:
+    """Patch ``threading.Lock``/``RLock`` and start recording.
+
+    Idempotent.  Locks created before this call are not instrumented.
+    """
+    if threading.Lock is not SanitizedLock:
+        threading.Lock = SanitizedLock  # type: ignore[assignment]
+    if threading.RLock is not SanitizedRLock:
+        threading.RLock = SanitizedRLock  # type: ignore[assignment]
+    _monitor.enabled_lock_free = True
+
+
+def disable() -> None:
+    """Stop recording and restore the real lock factories.
+
+    Already-created sanitized locks keep working (their wrappers become
+    pass-throughs); recorded reports survive until :func:`reset`.
+    """
+    _monitor.enabled_lock_free = False
+    if threading.Lock is SanitizedLock:
+        threading.Lock = _REAL_LOCK  # type: ignore[assignment]
+    if threading.RLock is SanitizedRLock:
+        threading.RLock = _REAL_RLOCK  # type: ignore[assignment]
+
+
+def reset() -> None:
+    """Drop all recorded state: edges, shadows, tracked objects, reports."""
+    _monitor.reset()
+
+
+def reports() -> List[Report]:
+    """The hazards recorded since the last :func:`reset`."""
+    return _monitor.reports()
+
+
+def assert_clean() -> None:
+    """Raise :class:`SanitizerError` when any hazard was recorded."""
+    found = _monitor.reports()
+    if found:
+        rendered = "\n\n".join(r.render() for r in found)
+        raise SanitizerError(
+            f"concurrency sanitizer recorded {len(found)} hazard(s):\n"
+            f"{rendered}"
+        )
+
+
+@contextlib.contextmanager
+def sanitized(check: bool = True):
+    """``with sanitized():`` — enable, run, assert clean, disable.
+
+    Pass ``check=False`` to collect reports without raising (inspect
+    :func:`reports` afterwards).
+    """
+    reset()
+    enable()
+    try:
+        yield _monitor
+        if check:
+            assert_clean()
+    finally:
+        disable()

@@ -26,7 +26,13 @@ from .graph import (
     SymbolRef,
     TraceError,
 )
-from .plan import Plan, PlanError, ReplayResult, compile_plan
+from .plan import (
+    Plan,
+    PlanError,
+    PlanVerificationError,
+    ReplayResult,
+    compile_plan,
+)
 from .tracer import Tracer, tracing
 
 __all__ = [
@@ -40,6 +46,7 @@ __all__ = [
     "ParamRef",
     "Plan",
     "PlanError",
+    "PlanVerificationError",
     "Record",
     "ReplayResult",
     "SlotRef",

@@ -33,7 +33,7 @@ from ..nn import autograd
 from ..nn.tensor import Tensor
 from .arena import Arena
 from .graph import TraceError
-from .plan import Plan, compile_plan
+from .plan import Plan, PlanVerificationError, compile_plan
 from .tracer import Tracer, tracing
 
 __all__ = ["EngineResult", "ExecutionEngine", "run_backward"]
@@ -116,6 +116,15 @@ class ExecutionEngine:
     def plan_for(self, signature: Hashable) -> Optional[Plan]:
         return self._plans.get(signature)
 
+    def plans(self) -> Dict[Hashable, Plan]:
+        """Snapshot of the live plan cache (signature → compiled plan).
+
+        Read-only by convention — the AUD006 sweep
+        (``python -m repro.analysis.plans``) iterates this to verify
+        every cached plan's buffer assignment.
+        """
+        return dict(self._plans)
+
     def veto(self, signature: Hashable) -> None:
         """Permanently exclude ``signature`` from tracing.
 
@@ -172,6 +181,11 @@ class ExecutionEngine:
             new_plan = compile_plan(
                 graph, training=self.training, arena=self.arena, fuse=self.fuse
             )
+        except PlanVerificationError:
+            # An AUD006 hazard in a plan that would have been replayed is
+            # a planner bug, not an untraceable step — surface it rather
+            # than silently degrading to eager.
+            raise
         except TraceError:
             self._plans.pop(signature, None)
             self._vetoed.add(signature)

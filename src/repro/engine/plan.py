@@ -56,11 +56,27 @@ from .graph import (
     TraceError,
 )
 
-__all__ = ["Plan", "PlanError", "ReplayResult", "compile_plan"]
+__all__ = [
+    "Plan",
+    "PlanError",
+    "PlanVerificationError",
+    "ReplayResult",
+    "compile_plan",
+]
 
 
 class PlanError(TraceError):
     """A graph traced fine but could not be compiled."""
+
+
+class PlanVerificationError(PlanError):
+    """The compiled plan failed AUD006 aliasing verification.
+
+    Deliberately distinct from :class:`PlanError`: a compile failure is
+    a recoverable "run this signature eagerly" condition, but a verified
+    aliasing hazard in a plan that *would have been replayed* is a
+    planner bug — the engine re-raises it instead of falling back.
+    """
 
 
 class ReplayResult:
@@ -749,6 +765,12 @@ class Plan:
         pinned |= set(self._output_slots.values())
         pinned |= view_parents
         keys = plan_buffers(records, pinned, reuse=not self.training)
+        # Exposed for the AUD006 plan-aliasing verifier
+        # (repro.analysis.plans): the buffer assignment actually compiled
+        # in, and which slots really write into arena storage.
+        self._buffer_keys = dict(keys)
+        self._pinned_slots = frozenset(pinned)
+        self._planned_buffers: Dict[int, np.ndarray] = {}
 
         for i, record in enumerate(records):
             fetchers = tuple(
@@ -775,6 +797,8 @@ class Plan:
                     )
             if step is None:
                 step = _generic_step(record, i, slots, fetchers, kwfetch)
+            elif i in candidates:
+                self._planned_buffers[i] = buf
             steps.append(step)
         self._steps = steps
 
@@ -875,11 +899,36 @@ def compile_plan(
     training: bool,
     arena: Optional[Arena] = None,
     fuse: bool = True,
+    verify: Optional[bool] = None,
 ) -> Plan:
-    """Compile ``graph`` into a :class:`Plan` (raises :class:`PlanError`)."""
+    """Compile ``graph`` into a :class:`Plan` (raises :class:`PlanError`).
+
+    ``verify=True`` — or the ``REPRO_PLAN_VERIFY`` environment flag when
+    ``verify`` is left ``None`` — runs the AUD006 static aliasing
+    verifier (:func:`repro.analysis.plans.verify_plan`) on the compiled
+    plan and raises :class:`PlanVerificationError` if it proves a
+    hazard.  Off by default: it is a debug/CI mode, not a per-trace
+    cost.
+    """
     try:
-        return Plan(graph, training=training, arena=arena, fuse=fuse)
+        plan = Plan(graph, training=training, arena=arena, fuse=fuse)
     except TraceError:
         raise
     except Exception as exc:
         raise PlanError(f"plan compilation failed: {exc!r}")
+    if verify is None:
+        import os
+
+        verify = os.environ.get(
+            "REPRO_PLAN_VERIFY", ""
+        ).strip().lower() not in ("", "0", "false", "off", "no")
+    if verify:
+        from ..analysis.plans import verify_plan
+
+        findings = verify_plan(plan)
+        if findings:
+            rendered = "; ".join(f.message for f in findings)
+            raise PlanVerificationError(
+                f"plan failed AUD006 verification: {rendered}"
+            )
+    return plan

@@ -62,11 +62,15 @@ class PQIndex:
         return self.quantizer.dim
 
     def __len__(self) -> int:
-        return self._size
+        with self._lock:
+            return self._size
 
     def codes(self) -> np.ndarray:
         """Copy of the stored per-subspace codes (in id order)."""
-        return self._codes[:self._size].copy()
+        # Lock pairs _codes with _size: a concurrent add_codes could
+        # otherwise publish a new size against the old storage.
+        with self._lock:
+            return self._codes[:self._size].copy()
 
     def _grow_to(self, size: int) -> None:
         if size <= self._codes.shape[0]:

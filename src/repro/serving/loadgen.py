@@ -6,6 +6,13 @@ closed-loop, so offered load adapts to service throughput instead of
 piling up an unbounded queue).  Inputs are supplied by the caller and
 cycled — the generator itself draws no randomness, keeping benchmark
 inputs reproducible and lint rule RPR001 trivially satisfied.
+
+Driver threads are daemons joined against a shared deadline
+(``join_timeout``): a worker hung inside ``service.embed`` cannot wedge
+the benchmark process, and instead of silently truncating the report the
+outcome is surfaced — :attr:`LoadReport.threads_completed` says how many
+drivers finished and :attr:`LoadReport.thread_requests` how many
+requests each one completed.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,7 +31,12 @@ __all__ = ["LoadReport", "run_load"]
 
 @dataclass(frozen=True)
 class LoadReport:
-    """Latency/throughput summary of one closed-loop run."""
+    """Latency/throughput summary of one closed-loop run.
+
+    ``threads_completed`` < ``concurrency`` means some drivers were
+    still stuck in ``service.embed`` when ``join_timeout`` expired; the
+    latency summary then covers only the requests that finished.
+    """
 
     label: str
     requests: int
@@ -35,6 +47,16 @@ class LoadReport:
     p50_ms: float
     p99_ms: float
     mean_ms: float
+    threads_completed: int = -1
+    thread_requests: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.threads_completed < 0:
+            object.__setattr__(self, "threads_completed", self.concurrency)
+
+    @property
+    def all_threads_completed(self) -> bool:
+        return self.threads_completed == self.concurrency
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -47,6 +69,8 @@ class LoadReport:
             "p50_ms": round(self.p50_ms, 4),
             "p99_ms": round(self.p99_ms, 4),
             "mean_ms": round(self.mean_ms, 4),
+            "threads_completed": self.threads_completed,
+            "thread_requests": list(self.thread_requests),
         }
 
 
@@ -57,6 +81,7 @@ def run_load(
     requests: int,
     concurrency: int = 4,
     timeout: Optional[float] = 60.0,
+    join_timeout: Optional[float] = 120.0,
     label: str = "",
 ) -> LoadReport:
     """Send ``requests`` samples through ``service``; summarize latency.
@@ -65,6 +90,10 @@ def run_load(
     index, sends ``inputs[index % len(inputs)]``, and blocks on the
     result before claiming another.  Per-request latency covers the full
     submit→result round trip (queueing + batching + forward).
+
+    Drivers are joined against one shared ``join_timeout`` deadline
+    (``None`` waits forever); threads that miss it are abandoned (they
+    are daemons) and reported via ``threads_completed``.
     """
     if requests < 1:
         raise ValueError(f"requests must be >= 1, got {requests}")
@@ -74,10 +103,13 @@ def run_load(
         raise ValueError("inputs must be non-empty")
     latencies_ms: List[float] = [0.0] * requests
     failed = [0] * requests
+    finished = [0] * requests
     counter_lock = threading.Lock()
     next_index = [0]
+    num_threads = min(concurrency, requests)
+    completed_requests = [0] * num_threads
 
-    def _drive() -> None:
+    def _drive(slot: int) -> None:
         while True:
             with counter_lock:
                 index = next_index[0]
@@ -91,19 +123,36 @@ def run_load(
             except Exception:
                 failed[index] = 1
             latencies_ms[index] = (time.perf_counter() - started) * 1000.0
+            finished[index] = 1
+            completed_requests[slot] += 1
 
     threads = [
-        threading.Thread(target=_drive, name=f"loadgen-{i}", daemon=True)
-        for i in range(min(concurrency, requests))
+        threading.Thread(target=_drive, args=(i,), name=f"loadgen-{i}",
+                         daemon=True)
+        for i in range(num_threads)
     ]
     run_start = time.perf_counter()
     for t in threads:
         t.start()
+    deadline = (time.monotonic() + join_timeout
+                if join_timeout is not None else None)
     for t in threads:
-        t.join()
+        if deadline is None:
+            t.join()
+        else:
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
     duration = time.perf_counter() - run_start
+    alive = [t for t in threads if t.is_alive()]
+    threads_completed = len(threads) - len(alive)
 
-    ok = [lat for lat, bad in zip(latencies_ms, failed) if not bad]
+    # Only requests whose drivers finished them count; a hung driver's
+    # in-flight slot never set its finished flag and is excluded.
+    done = sum(completed_requests)
+    ok = [
+        lat
+        for lat, bad, fin in zip(latencies_ms, failed, finished)
+        if fin and not bad
+    ]
     errors = sum(failed)
     series = np.asarray(ok if ok else [0.0], dtype=np.float64)
     return LoadReport(
@@ -112,8 +161,10 @@ def run_load(
         errors=errors,
         concurrency=len(threads),
         duration_s=duration,
-        qps=requests / duration if duration > 0 else 0.0,
+        qps=done / duration if duration > 0 else 0.0,
         p50_ms=float(np.percentile(series, 50)),
         p99_ms=float(np.percentile(series, 99)),
         mean_ms=float(series.mean()),
+        threads_completed=threads_completed,
+        thread_requests=tuple(completed_requests),
     )

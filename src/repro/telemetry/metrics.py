@@ -6,10 +6,17 @@ tracked per series — e.g. ``loss{term="NCE(f1, f1+)"}`` alongside
 ``loss{term="NCE(f2, f2+)"}`` — in the style of Prometheus client
 libraries, but storing full in-process history (this stack has no scrape
 loop; benchmarks and the run reporter read the snapshot directly).
+
+Metrics are written from more than one thread — the
+:class:`~repro.serving.EmbeddingService` batcher thread increments
+counters while the main thread reads snapshots — so every metric carries
+its own lock and the registry guards its series table.  ``inc()`` is a
+read-modify-write; without the lock, concurrent increments lose updates.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
@@ -38,7 +45,9 @@ class SeriesView(Sequence):
     """Read-only live view over a metric's recorded values.
 
     Used to expose internal telemetry series (e.g. the CQ trainer's
-    ``grad_norms``) without letting callers mutate them.
+    ``grad_norms``) without letting callers mutate them.  Reads are
+    single list operations (atomic under the GIL against the appends a
+    Gauge performs), so the view itself carries no lock.
     """
 
     __slots__ = ("_values",)
@@ -68,13 +77,19 @@ class SeriesView(Sequence):
 
 
 class _Metric:
-    """Common identity plumbing for all metric kinds."""
+    """Common identity plumbing for all metric kinds.
+
+    Each metric owns a non-reentrant lock; accessors must read raw state
+    directly under it (never through another locked property, which
+    would self-deadlock).
+    """
 
     kind = "metric"
 
     def __init__(self, name: str, labels: Labels) -> None:
         self.name = name
         self.labels = labels
+        self._lock = threading.Lock()
 
     @property
     def full_name(self) -> str:
@@ -96,15 +111,18 @@ class Counter(_Metric):
     def inc(self, amount: float = 1.0) -> float:
         if amount < 0:
             raise ValueError(f"counter increments must be >= 0, got {amount}")
-        self._value += amount
-        return self._value
+        with self._lock:
+            self._value += amount
+            return self._value
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def snapshot(self) -> Dict[str, object]:
-        return {"kind": self.kind, "value": self._value}
+        with self._lock:
+            return {"kind": self.kind, "value": self._value}
 
 
 class Gauge(_Metric):
@@ -122,26 +140,31 @@ class Gauge(_Metric):
         self._series: List[float] = []
 
     def set(self, value: float) -> None:
-        self._series.append(float(value))
+        with self._lock:
+            self._series.append(float(value))
 
     @property
     def value(self) -> Optional[float]:
-        return self._series[-1] if self._series else None
+        with self._lock:
+            return self._series[-1] if self._series else None
 
     @property
     def series(self) -> Tuple[float, ...]:
-        return tuple(self._series)
+        with self._lock:
+            return tuple(self._series)
 
     def view(self) -> SeriesView:
         """Live read-only view (tracks future ``set()`` calls)."""
-        return SeriesView(self._series)
+        with self._lock:
+            return SeriesView(self._series)
 
     def snapshot(self) -> Dict[str, object]:
-        return {
-            "kind": self.kind,
-            "value": self.value,
-            "count": len(self._series),
-        }
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "value": self._series[-1] if self._series else None,
+                "count": len(self._series),
+            }
 
 
 class Histogram(_Metric):
@@ -159,48 +182,62 @@ class Histogram(_Metric):
         self._values: List[float] = []
 
     def observe(self, value: float) -> None:
-        self._values.append(float(value))
+        with self._lock:
+            self._values.append(float(value))
+
+    def _copy_values(self) -> List[float]:
+        with self._lock:
+            return list(self._values)
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        with self._lock:
+            return len(self._values)
 
     @property
     def sum(self) -> float:
-        return float(np.sum(self._values)) if self._values else 0.0
+        values = self._copy_values()
+        return float(np.sum(values)) if values else 0.0
 
     @property
     def mean(self) -> float:
-        return float(np.mean(self._values)) if self._values else float("nan")
+        values = self._copy_values()
+        return float(np.mean(values)) if values else float("nan")
 
     @property
     def min(self) -> float:
-        return float(np.min(self._values)) if self._values else float("nan")
+        values = self._copy_values()
+        return float(np.min(values)) if values else float("nan")
 
     @property
     def max(self) -> float:
-        return float(np.max(self._values)) if self._values else float("nan")
+        values = self._copy_values()
+        return float(np.max(values)) if values else float("nan")
 
     def percentile(self, q: float) -> float:
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
-        if not self._values:
+        values = self._copy_values()
+        if not values:
             return float("nan")
-        return float(np.percentile(self._values, q))
+        return float(np.percentile(values, q))
 
     def snapshot(self) -> Dict[str, object]:
-        if not self._values:
+        # One consistent copy; computing from locked properties would
+        # both re-acquire the lock and mix epochs between fields.
+        values = self._copy_values()
+        if not values:
             return {"kind": self.kind, "count": 0}
         return {
             "kind": self.kind,
-            "count": self.count,
-            "sum": self.sum,
-            "mean": self.mean,
-            "min": self.min,
-            "max": self.max,
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p99": self.percentile(99),
+            "count": len(values),
+            "sum": float(np.sum(values)),
+            "mean": float(np.mean(values)),
+            "min": float(np.min(values)),
+            "max": float(np.max(values)),
+            "p50": float(np.percentile(values, 50)),
+            "p90": float(np.percentile(values, 90)),
+            "p99": float(np.percentile(values, 99)),
         }
 
 
@@ -213,9 +250,14 @@ class MetricsRegistry:
     ``counter`` / ``gauge`` / ``histogram`` are get-or-create: requesting
     the same ``(name, labels)`` twice returns the same object, so trainers
     and callbacks can share series without passing references around.
+
+    The registry lock is an RLock because ``load_state_dict`` get-or-
+    creates while already holding it; individual metric objects guard
+    their own recorded data.
     """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._metrics: Dict[Tuple[str, Labels], MetricType] = {}
 
     @staticmethod
@@ -226,16 +268,17 @@ class MetricsRegistry:
         self, cls: Type[MetricType], name: str, labels: Dict[str, object]
     ) -> MetricType:
         key = self._key(name, labels)
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = cls(key[0], key[1])
-            self._metrics[key] = metric
-        elif not isinstance(metric, cls):
-            raise TypeError(
-                f"metric {metric.full_name!r} already registered as "
-                f"{metric.kind}, not {cls.kind}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(key[0], key[1])
+                self._metrics[key] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {metric.full_name!r} already registered as "
+                    f"{metric.kind}, not {cls.kind}"
+                )
+            return metric
 
     def counter(self, name: str, /, **labels) -> Counter:
         return self._get_or_create(Counter, name, labels)
@@ -248,20 +291,26 @@ class MetricsRegistry:
 
     def series(self, name: str) -> List[MetricType]:
         """Every metric registered under ``name`` (across label sets)."""
-        return [m for (n, _), m in self._metrics.items() if n == name]
+        with self._lock:
+            return [m for (n, _), m in self._metrics.items() if n == name]
 
     def __iter__(self) -> Iterator[MetricType]:
-        return iter(self._metrics.values())
+        with self._lock:
+            return iter(list(self._metrics.values()))
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def __contains__(self, name: str) -> bool:
-        return any(n == name for n, _ in self._metrics)
+        with self._lock:
+            return any(n == name for n, _ in self._metrics)
 
     def collect(self) -> Dict[str, Dict[str, object]]:
         """Snapshot of every series keyed by its rendered full name."""
-        return {m.full_name: m.snapshot() for m in self._metrics.values()}
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return {m.full_name: m.snapshot() for m in metrics}
 
     # -- checkpointing ----------------------------------------------------
     def state_dict(self) -> Dict[str, object]:
@@ -272,19 +321,22 @@ class MetricsRegistry:
         anything derived from them, like the CQ trainer's ``grad_norms``
         history — continue exactly where they left off.
         """
+        with self._lock:
+            metrics = list(self._metrics.values())
         entries = []
-        for metric in self._metrics.values():
+        for metric in metrics:
             entry: Dict[str, object] = {
                 "name": metric.name,
                 "labels": [list(pair) for pair in metric.labels],
                 "kind": metric.kind,
             }
-            if isinstance(metric, Counter):
-                entry["value"] = metric._value
-            elif isinstance(metric, Gauge):
-                entry["series"] = list(metric._series)
-            else:
-                entry["values"] = list(metric._values)
+            with metric._lock:
+                if isinstance(metric, Counter):
+                    entry["value"] = metric._value
+                elif isinstance(metric, Gauge):
+                    entry["series"] = list(metric._series)
+                else:
+                    entry["values"] = list(metric._values)
             entries.append(entry)
         return {"metrics": entries}
 
@@ -296,13 +348,17 @@ class MetricsRegistry:
         tracking the restored series.
         """
         kinds = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
-        for entry in state["metrics"]:
-            cls = kinds[entry["kind"]]
-            labels = {key: value for key, value in entry["labels"]}
-            metric = self._get_or_create(cls, entry["name"], labels)
-            if cls is Counter:
-                metric._value = float(entry["value"])
-            elif cls is Gauge:
-                metric._series[:] = [float(v) for v in entry["series"]]
-            else:
-                metric._values[:] = [float(v) for v in entry["values"]]
+        with self._lock:
+            for entry in state["metrics"]:
+                cls = kinds[entry["kind"]]
+                labels = {key: value for key, value in entry["labels"]}
+                metric = self._get_or_create(cls, entry["name"], labels)
+                with metric._lock:
+                    if cls is Counter:
+                        metric._value = float(entry["value"])
+                    elif cls is Gauge:
+                        metric._series[:] = [float(v) for v in entry["series"]]
+                    else:
+                        metric._values[:] = [
+                            float(v) for v in entry["values"]
+                        ]

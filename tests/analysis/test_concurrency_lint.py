@@ -1,0 +1,516 @@
+"""Lock-discipline lint rules RPR009/RPR010/RPR011."""
+
+import ast
+import textwrap
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.concurrency import analyze_tree, cycle_findings
+
+REGISTRY = """\
+import threading
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+        self._version = 0
+
+    def publish(self, name, model):
+        with self._lock:
+            self._entries[name] = model
+            self._version += 1
+"""
+
+
+def lint(snippet, path="pkg/mod.py", select=None):
+    return lint_source(textwrap.dedent(snippet), path, select=select)
+
+
+def _codes(findings):
+    return [(f.code, f.line) for f in findings]
+
+
+# -- RPR009: guarded attributes ----------------------------------------------
+
+def test_rpr009_unlocked_read_in_public_method():
+    findings = lint(REGISTRY + """\
+
+    def resolve(self, name):
+        return self._entries[name]
+""")
+    assert [c for c, _ in _codes(findings)] == ["RPR009"]
+    assert "_entries" in findings[0].message
+
+
+def test_rpr009_locked_access_passes():
+    assert lint(REGISTRY + """\
+
+    def resolve(self, name):
+        with self._lock:
+            return self._entries[name]
+""") == []
+
+
+def test_rpr009_private_method_presumed_locked():
+    # monitor convention: callers of _resolve hold the lock
+    assert lint(REGISTRY + """\
+
+    def _resolve(self, name):
+        return self._entries[name]
+""") == []
+
+
+def test_rpr009_checked_dunder_flagged():
+    findings = lint(REGISTRY + """\
+
+    def __len__(self):
+        return len(self._entries)
+""")
+    assert [c for c, _ in _codes(findings)] == ["RPR009"]
+
+
+def test_rpr009_init_and_repr_exempt():
+    assert lint(REGISTRY + """\
+
+    def __repr__(self):
+        return f"Registry({self._version})"
+""") == []
+
+
+def test_rpr009_lock_free_suffix_opts_out():
+    # ...on the attribute name
+    assert lint("""\
+        import threading
+
+        class Stats:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.hint_lock_free = 0
+
+            def bump(self):
+                with self._lock:
+                    self.hint_lock_free += 1
+
+            def hint(self):
+                return self.hint_lock_free
+    """) == []
+    # ...and on the method name
+    assert lint(REGISTRY + """\
+
+    def peek_lock_free(self):
+        return self._version
+""") == []
+
+
+def test_rpr009_noqa_suppresses():
+    findings = lint(REGISTRY + """\
+
+    def resolve(self, name):
+        return self._entries[name]  # noqa: RPR009
+""")
+    assert findings == []
+
+
+def test_rpr009_subscript_and_chain_writes_guard_the_root():
+    findings = lint("""\
+        import threading
+
+        class Table:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._rows = {}
+
+            def put(self, k, v):
+                with self._lock:
+                    self._rows[k] = v
+
+            def rows(self):
+                return dict(self._rows)
+    """)
+    assert [c for c, _ in _codes(findings)] == ["RPR009"]
+
+
+def test_rpr009_closures_not_collected():
+    # a callback defined under the lock runs later, lock-free; attributes
+    # it writes must not become guarded
+    assert lint("""\
+        import threading
+
+        class Poller:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.last = None
+
+            def arm(self):
+                with self._lock:
+                    def on_done(value):
+                        self.last = value
+                    return on_done
+
+            def read(self):
+                return self.last
+    """) == []
+
+
+def test_rpr009_class_without_lock_untouched():
+    assert lint("""\
+        class Plain:
+            def __init__(self):
+                self.x = 0
+
+            def get(self):
+                return self.x
+    """) == []
+
+
+# -- RPR010: lock order -------------------------------------------------------
+
+def test_rpr010_same_file_inversion():
+    findings = lint("""\
+        import threading
+
+        a_lock = threading.Lock()
+        b_lock = threading.Lock()
+
+        def forward():
+            with a_lock:
+                with b_lock:
+                    pass
+
+        def backward():
+            with b_lock:
+                with a_lock:
+                    pass
+    """)
+    assert [c for c, _ in _codes(findings)] == ["RPR010"]
+    assert "cycle" in findings[0].message
+
+
+def test_rpr010_consistent_order_passes():
+    assert lint("""\
+        import threading
+
+        a_lock = threading.Lock()
+        b_lock = threading.Lock()
+
+        def one():
+            with a_lock:
+                with b_lock:
+                    pass
+
+        def two():
+            with a_lock:
+                with b_lock:
+                    pass
+    """) == []
+
+
+def test_rpr010_local_locks_are_distinct_per_frame():
+    # each call creates fresh locks; nesting order cannot deadlock
+    # across calls, so no cycle may be reported
+    assert lint("""\
+        import threading
+
+        def isolated():
+            a_lock = threading.Lock()
+            b_lock = threading.Lock()
+            with a_lock:
+                with b_lock:
+                    pass
+
+        def reversed_but_local():
+            a_lock = threading.Lock()
+            b_lock = threading.Lock()
+            with b_lock:
+                with a_lock:
+                    pass
+    """) == []
+
+
+def test_rpr010_cross_file_inversion_via_lint_paths(tmp_path):
+    (tmp_path / "a.py").write_text(textwrap.dedent("""\
+        import threading
+
+        class A:
+            def __init__(self, peer):
+                self._a_lock = threading.Lock()
+                self.peer = peer
+
+            def ping(self):
+                with self._a_lock:
+                    with self.peer._b_lock:
+                        pass
+    """))
+    (tmp_path / "b.py").write_text(textwrap.dedent("""\
+        import threading
+
+        class B:
+            def __init__(self, peer):
+                self._b_lock = threading.Lock()
+                self.peer = peer
+
+            def pong(self):
+                with self._b_lock:
+                    with self.peer._a_lock:
+                        pass
+    """))
+    findings = lint_paths([str(tmp_path)])
+    assert [f.code for f in findings] == ["RPR010"]
+    assert "A._a_lock" in findings[0].message
+    assert "B._b_lock" in findings[0].message
+
+
+def test_rpr010_ambiguous_foreign_attr_not_merged(tmp_path):
+    # two unrelated classes both call their lock `_lock`; `other._lock`
+    # must NOT unify with either, else we fabricate a cycle
+    (tmp_path / "x.py").write_text(textwrap.dedent("""\
+        import threading
+
+        class X:
+            def __init__(self, other):
+                self._lock = threading.Lock()
+                self.other = other
+
+            def go(self):
+                with self._lock:
+                    with self.other._lock:
+                        pass
+    """))
+    (tmp_path / "y.py").write_text(textwrap.dedent("""\
+        import threading
+
+        class Y:
+            def __init__(self, other):
+                self._lock = threading.Lock()
+                self.other = other
+
+            def go(self):
+                with self._lock:
+                    with self.other._lock:
+                        pass
+    """))
+    assert lint_paths([str(tmp_path)]) == []
+
+
+def test_rpr010_reacquire_plain_lock():
+    findings = lint("""\
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.n = 0
+
+            def outer(self):
+                with self._lock:
+                    with self._lock:
+                        self.n += 1
+    """)
+    assert any(
+        f.code == "RPR010" and "re-acquired" in f.message for f in findings
+    )
+
+
+def test_rpr010_reacquire_rlock_allowed():
+    assert lint("""\
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.RLock()
+                self.n = 0
+
+            def outer(self):
+                with self._lock:
+                    with self._lock:
+                        self.n += 1
+    """) == []
+
+
+def test_rpr010_callback_under_lock():
+    findings = lint("""\
+        import threading
+
+        _lock = threading.Lock()
+
+        def notify(callback):
+            with _lock:
+                callback()
+    """)
+    assert [c for c, _ in _codes(findings)] == ["RPR010"]
+    assert "callback" in findings[0].message
+
+
+def test_rpr010_callback_outside_lock_passes():
+    assert lint("""\
+        import threading
+
+        _lock = threading.Lock()
+
+        def notify(callback):
+            with _lock:
+                value = 1
+            callback(value)
+    """) == []
+
+
+def test_rpr010_noqa_on_acquisition_removes_edge():
+    findings = lint("""\
+        import threading
+
+        a_lock = threading.Lock()
+        b_lock = threading.Lock()
+
+        def forward():
+            with a_lock:
+                with b_lock:
+                    pass
+
+        def backward():
+            with b_lock:
+                with a_lock:  # noqa: RPR010
+                    pass
+    """)
+    assert findings == []
+
+
+def test_rpr010_select_excluding_rule_drops_edges():
+    snippet = """\
+        import threading
+
+        a_lock = threading.Lock()
+        b_lock = threading.Lock()
+
+        def forward():
+            with a_lock:
+                with b_lock:
+                    pass
+
+        def backward():
+            with b_lock:
+                with a_lock:
+                    pass
+    """
+    assert lint(snippet, select=["RPR001"]) == []
+    assert [c for c, _ in _codes(lint(snippet, select=["RPR010"]))] == [
+        "RPR010"
+    ]
+
+
+# -- RPR011: leaked threads / futures -----------------------------------------
+
+def test_rpr011_thread_without_daemon_or_join():
+    findings = lint("""\
+        import threading
+
+        def fire(fn):
+            t = threading.Thread(target=fn)
+            t.start()
+    """)
+    assert _codes(findings) == [("RPR011", 4)]
+
+
+def test_rpr011_daemon_kwarg_passes():
+    assert lint("""\
+        import threading
+
+        def fire(fn):
+            t = threading.Thread(target=fn, daemon=True)
+            t.start()
+    """) == []
+
+
+def test_rpr011_join_in_scope_passes():
+    assert lint("""\
+        import threading
+
+        def run(fn):
+            t = threading.Thread(target=fn)
+            t.start()
+            t.join(timeout=5)
+    """) == []
+
+
+def test_rpr011_daemon_attribute_assignment_passes():
+    assert lint("""\
+        import threading
+
+        def fire(fn):
+            t = threading.Thread(target=fn)
+            t.daemon = True
+            t.start()
+    """) == []
+
+
+def test_rpr011_self_thread_joined_in_other_method_passes():
+    # thread stored on self and joined from close(): search scope is
+    # the whole class, not the constructing method
+    assert lint("""\
+        import threading
+
+        class Service:
+            def start(self):
+                self._worker = threading.Thread(target=self._run)
+                self._worker.start()
+
+            def close(self):
+                self._worker.join()
+
+            def _run(self):
+                pass
+    """) == []
+
+
+def test_rpr011_future_exception_path_swallowed():
+    findings = lint("""\
+        def produce(future, compute):
+            try:
+                future.set_result(compute())
+            except Exception:
+                pass
+    """)
+    assert [c for c, _ in _codes(findings)] == ["RPR011"]
+    assert "set_exception" in findings[0].message
+
+
+def test_rpr011_set_exception_in_handler_passes():
+    assert lint("""\
+        def produce(future, compute):
+            try:
+                future.set_result(compute())
+            except Exception as exc:
+                future.set_exception(exc)
+    """) == []
+
+
+def test_rpr011_reraise_in_handler_passes():
+    assert lint("""\
+        def produce(future, compute):
+            try:
+                future.set_result(compute())
+            except Exception:
+                log()
+                raise
+    """) == []
+
+
+# -- API shape ----------------------------------------------------------------
+
+def test_analyze_tree_returns_findings_and_edges():
+    tree = ast.parse(textwrap.dedent("""\
+        import threading
+
+        a_lock = threading.Lock()
+        b_lock = threading.Lock()
+
+        with a_lock:
+            with b_lock:
+                pass
+    """))
+    findings, edges = analyze_tree(tree, "m.py")
+    assert findings == []
+    assert [(e.first, e.second) for e in edges] == [
+        ("m.py:a_lock", "m.py:b_lock")
+    ]
+    # a single direction is no cycle
+    assert cycle_findings(edges) == []

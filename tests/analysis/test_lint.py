@@ -409,6 +409,65 @@ def test_syntax_error_reports_rpr000():
     assert [f.code for f in findings] == ["RPR000"]
 
 
+def test_noqa_multiple_codes_suppresses_each():
+    findings = lint(
+        """\
+        import numpy as np
+
+        def f(a=[]):
+            return np.random.default_rng()  # noqa: RPR001, RPR004
+        """
+    )
+    # RPR001 is on the noqa line; RPR004's finding is on line 3 and the
+    # suppression does not reach it.
+    assert _codes(findings) == [("RPR004", 3)]
+
+
+def test_noqa_multiple_codes_same_line():
+    findings = lint(
+        "def f(a=[], rng=None):  # noqa: RPR004, RPR001\n"
+        "    pass\n"
+    )
+    assert findings == []
+
+
+def test_noqa_unknown_code_leaves_finding():
+    findings = lint("p.data = x  # noqa: RPR999\n")
+    assert _codes(findings) == [("RPR002", 1)]
+
+
+def test_noqa_case_and_whitespace_insensitive():
+    assert lint("p.data = x  # NOQA:  rpr002\n") == []
+
+
+def test_blanket_noqa_on_clean_line_is_harmless():
+    findings = lint(
+        """\
+        x = 1  # noqa
+        p.data = x
+        """
+    )
+    assert _codes(findings) == [("RPR002", 2)]
+
+
+def test_select_intersects_with_noqa():
+    snippet = """\
+    import numpy as np
+    rng = np.random.default_rng()  # noqa: RPR001
+    p.data = x
+    """
+    # select narrows to RPR002; the noqa'd RPR001 stays suppressed either
+    # way and must not resurface through --select.
+    assert _codes(lint(snippet, select=["RPR001", "RPR002"])) == [
+        ("RPR002", 3)
+    ]
+    assert _codes(lint(snippet, select=["RPR001"])) == []
+
+
+def test_select_unknown_code_selects_nothing():
+    assert lint("p.data = x\n", select=["RPR999"]) == []
+
+
 # -- acceptance: re-introducing known bugs is caught -------------------------
 
 def test_reintroduced_unseeded_dropout_fails(tmp_path):
@@ -459,6 +518,24 @@ def test_cli_json_format(tmp_path, capsys):
     assert payload[0]["severity"] == "error"
 
 
+def test_cli_github_format(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("p.data = x\n")
+    assert main([str(tmp_path), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert f"::error file={bad},line=1,title=RPR002::" in out
+    assert "1 error(s)" in out
+
+
+def test_github_renderer_escapes_newlines():
+    from repro.analysis import render_github
+    from repro.analysis.findings import ERROR, Finding
+
+    noisy = Finding("a.py", 3, "RPR001", ERROR, "line one\nline two, 100%")
+    rendered = render_github([noisy])
+    assert "line one%0Aline two, 100%25" in rendered.splitlines()[0]
+
+
 # -- repo-wide self-lint -----------------------------------------------------
 
 def test_src_tree_is_clean():
@@ -468,4 +545,5 @@ def test_src_tree_is_clean():
 
 def test_every_rule_documented():
     assert sorted(RULES) == ["RPR001", "RPR002", "RPR003", "RPR004",
-                             "RPR005", "RPR006", "RPR007", "RPR008"]
+                             "RPR005", "RPR006", "RPR007", "RPR008",
+                             "RPR009", "RPR010", "RPR011"]

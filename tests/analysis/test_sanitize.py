@@ -1,0 +1,343 @@
+"""Runtime concurrency sanitizer: inversions, locksets, lifecycle."""
+
+import threading
+
+import pytest
+
+from repro.analysis import sanitize
+from repro.analysis.sanitize import (
+    SanitizedLock,
+    SanitizedRLock,
+    SanitizerError,
+    sanitized,
+)
+
+pytestmark = pytest.mark.sanitizer_self_test
+
+
+@pytest.fixture(autouse=True)
+def _own_lifecycle():
+    """Each test drives enable/disable itself; always leave clean."""
+    sanitize.disable()
+    sanitize.reset()
+    yield
+    sanitize.disable()
+    sanitize.reset()
+
+
+def _run(fn):
+    t = threading.Thread(target=fn, daemon=True)
+    t.start()
+    t.join(timeout=10)
+    assert not t.is_alive()
+
+
+# -- lock-order inversion -----------------------------------------------------
+
+def test_inversion_detected_from_sequential_executions():
+    """The seeded fixture: a/b then b/a, no racy interleaving needed."""
+    sanitize.enable()
+    a = threading.Lock()
+    b = threading.Lock()
+    with a:
+        with b:
+            pass
+
+    def reversed_order():
+        with b:
+            with a:
+                pass
+
+    _run(reversed_order)
+    kinds = [r.kind for r in sanitize.reports()]
+    assert kinds == ["lock-order-inversion"]
+    with pytest.raises(SanitizerError, match="lock-order-inversion"):
+        sanitize.assert_clean()
+
+
+def test_inversion_detected_within_one_thread():
+    sanitize.enable()
+    a = threading.Lock()
+    b = threading.Lock()
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    assert [r.kind for r in sanitize.reports()] == ["lock-order-inversion"]
+
+
+def test_consistent_order_is_clean():
+    sanitize.enable()
+    a = threading.Lock()
+    b = threading.Lock()
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    sanitize.assert_clean()
+
+
+def test_inversion_reported_once_per_pair():
+    sanitize.enable()
+    a = threading.Lock()
+    b = threading.Lock()
+    for _ in range(4):
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+    assert len(sanitize.reports()) == 1
+
+
+def test_rlock_reentry_is_not_an_edge():
+    sanitize.enable()
+    r = threading.RLock()
+    other = threading.Lock()
+    with r:
+        with r:  # re-entry, not a second lock
+            with other:
+                pass
+    with other:
+        pass
+    sanitize.assert_clean()
+
+
+# -- unguarded shared writes --------------------------------------------------
+
+class Box:
+    def __init__(self):
+        self.n = 0
+
+
+class GuardedBox:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.n = 0
+
+
+def test_cross_thread_unlocked_write_detected():
+    sanitize.enable()
+    box = sanitize.track(Box(), "Box")
+    box.n = 1
+
+    def other():
+        box.n = 2
+
+    _run(other)
+    reports = sanitize.reports()
+    assert [r.kind for r in reports] == ["unguarded-write"]
+    assert "Box.n" in reports[0].message
+
+
+def test_common_lock_makes_writes_clean():
+    sanitize.enable()
+    box = sanitize.track(GuardedBox(), "GuardedBox")
+    with box.lock:
+        box.n = 1
+
+    def other():
+        with box.lock:
+            box.n = 2
+
+    _run(other)
+    sanitize.assert_clean()
+
+
+def test_disjoint_locks_still_detected():
+    """Holding *a* lock is not enough; it must be the *same* lock."""
+    sanitize.enable()
+    box = sanitize.track(Box(), "Box")
+    mine = threading.Lock()
+    theirs = threading.Lock()
+    with mine:
+        box.n = 1
+    # second cross-thread write arms the lockset with {theirs}...
+    def second():
+        with theirs:
+            box.n = 2
+
+    _run(second)
+    # ...and a third write under {mine} empties the intersection
+    with mine:
+        box.n = 3
+    assert [r.kind for r in sanitize.reports()] == ["unguarded-write"]
+
+
+def test_single_thread_writes_stay_exclusive():
+    sanitize.enable()
+    box = sanitize.track(Box(), "Box")
+    for i in range(10):
+        box.n = i
+    sanitize.assert_clean()
+
+
+def test_untracked_objects_ignored():
+    sanitize.enable()
+    box = Box()  # not tracked
+    box.n = 1
+
+    def other():
+        box.n = 2
+
+    _run(other)
+    sanitize.assert_clean()
+
+
+def test_prefix_metrics_registry_race_detected():
+    """The pre-fix MetricsRegistry bug, reduced: lockless read-modify-
+    write counters written from the batcher thread and the caller."""
+    sanitize.enable()
+
+    class UnlockedCounter:  # what telemetry.Counter looked like pre-fix
+        def __init__(self):
+            self.value = 0.0
+
+        def inc(self, amount=1.0):
+            self.value = self.value + amount
+
+    counter = sanitize.track(UnlockedCounter(), "Counter")
+    counter.inc()
+
+    def batcher():
+        counter.inc()
+
+    _run(batcher)
+    reports = sanitize.reports()
+    assert [r.kind for r in reports] == ["unguarded-write"]
+    assert "Counter.value" in reports[0].message
+
+
+def test_fixed_metrics_registry_is_clean():
+    """The shipped, locked registry survives the same scenario."""
+    from repro.telemetry import MetricsRegistry
+
+    sanitize.enable()
+    registry = MetricsRegistry()
+    counter = registry.counter("requests")
+    sanitize.track(counter, "Counter")
+    counter.inc()
+
+    def batcher():
+        counter.inc(2.0)
+
+    _run(batcher)
+    sanitize.assert_clean()
+    assert counter.value == 3.0
+
+
+# -- lifecycle / wrappers -----------------------------------------------------
+
+def test_enable_patches_and_disable_restores():
+    real_lock = sanitize._REAL_LOCK
+    real_rlock = sanitize._REAL_RLOCK
+    sanitize.enable()
+    assert threading.Lock is SanitizedLock
+    assert threading.RLock is SanitizedRLock
+    sanitize.enable()  # idempotent
+    sanitize.disable()
+    assert threading.Lock is real_lock
+    assert threading.RLock is real_rlock
+    sanitize.disable()  # idempotent
+
+
+def test_sanitized_context_manager_raises_on_hazard():
+    a = None
+    with pytest.raises(SanitizerError):
+        with sanitized():
+            a = threading.Lock()
+            b = threading.Lock()
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+    assert threading.Lock is sanitize._REAL_LOCK
+
+
+def test_sanitized_check_false_collects_without_raising():
+    with sanitized(check=False) as monitor:
+        a = threading.Lock()
+        b = threading.Lock()
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+    assert len(monitor.reports()) == 1
+
+
+def test_condition_event_queue_work_under_patching():
+    """The stdlib synchronization stack keeps working while patched."""
+    import queue
+
+    sanitize.enable()
+    cond = threading.Condition()
+    event = threading.Event()
+    q = queue.Queue()
+    hits = []
+
+    def waiter():
+        with cond:
+            while not hits:
+                cond.wait(timeout=5)
+        event.wait(timeout=5)
+        hits.append(q.get(timeout=5))
+
+    t = threading.Thread(target=waiter, daemon=True)
+    t.start()
+    with cond:
+        hits.append("notified")
+        cond.notify_all()
+    event.set()
+    q.put("queued")
+    t.join(timeout=10)
+    assert not t.is_alive()
+    assert hits == ["notified", "queued"]
+    sanitize.assert_clean()
+
+
+def test_wrapper_api_matches_real_locks():
+    sanitize.enable()
+    lock = threading.Lock()
+    assert lock.acquire()
+    assert lock.locked()
+    assert not lock.acquire(blocking=False)
+    lock.release()
+    assert not lock.locked()
+    rlock = threading.RLock()
+    with rlock:
+        assert rlock.acquire()
+        rlock.release()
+
+
+def test_reset_clears_reports_and_tracking():
+    sanitize.enable()
+    a = threading.Lock()
+    b = threading.Lock()
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    assert sanitize.reports()
+    sanitize.reset()
+    assert sanitize.reports() == []
+    sanitize.assert_clean()
+
+
+def test_sanitize_enabled_env_flag(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert not sanitize.sanitize_enabled()
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert not sanitize.sanitize_enabled()
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert sanitize.sanitize_enabled()
+    monkeypatch.setenv("REPRO_SANITIZE", "off")
+    assert not sanitize.sanitize_enabled()

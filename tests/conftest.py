@@ -3,8 +3,43 @@
 import numpy as np
 import pytest
 
+from repro.analysis import sanitize as _sanitize
+
 
 @pytest.fixture
 def rng():
     """Deterministic generator; a fresh one per test."""
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(autouse=True)
+def _concurrency_sanitizer(request):
+    """Wrap every test in the runtime concurrency sanitizer.
+
+    A no-op unless ``REPRO_SANITIZE=1`` (the CI ``sanitizer`` job), so
+    the default suite pays nothing.  When armed, locks created during
+    the test are instrumented and the test fails if a lock-order
+    inversion or unguarded tracked write was recorded.
+    ``tests/analysis/test_sanitize.py`` exercises the sanitizer itself
+    and manages its own lifecycle (marker: ``sanitizer_self_test``).
+    """
+    if not _sanitize.sanitize_enabled() or \
+            request.node.get_closest_marker("sanitizer_self_test"):
+        yield
+        return
+    _sanitize.reset()
+    _sanitize.enable()
+    try:
+        yield
+        _sanitize.assert_clean()
+    finally:
+        _sanitize.disable()
+        _sanitize.reset()
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "sanitizer_self_test: test manages the concurrency sanitizer "
+        "itself; the autouse sanitizer fixture stays out of the way",
+    )

@@ -1,5 +1,7 @@
 """run_load: closed-loop accounting and report arithmetic."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -47,6 +49,64 @@ def test_errors_are_counted_not_raised(rng):
         report = run_load(svc, [rng.normal(size=(6,))], requests=6,
                           concurrency=2)
     assert report.errors == 6
+
+
+def test_all_threads_complete_on_healthy_service(rng):
+    inputs = [rng.normal(size=(6,)) for _ in range(3)]
+    with make_service(max_batch_size=8, max_wait_ms=1.0) as svc:
+        report = run_load(svc, inputs, requests=12, concurrency=3)
+    assert report.threads_completed == 3
+    assert report.all_threads_completed
+    assert len(report.thread_requests) == 3
+    assert sum(report.thread_requests) == 12
+    assert report.to_dict()["threads_completed"] == 3
+
+
+def test_hung_worker_is_abandoned_and_reported(rng):
+    """A service call that never returns must not wedge run_load."""
+    release = threading.Event()
+
+    class StuckService:
+        def embed(self, sample, timeout=None):
+            release.wait(timeout=30)  # hangs until teardown
+            return np.zeros(3)
+
+    try:
+        report = run_load(
+            StuckService(), [rng.normal(size=(6,))],
+            requests=4, concurrency=2, join_timeout=0.3, label="hung",
+        )
+    finally:
+        release.set()
+    assert report.threads_completed < report.concurrency
+    assert not report.all_threads_completed
+    # each driver is stuck inside its first request
+    assert sum(report.thread_requests) == 0
+    assert report.errors == 0
+    assert report.duration_s >= 0.3
+
+
+def test_join_timeout_deadline_is_shared_not_per_thread(rng):
+    """Four stuck drivers must cost ~one join_timeout, not four."""
+    import time
+
+    release = threading.Event()
+
+    class StuckService:
+        def embed(self, sample, timeout=None):
+            release.wait(timeout=30)
+            return np.zeros(3)
+
+    start = time.monotonic()
+    try:
+        report = run_load(
+            StuckService(), [rng.normal(size=(6,))],
+            requests=8, concurrency=4, join_timeout=0.3,
+        )
+    finally:
+        release.set()
+    assert time.monotonic() - start < 1.0
+    assert report.threads_completed == 0
 
 
 def test_input_validation(rng):
