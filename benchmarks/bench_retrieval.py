@@ -1,18 +1,25 @@
 """Quantized retrieval benchmark: QPS + recall@k at 1M synthetic items.
 
 Builds a million-item synthetic corpus (Gaussian mixture, L2-normalized
-— the shape of contrastive embeddings), indexes it three ways and
-measures batched top-10 search throughput plus agreement with the exact
-float oracle:
+— the shape of contrastive embeddings), indexes it six ways and measures
+batched top-10 search throughput plus agreement with the exact float
+oracle:
 
-- ``binary`` — median-threshold sign bits packed to ``uint64``,
+- ``exact``         — blocked float32 brute-force cosine (the recall
+  oracle and QPS baseline);
+- ``binary``        — median-threshold sign bits packed to ``uint64``,
   popcount Hamming scan (64x smaller than float32);
-- ``pq``     — 8 x 256-code EMA product quantizer, ADC lookup-table
-  scan (32x smaller);
-- ``exact``  — blocked float32 brute-force cosine (the recall oracle
-  and QPS baseline).
+- ``binary_rerank`` — the same Hamming scan as a candidate generator:
+  top-R shortlist re-scored exactly against a float32 store;
+- ``pq``            — 8 x 256-code EMA product quantizer, memory-bounded
+  ADC lookup-table scan (32x smaller);
+- ``ivf_pq``        — coarse cells + ``nprobe`` probing with residual PQ
+  codes (scans ~``nprobe/num_cells`` of the corpus);
+- ``ivf_binary``    — the same cells with raw packed binary codes.
 
-Writes ``BENCH_retrieval.json`` at the repo root::
+A ``sweep`` section records the recall-vs-QPS trade curves (``nprobe``
+for IVF, shortlist width for rerank).  Writes ``BENCH_retrieval.json``
+at the repo root::
 
     PYTHONPATH=src python benchmarks/bench_retrieval.py           # full, 1M
     PYTHONPATH=src python benchmarks/bench_retrieval.py --quick   # CI smoke
@@ -33,6 +40,7 @@ from repro.nn.rng import derive_rng
 from repro.retrieval import (
     BinaryIndex,
     BinaryQuantizer,
+    IVFIndex,
     PQIndex,
     ProductQuantizer,
     mean_average_precision,
@@ -48,6 +56,7 @@ K = 10
 CLUSTERS = 128
 TRAIN_SAMPLE = 20_000
 CHUNK = 100_000
+RERANK = 1_000
 
 
 def make_corpus(n: int, seed: int = 0) -> np.ndarray:
@@ -96,7 +105,13 @@ def exact_topk_blocked(queries: np.ndarray, corpus: np.ndarray,
 
 
 def timed_search(fn, queries: np.ndarray, repeats: int) -> Tuple[float, object]:
-    """Best-of-``repeats`` QPS for a batched search callable."""
+    """Best-of-``repeats`` QPS for a batched search callable.
+
+    A small untimed warmup call first: the initial search pays one-off
+    page-fault/scratch-allocation costs that would otherwise dominate
+    single-repeat quick runs.
+    """
+    fn(queries[: min(8, queries.shape[0])])
     result = None
     best = float("inf")
     for _ in range(repeats):
@@ -104,6 +119,21 @@ def timed_search(fn, queries: np.ndarray, repeats: int) -> Tuple[float, object]:
         result = fn(queries)
         best = min(best, time.perf_counter() - started)
     return queries.shape[0] / best, result
+
+
+def add_chunked(index, corpus: np.ndarray) -> None:
+    for start in range(0, corpus.shape[0], CHUNK):
+        index.add(corpus[start:start + CHUNK].astype(np.float64))
+
+
+def quality(ids: np.ndarray, wide_ids: np.ndarray,
+            oracle_ids: np.ndarray) -> Dict[str, float]:
+    return {
+        "recall_at_10": round(recall_at_k(ids, oracle_ids, K), 4),
+        # standard ANN metric: oracle top-10 found in 100 candidates
+        "recall10_at_100": round(recall_at_k(wide_ids, oracle_ids, 100), 4),
+        "map": round(mean_average_precision(ids, oracle_ids), 4),
+    }
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -118,8 +148,15 @@ def main(argv: List[str] | None = None) -> int:
 
     n_items = args.items or (20_000 if args.quick else 1_000_000)
     n_queries = 32 if args.quick else 256
-    repeats = 1 if args.quick else 3
-    query_block = 8  # bounds the (block, n_items) distance intermediates
+    # best-of-3 even in quick mode: single-shot timings on a loaded CI
+    # box are too noisy for the relative gates below
+    repeats = 3
+    query_block = 8  # bounds the (block, item_block) scan intermediates
+    # quick keeps the full-run scan fraction (nprobe/num_cells = 1/16)
+    num_cells = 128 if args.quick else 256
+    nprobe = 8 if args.quick else 16
+    nprobe_sweep = (2, 8, 32) if args.quick else (4, 16, 64, 256)
+    rerank_sweep = (100, 1_000) if args.quick else (100, 1_000, 4_000)
 
     started = time.perf_counter()
     corpus = make_corpus(n_items)
@@ -130,6 +167,7 @@ def main(argv: List[str] | None = None) -> int:
 
     oracle_ids, _ = exact_topk_blocked(queries, corpus, K)
     report: Dict[str, Dict[str, float]] = {}
+    sweep: Dict[str, List[Dict[str, float]]] = {}
 
     # -- exact float baseline ---------------------------------------------
     exact_qps, _ = timed_search(
@@ -138,14 +176,14 @@ def main(argv: List[str] | None = None) -> int:
         "qps": round(exact_qps, 2),
         "bytes_per_item": DIM * corpus.itemsize,
     }
-    print(f"exact    qps={exact_qps:10.1f}")
+    print(f"exact         qps={exact_qps:10.1f}")
 
-    # -- binary / Hamming --------------------------------------------------
+    # -- binary / Hamming (with and without exact rerank) -------------------
     started = time.perf_counter()
-    binary_index = BinaryIndex(BinaryQuantizer.fit_median(train),
-                               query_block=query_block)
-    for start in range(0, n_items, CHUNK):
-        binary_index.add(corpus[start:start + CHUNK])
+    binary_quantizer = BinaryQuantizer.fit_median(train)
+    binary_index = BinaryIndex(binary_quantizer, query_block=query_block,
+                               store_embeddings=True)
+    add_chunked(binary_index, corpus)
     binary_build_s = time.perf_counter() - started
     binary_qps, (ids, _) = timed_search(
         lambda q: binary_index.search(q, K), queries, repeats)
@@ -153,23 +191,44 @@ def main(argv: List[str] | None = None) -> int:
     report["binary"] = {
         "qps": round(binary_qps, 2),
         "build_s": round(binary_build_s, 3),
-        "recall_at_10": round(recall_at_k(ids, oracle_ids, K), 4),
-        # standard ANN metric: oracle top-10 found in 100 candidates
-        "recall10_at_100": round(
-            recall_at_k(wide_ids, oracle_ids, 100), 4),
-        "map": round(mean_average_precision(ids, oracle_ids), 4),
+        **quality(ids, wide_ids, oracle_ids),
         "bytes_per_item": binary_index.quantizer.words * 8,
     }
-    print(f"binary   qps={binary_qps:10.1f} "
+    print(f"binary        qps={binary_qps:10.1f} "
           f"recall@10={report['binary']['recall_at_10']:.3f}")
+
+    rr_qps, (ids, _) = timed_search(
+        lambda q: binary_index.search(q, K, rerank=RERANK), queries, repeats)
+    wide_ids, _ = binary_index.search(queries, 100, rerank=RERANK)
+    report["binary_rerank"] = {
+        "qps": round(rr_qps, 2),
+        "build_s": round(binary_build_s, 3),
+        "rerank": RERANK,
+        **quality(ids, wide_ids, oracle_ids),
+        # packed codes + the retained float32 rows
+        "bytes_per_item": binary_index.quantizer.words * 8
+        + DIM * 4,
+    }
+    print(f"binary_rerank qps={rr_qps:10.1f} "
+          f"recall@10={report['binary_rerank']['recall_at_10']:.3f}")
+    sweep["binary_rerank"] = []
+    for width in rerank_sweep:
+        width = min(width, n_items)
+        sweep_qps, (ids, _) = timed_search(
+            lambda q, w=width: binary_index.search(q, K, rerank=w),
+            queries, 1)
+        sweep["binary_rerank"].append({
+            "rerank": width,
+            "qps": round(sweep_qps, 2),
+            "recall_at_10": round(recall_at_k(ids, oracle_ids, K), 4),
+        })
 
     # -- product quantizer / ADC ------------------------------------------
     started = time.perf_counter()
     pq = ProductQuantizer(DIM, 8, 256, rng=derive_rng(3))
     pq.fit(train, epochs=3, batch_size=2048, seed=4)
     pq_index = PQIndex(pq, query_block=query_block)
-    for start in range(0, n_items, CHUNK):
-        pq_index.add(corpus[start:start + CHUNK].astype(np.float64))
+    add_chunked(pq_index, corpus)
     pq_build_s = time.perf_counter() - started
     pq_qps, (ids, _) = timed_search(
         lambda q: pq_index.search(q, K), queries, repeats)
@@ -177,14 +236,62 @@ def main(argv: List[str] | None = None) -> int:
     report["pq"] = {
         "qps": round(pq_qps, 2),
         "build_s": round(pq_build_s, 3),
-        "recall_at_10": round(recall_at_k(ids, oracle_ids, K), 4),
-        "recall10_at_100": round(
-            recall_at_k(wide_ids, oracle_ids, 100), 4),
-        "map": round(mean_average_precision(ids, oracle_ids), 4),
+        **quality(ids, wide_ids, oracle_ids),
         "bytes_per_item": pq.num_subspaces * pq.code_dtype.itemsize,
     }
-    print(f"pq       qps={pq_qps:10.1f} "
+    print(f"pq            qps={pq_qps:10.1f} "
           f"recall@10={report['pq']['recall_at_10']:.3f}")
+
+    # -- IVF: coarse cells + nprobe, residual PQ cells ----------------------
+    started = time.perf_counter()
+    ivf_pq = IVFIndex.fit(train, num_cells=num_cells, num_subspaces=8,
+                          num_codes=256, nprobe=nprobe, epochs=3,
+                          batch_size=2048, seed=5)
+    add_chunked(ivf_pq, corpus)
+    ivf_pq_build_s = time.perf_counter() - started
+    ivf_pq_qps, (ids, _) = timed_search(
+        lambda q: ivf_pq.search(q, K), queries, repeats)
+    wide_ids, _ = ivf_pq.search(queries, 100)
+    report["ivf_pq"] = {
+        "qps": round(ivf_pq_qps, 2),
+        "build_s": round(ivf_pq_build_s, 3),
+        "num_cells": num_cells,
+        "nprobe": nprobe,
+        **quality(ids, wide_ids, oracle_ids),
+        "bytes_per_item": pq.num_subspaces * pq.code_dtype.itemsize
+        + 8 + 4,  # codes + id + float32 bias per item
+    }
+    print(f"ivf_pq        qps={ivf_pq_qps:10.1f} "
+          f"recall@10={report['ivf_pq']['recall_at_10']:.3f}")
+    sweep["ivf_pq_nprobe"] = []
+    for probes in nprobe_sweep:
+        probes = min(probes, num_cells)
+        sweep_qps, (ids, _) = timed_search(
+            lambda q, p=probes: ivf_pq.search(q, K, nprobe=p), queries, 1)
+        sweep["ivf_pq_nprobe"].append({
+            "nprobe": probes,
+            "qps": round(sweep_qps, 2),
+            "recall_at_10": round(recall_at_k(ids, oracle_ids, K), 4),
+        })
+
+    # -- IVF with raw binary cells ------------------------------------------
+    started = time.perf_counter()
+    ivf_binary = IVFIndex(ivf_pq.coarse, binary_quantizer, nprobe=nprobe)
+    add_chunked(ivf_binary, corpus)
+    ivf_binary_build_s = time.perf_counter() - started
+    ivf_binary_qps, (ids, _) = timed_search(
+        lambda q: ivf_binary.search(q, K), queries, repeats)
+    wide_ids, _ = ivf_binary.search(queries, 100)
+    report["ivf_binary"] = {
+        "qps": round(ivf_binary_qps, 2),
+        "build_s": round(ivf_binary_build_s, 3),
+        "num_cells": num_cells,
+        "nprobe": nprobe,
+        **quality(ids, wide_ids, oracle_ids),
+        "bytes_per_item": binary_index.quantizer.words * 8 + 8,
+    }
+    print(f"ivf_binary    qps={ivf_binary_qps:10.1f} "
+          f"recall@10={report['ivf_binary']['recall_at_10']:.3f}")
 
     payload = {
         "quick": bool(args.quick),
@@ -197,25 +304,58 @@ def main(argv: List[str] | None = None) -> int:
         "cpu_count": os.cpu_count(),
         "corpus_gen_s": round(gen_s, 3),
         "indexes": report,
+        "sweep": sweep,
         "compression": {
             name: round(report["exact"]["bytes_per_item"]
                         / report[name]["bytes_per_item"], 1)
-            for name in ("binary", "pq")
+            for name in ("binary", "pq", "ivf_pq", "ivf_binary")
         },
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
 
-    # Quantized scans must beat the float baseline on throughput and
-    # retain real oracle agreement, else the subsystem regressed.
-    for name in ("binary", "pq"):
+    # Relative gates: the partitioned/reranked paths must actually pay
+    # for themselves, else the subsystem regressed.  Speed gates re-time
+    # both sides interleaved in one loop — box-speed drift between rows
+    # measured minutes apart would otherwise flip them randomly.
+    gate_queries = queries[:min(64, n_queries)]
+
+    def interleaved(fn_a, fn_b, rounds: int = 3) -> Tuple[float, float]:
+        fn_a(gate_queries)
+        fn_b(gate_queries)
+        best_a = best_b = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            fn_a(gate_queries)
+            best_a = min(best_a, time.perf_counter() - started)
+            started = time.perf_counter()
+            fn_b(gate_queries)
+            best_b = min(best_b, time.perf_counter() - started)
+        return best_a, best_b
+
+    failures = []
+    for name in ("binary", "pq", "ivf_pq", "ivf_binary"):
         if report[name]["recall_at_10"] <= 0.0:
-            print(f"WARNING: {name} recall@10 is zero")
-            return 1
-    if report["binary"]["qps"] <= report["exact"]["qps"]:
-        print("WARNING: binary scan not faster than exact float search")
-        return 1
-    return 0
+            failures.append(f"{name} recall@10 is zero")
+    binary_s, exact_s = interleaved(
+        lambda q: binary_index.search(q, K),
+        lambda q: exact_topk_blocked(q, corpus, K))
+    print(f"gate: binary {binary_s * 1e3:.1f}ms vs exact "
+          f"{exact_s * 1e3:.1f}ms")
+    if binary_s >= exact_s:
+        failures.append("binary scan not faster than exact float search")
+    ivf_s, pq_s = interleaved(
+        lambda q: ivf_pq.search(q, K),
+        lambda q: pq_index.search(q, K))
+    print(f"gate: ivf_pq {ivf_s * 1e3:.1f}ms vs pq {pq_s * 1e3:.1f}ms")
+    if ivf_s >= pq_s:
+        failures.append("ivf_pq not faster than the exhaustive pq scan")
+    if (report["binary_rerank"]["recall_at_10"]
+            < report["binary"]["recall_at_10"]):
+        failures.append("reranked recall fell below the raw Hamming scan")
+    for message in failures:
+        print(f"WARNING: {message}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

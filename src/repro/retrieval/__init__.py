@@ -12,6 +12,12 @@ codes.  Two compression families, one deterministic ranking contract:
   contrastively with a :class:`CodeMemory` queue (:class:`VQTrainer`,
   MeCoQ) and searched via ADC lookup tables (:class:`PQIndex`).
 
+Either family scales past exhaustive scans through the IVF layer
+(:class:`IVFIndex`): coarse cells from a :class:`VectorQuantizer`,
+``nprobe``-bounded probing, residual PQ or raw binary cell codes, and an
+optional exact rerank stage over a retained :class:`FloatStore`
+(``rerank_exact``), which every index exposes via ``store_embeddings``.
+
 Every index ranks by ascending ``(distance, id)`` and the float oracle
 :func:`exact_search` by descending ``(similarity, ascending id)``, so
 :func:`recall_at_k` / :func:`mean_average_precision` comparisons are
@@ -24,14 +30,17 @@ micro-batching, refusing cross-model-version queries with
 from .binary import (
     BinaryIndex,
     BinaryQuantizer,
+    hamming_dtype,
     pack_bits,
     packed_hamming,
     packed_words,
     unpack_bits,
 )
+from .ivf import IVFIndex
 from .metrics import exact_search, mean_average_precision, recall_at_k
 from .pq import PQIndex
-from .ranking import topk_largest, topk_smallest
+from .ranking import merge_topk, rowwise_topk, topk_largest, topk_smallest
+from .rerank import FloatStore, rerank_exact
 from .service import RetrievalService, StaleIndexError
 from .trainer import VQTrainer, l2_normalize
 from .vq import CodeMemory, ProductQuantizer, VectorQuantizer
@@ -40,6 +49,8 @@ __all__ = [
     "BinaryIndex",
     "BinaryQuantizer",
     "CodeMemory",
+    "FloatStore",
+    "IVFIndex",
     "PQIndex",
     "ProductQuantizer",
     "RetrievalService",
@@ -47,12 +58,16 @@ __all__ = [
     "VQTrainer",
     "VectorQuantizer",
     "exact_search",
+    "hamming_dtype",
     "l2_normalize",
     "mean_average_precision",
+    "merge_topk",
     "pack_bits",
     "packed_hamming",
     "packed_words",
     "recall_at_k",
+    "rerank_exact",
+    "rowwise_topk",
     "topk_largest",
     "topk_smallest",
     "unpack_bits",

@@ -19,15 +19,18 @@ hypothesis suite in ``tests/retrieval`` pins all three properties.
 from __future__ import annotations
 
 import threading
-from typing import Optional, Tuple
+import time
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from .ranking import topk_smallest
+from .rerank import FloatStore, rerank_exact
 
 __all__ = [
     "BinaryQuantizer",
     "BinaryIndex",
+    "hamming_dtype",
     "pack_bits",
     "unpack_bits",
     "packed_hamming",
@@ -35,9 +38,10 @@ __all__ = [
 ]
 
 _HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
-if not _HAS_BITWISE_COUNT:  # numpy < 2.0: 8-bit lookup-table popcount
-    _POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)],
-                          dtype=np.uint8)
+# 8-bit lookup-table popcount for numpy < 2.0; always defined so tests
+# can force the fallback path on any numpy.
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)],
+                      dtype=np.uint8)
 
 
 def packed_words(dim: int) -> int:
@@ -81,6 +85,18 @@ def unpack_bits(codes: np.ndarray, dim: int) -> np.ndarray:
     return bits[:, :dim].astype(bool)
 
 
+def hamming_dtype(words: int) -> np.dtype:
+    """Distance dtype for codes of ``words`` uint64 words.
+
+    uint16 holds any distance up to 1023 words (65472 bits); the 4x
+    narrower distance matrix is what makes the million-item scan beat
+    the float baseline on memory bandwidth.  Both popcount paths emit
+    this dtype, so results are byte-identical across numpy versions.
+    """
+    return np.dtype(np.uint16) if words * 64 <= np.iinfo(np.uint16).max \
+        else np.dtype(np.int64)
+
+
 def packed_hamming(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Hamming distance between packed codes, summed over the word axis.
 
@@ -89,11 +105,7 @@ def packed_hamming(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """
     x = np.bitwise_xor(np.asarray(a, dtype=np.uint64),
                        np.asarray(b, dtype=np.uint64))
-    # uint16 holds any distance up to 1023 words (65472 bits); the 4x
-    # narrower distance matrix is what makes the million-item scan beat
-    # the float baseline on memory bandwidth.
-    dtype = np.uint16 if x.shape[-1] * 64 <= np.iinfo(np.uint16).max \
-        else np.int64
+    dtype = hamming_dtype(x.shape[-1])
     if _HAS_BITWISE_COUNT:
         return np.bitwise_count(x).sum(axis=-1, dtype=dtype)
     as_bytes = np.ascontiguousarray(x).view(np.uint8)
@@ -167,10 +179,15 @@ class BinaryIndex:
     the brute-force ``np.unpackbits`` oracle bit for bit.  ``add()`` is
     thread-safe (amortised-growth storage behind a lock); ``search``
     snapshots the current size, so concurrent adds never tear a query.
+
+    With ``store_embeddings=True`` the index also retains float32 rows
+    and ``search(..., rerank=R)`` re-scores the top-``R`` Hamming
+    shortlist with exact squared-L2 distances before returning top-k.
     """
 
     def __init__(self, quantizer: BinaryQuantizer,
-                 query_block: int = 32) -> None:
+                 query_block: int = 32, *,
+                 store_embeddings: bool = False) -> None:
         if not isinstance(quantizer, BinaryQuantizer):
             raise TypeError(
                 f"quantizer must be a BinaryQuantizer, got "
@@ -183,6 +200,13 @@ class BinaryIndex:
         self._lock = threading.Lock()
         self._codes = np.zeros((0, quantizer.words), dtype=np.uint64)
         self._size = 0
+        self._store = FloatStore(quantizer.dim) if store_embeddings \
+            else None
+
+    @property
+    def store(self) -> Optional[FloatStore]:
+        """The float32 rerank store, or None when not retained."""
+        return self._store
 
     @property
     def dim(self) -> int:
@@ -209,30 +233,103 @@ class BinaryIndex:
 
     def add(self, embeddings: np.ndarray) -> np.ndarray:
         """Encode and store embeddings; returns their assigned ids."""
-        return self.add_codes(self.quantizer.encode(embeddings))
+        embeddings = np.asarray(embeddings)
+        codes = self.quantizer.encode(embeddings)
+        codes = self._check_codes(codes)
+        with self._lock:
+            ids = self._append_locked(codes)
+            if self._store is not None:
+                # Under the index lock so code ids and float rows can
+                # never interleave across concurrent add() calls.
+                self._store.append(embeddings.astype(np.float32,
+                                                     copy=False))
+        return ids
 
     def add_codes(self, codes: np.ndarray) -> np.ndarray:
         """Store pre-packed codes; returns their assigned ids."""
+        if self._store is not None:
+            raise ValueError(
+                "add_codes() carries no float rows; an index built with "
+                "store_embeddings=True must add() raw embeddings"
+            )
+        codes = self._check_codes(codes)
+        with self._lock:
+            return self._append_locked(codes)
+
+    def _check_codes(self, codes: np.ndarray) -> np.ndarray:
         codes = np.ascontiguousarray(codes, dtype=np.uint64)
         if codes.ndim != 2 or codes.shape[1] != self.quantizer.words:
             raise ValueError(
                 f"codes must have shape (N, {self.quantizer.words}), got "
                 f"{codes.shape}"
             )
-        with self._lock:
-            start = self._size
-            self._grow_to(start + codes.shape[0])
-            self._codes[start:start + codes.shape[0]] = codes
-            self._size += codes.shape[0]
-            return np.arange(start, self._size, dtype=np.int64)
+        return codes
 
-    def search(self, queries: np.ndarray,
-               k: int = 10) -> Tuple[np.ndarray, np.ndarray]:
+    def _append_locked(self, codes: np.ndarray) -> np.ndarray:
+        start = self._size
+        self._grow_to(start + codes.shape[0])
+        self._codes[start:start + codes.shape[0]] = codes
+        self._size += codes.shape[0]
+        return np.arange(start, self._size, dtype=np.int64)
+
+    def search(self, queries: np.ndarray, k: int = 10, *,
+               rerank: Optional[int] = None
+               ) -> Tuple[np.ndarray, np.ndarray]:
         """Top-k by Hamming distance for ``(Q, dim)`` float queries.
 
         Returns ``(ids, distances)``, both ``(Q, min(k, len(self)))``.
+        ``rerank=R`` re-scores the top-``R`` Hamming shortlist with
+        exact squared-L2 distances against the float store (requires
+        ``store_embeddings=True``); distances are then float32, not
+        Hamming counts.
         """
-        return self.search_codes(self.quantizer.encode(queries), k)
+        ids, dists, _ = self._search(queries, k, rerank)
+        return ids, dists
+
+    def search_stats(self, queries: np.ndarray, k: int = 10, *,
+                     rerank: Optional[int] = None
+                     ) -> Tuple[np.ndarray, np.ndarray, Dict[str, float]]:
+        """Like :meth:`search`, plus scan/rerank timing + shortlist stats."""
+        return self._search(queries, k, rerank)
+
+    def _search(self, queries: np.ndarray, k: int,
+                rerank: Optional[int]
+                ) -> Tuple[np.ndarray, np.ndarray, Dict[str, float]]:
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValueError(
+                f"queries must have shape (Q, {self.dim}), got "
+                f"{queries.shape}"
+            )
+        if rerank is not None:
+            rerank = int(rerank)
+            if rerank < k:
+                raise ValueError(
+                    f"rerank shortlist must be >= k, got rerank={rerank} "
+                    f"< k={k}"
+                )
+            if self._store is None:
+                raise ValueError(
+                    "rerank requires an index built with "
+                    "store_embeddings=True"
+                )
+        shortlist_k = rerank if rerank is not None else k
+        started = time.perf_counter()
+        scan_ids, scan_dists = self.search_codes(
+            self.quantizer.encode(queries), shortlist_k)
+        stats: Dict[str, float] = {
+            "scan_s": time.perf_counter() - started,
+            "rerank_s": 0.0,
+            "shortlist": float(scan_ids.shape[1]),
+        }
+        if rerank is None:
+            return scan_ids, scan_dists, stats
+        started = time.perf_counter()
+        ids, dists = rerank_exact(self._store, queries, scan_ids, k,
+                                  metric="l2",
+                                  query_block=self.query_block)
+        stats["rerank_s"] = time.perf_counter() - started
+        return ids, dists, stats
 
     def search_codes(self, queries: np.ndarray,
                      k: int = 10) -> Tuple[np.ndarray, np.ndarray]:
@@ -254,29 +351,30 @@ class BinaryIndex:
         id_blocks = []
         dist_blocks = []
         rows = min(self.query_block, queries.shape[0])
+        words = self.quantizer.words
+        # Scratch buffers reused across query blocks on *both* popcount
+        # paths: at a million items the XOR intermediate alone is tens
+        # of MB, and fresh page-faulted allocations per block would
+        # dominate the scan.  Distances are hamming_dtype(words) —
+        # uint16 up to 65472 bits — regardless of path.
+        xor_buf = np.empty((rows, size, words), dtype=np.uint64)
+        dist_buf = np.empty((rows, size), dtype=hamming_dtype(words))
         if _HAS_BITWISE_COUNT:
-            # Scratch buffers reused across query blocks: at a million
-            # items the XOR intermediate alone is tens of MB, and fresh
-            # page-faulted allocations per block would dominate the scan.
-            words = self.quantizer.words
-            xor_buf = np.empty((rows, size, words), dtype=np.uint64)
             cnt_buf = np.empty((rows, size, words), dtype=np.uint8)
-            dist_buf = np.empty(
-                (rows, size),
-                dtype=np.uint16 if words * 64 <= np.iinfo(np.uint16).max
-                else np.int64,
-            )
+        else:  # 8-bit LUT fallback: popcount via byte-table gather
+            byte_view = xor_buf.view(np.uint8)
+            cnt_buf = np.empty((rows, size, words * 8), dtype=np.uint8)
         for start in range(0, queries.shape[0], self.query_block):
             block = queries[start:start + self.query_block]
             b = block.shape[0]
+            np.bitwise_xor(block[:, None, :], stored[None, :, :],
+                           out=xor_buf[:b])
             if _HAS_BITWISE_COUNT:
-                np.bitwise_xor(block[:, None, :], stored[None, :, :],
-                               out=xor_buf[:b])
                 np.bitwise_count(xor_buf[:b], out=cnt_buf[:b])
-                dists = np.sum(cnt_buf[:b], axis=-1, out=dist_buf[:b])
             else:
-                dists = packed_hamming(block[:, None, :],
-                                       stored[None, :, :])
+                np.take(_POPCOUNT8, byte_view[:b], out=cnt_buf[:b],
+                        mode="clip")
+            dists = np.sum(cnt_buf[:b], axis=-1, out=dist_buf[:b])
             ids, top = topk_smallest(dists, k)
             id_blocks.append(ids)
             dist_blocks.append(top)

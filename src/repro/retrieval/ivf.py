@@ -1,0 +1,574 @@
+"""IVF-partitioned retrieval: coarse cells, ``nprobe`` search, rerank.
+
+An :class:`IVFIndex` splits the corpus into ``num_cells`` Voronoi cells
+of a coarse :class:`~repro.retrieval.VectorQuantizer` (trained with the
+same EMA k-means / ``derive_rng`` machinery as every codebook in this
+package) and stores each cell's items in contiguous per-list arrays.  A
+query ranks cells by coarse distance and scans only the ``nprobe``
+nearest — the classic inverted-file trade: recall degrades gracefully
+with ``nprobe`` while scanned-item count (and therefore latency) drops
+by roughly ``nprobe / num_cells``.
+
+Two encoders are supported:
+
+- :class:`~repro.retrieval.ProductQuantizer` — **residual** PQ codes
+  (the encoder quantizes ``x - centroid[cell]``, which has far lower
+  variance than ``x`` itself).  ADC distances decompose as::
+
+      d(q, x) = ||q - c||^2                       (coarse term)
+              + sum_m  -2 <q_m, e_m>              (per-query tables)
+              + sum_m  2 <c_m, e_m> + ||e_m||^2   (per-item bias)
+
+  The bias is precomputed float32 at ``add()`` time, so a scan is one
+  table gather per subspace plus one add — the per-query tables do not
+  depend on the cell.
+- :class:`~repro.retrieval.BinaryQuantizer` — raw packed sign codes and
+  integer Hamming scans.  Because the distances ignore the partition,
+  ``nprobe=num_cells`` returns results **id-for-id identical** to an
+  exhaustive :class:`~repro.retrieval.BinaryIndex` over the same data.
+
+Every result is ranked by the package-wide ascending ``(distance, id)``
+contract.  With ``store_embeddings=True`` the index retains float32 rows
+and ``search(..., rerank=R)`` re-scores the top-``R`` shortlist exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..nn.rng import derive_rng
+from .binary import BinaryQuantizer, hamming_dtype, packed_hamming
+from .rerank import FloatStore, rerank_exact
+from .vq import ProductQuantizer, VectorQuantizer
+
+__all__ = ["IVFIndex"]
+
+_METRICS = ("l2", "ip")
+
+# Cap on candidate rows per batched distance pass: bounds the (rows, M)
+# gather scratch even when nprobe=num_cells scans the whole corpus.
+_SCAN_ROW_BUDGET = 1 << 19
+
+Encoder = Union[ProductQuantizer, BinaryQuantizer]
+
+
+def _segment_topk(dists: np.ndarray, ids: np.ndarray,
+                  needed: int) -> np.ndarray:
+    """Indices of the ``needed`` smallest ``(distance, id)`` pairs.
+
+    ``argpartition`` isolates the k-th smallest distance, then only the
+    (usually tiny) tie region is ranked exactly — much cheaper than a
+    full lexsort of the segment, with identical results.
+    """
+    if dists.shape[0] <= needed:
+        return np.lexsort((ids, dists))
+    part = np.argpartition(dists, needed - 1)[:needed]
+    threshold = dists[part].max()
+    cand = np.flatnonzero(dists <= threshold)
+    return cand[np.lexsort((ids[cand], dists[cand]))[:needed]]
+
+
+def _assign_cells(centroids: np.ndarray, x: np.ndarray,
+                  row_block: int = 8192) -> np.ndarray:
+    """Nearest-centroid ids, float32 blocked (build-speed hot path).
+
+    Squared-L2 argmin up to the query norm; ties pick the lowest cell id
+    (``np.argmin`` returns the first minimum).
+    """
+    cb = centroids.astype(np.float32)
+    norms = np.sum(cb.astype(np.float64) ** 2, axis=1).astype(np.float32)
+    out = np.empty(x.shape[0], dtype=np.int64)
+    scores = np.empty((min(row_block, x.shape[0]), cb.shape[0]),
+                      dtype=np.float32)
+    x32 = x.astype(np.float32, copy=False)
+    for start in range(0, x.shape[0], row_block):
+        block = x32[start:start + row_block]
+        view = scores[:block.shape[0]]
+        np.matmul(block, cb.T, out=view)
+        view *= -2.0
+        view += norms
+        out[start:start + row_block] = np.argmin(view, axis=1)
+    return out
+
+
+class _CellList:
+    """One inverted list: contiguous codes/ids (+ ADC bias) arrays.
+
+    Append-only with amortized doubling; rows below the published
+    ``size`` are frozen, so a search that snapshot-reads ``(arrays,
+    size)`` under the index lock can scan without holding it.
+    """
+
+    __slots__ = ("codes", "ids", "bias", "size")
+
+    def __init__(self, code_width: int, code_dtype: np.dtype,
+                 with_bias: bool) -> None:
+        self.codes = np.zeros((0, code_width), dtype=code_dtype)
+        self.ids = np.zeros(0, dtype=np.int64)
+        self.bias = np.zeros(0, dtype=np.float32) if with_bias else None
+        self.size = 0
+
+    def append(self, codes: np.ndarray, ids: np.ndarray,
+               bias: Optional[np.ndarray]) -> None:
+        needed = self.size + codes.shape[0]
+        if needed > self.codes.shape[0]:
+            capacity = max(64, self.codes.shape[0] * 2, needed)
+            grown = np.zeros((capacity,) + self.codes.shape[1:],
+                             dtype=self.codes.dtype)
+            grown[:self.size] = self.codes[:self.size]
+            self.codes = grown
+            grown_ids = np.zeros(capacity, dtype=np.int64)
+            grown_ids[:self.size] = self.ids[:self.size]
+            self.ids = grown_ids
+            if self.bias is not None:
+                grown_bias = np.zeros(capacity, dtype=np.float32)
+                grown_bias[:self.size] = self.bias[:self.size]
+                self.bias = grown_bias
+        self.codes[self.size:needed] = codes
+        self.ids[self.size:needed] = ids
+        if self.bias is not None:
+            self.bias[self.size:needed] = bias
+        self.size = needed
+
+
+class IVFIndex:
+    """Inverted-file index over a coarse quantizer with PQ/binary cells.
+
+    Item ids are global assignment order (across cells).  ``add()`` is
+    thread-safe; ``search`` snapshots each cell's ``(arrays, size)``
+    under the lock, so concurrent adds never tear a query.
+
+    Parameters
+    ----------
+    coarse:
+        Trained :class:`VectorQuantizer` whose codes are the cells.
+    encoder:
+        :class:`ProductQuantizer` (residual ADC cells) or
+        :class:`BinaryQuantizer` (raw Hamming cells).
+    metric:
+        ``"l2"`` or ``"ip"`` for PQ cells; binary cells rank by Hamming
+        distance and require ``"l2"`` (also used by the rerank stage).
+    nprobe:
+        Default number of cells scanned per query; override per call.
+        Probing automatically widens past ``nprobe`` when the visited
+        cells hold fewer candidates than requested, so result width is
+        always ``min(k, len(index))``.
+    """
+
+    def __init__(self, coarse: VectorQuantizer, encoder: Encoder, *,
+                 metric: str = "l2", nprobe: int = 8,
+                 query_block: int = 32,
+                 store_embeddings: bool = False) -> None:
+        if not isinstance(coarse, VectorQuantizer):
+            raise TypeError(
+                f"coarse must be a VectorQuantizer, got "
+                f"{type(coarse).__name__}"
+            )
+        if not isinstance(encoder, (ProductQuantizer, BinaryQuantizer)):
+            raise TypeError(
+                f"encoder must be a ProductQuantizer or BinaryQuantizer, "
+                f"got {type(encoder).__name__}"
+            )
+        if encoder.dim != coarse.dim:
+            raise ValueError(
+                f"encoder dim {encoder.dim} != coarse dim {coarse.dim}"
+            )
+        if metric not in _METRICS:
+            raise ValueError(
+                f"metric must be one of {_METRICS}, got {metric!r}"
+            )
+        self._binary = isinstance(encoder, BinaryQuantizer)
+        if self._binary and metric != "l2":
+            raise ValueError(
+                "binary cells rank by Hamming distance; only metric='l2' "
+                "is supported (it also drives the rerank stage)"
+            )
+        if not 1 <= nprobe <= coarse.num_codes:
+            raise ValueError(
+                f"nprobe must be in [1, {coarse.num_codes}], got {nprobe}"
+            )
+        if query_block < 1:
+            raise ValueError(f"query_block must be >= 1, got {query_block}")
+        self.coarse = coarse
+        self.encoder = encoder
+        self.metric = metric
+        self.nprobe = int(nprobe)
+        self.query_block = int(query_block)
+        if self._binary:
+            width, dtype = encoder.words, np.dtype(np.uint64)
+        else:
+            width, dtype = encoder.num_subspaces, encoder.code_dtype
+        self._lock = threading.Lock()
+        self._cells: List[_CellList] = [
+            _CellList(width, dtype, with_bias=not self._binary)
+            for _ in range(coarse.num_codes)
+        ]
+        self._size = 0
+        self._store = FloatStore(coarse.dim) if store_embeddings else None
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def fit(cls, embeddings: np.ndarray, *, num_cells: int,
+            num_subspaces: int, num_codes: int = 256,
+            metric: str = "l2", nprobe: int = 8, epochs: int = 5,
+            batch_size: int = 1024, seed: int = 0, tol: float = 0.0,
+            store_embeddings: bool = False) -> "IVFIndex":
+        """Train coarse cells + residual PQ on a sample; returns an
+        *empty* index (``add()`` the corpus afterwards).
+
+        Deterministic: the coarse codebook derives from spawn key
+        ``(seed, 10)`` and fits with ``seed``; the residual PQ derives
+        from ``(seed, 11)`` and fits with ``seed + 1``.
+        """
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        coarse = cls._fit_coarse(embeddings, num_cells, epochs, batch_size,
+                                 seed, tol)
+        cells = _assign_cells(coarse.codebook.data, embeddings)
+        residuals = embeddings - coarse.codebook.data[cells].astype(
+            np.float64)
+        encoder = ProductQuantizer(embeddings.shape[1], num_subspaces,
+                                   num_codes, rng=derive_rng(seed, 11))
+        encoder.fit(residuals, epochs=epochs, batch_size=batch_size,
+                    seed=seed + 1, tol=tol)
+        return cls(coarse, encoder, metric=metric, nprobe=nprobe,
+                   store_embeddings=store_embeddings)
+
+    @classmethod
+    def fit_binary(cls, embeddings: np.ndarray, *, num_cells: int,
+                   nprobe: int = 8, epochs: int = 5,
+                   batch_size: int = 1024, seed: int = 0, tol: float = 0.0,
+                   store_embeddings: bool = False) -> "IVFIndex":
+        """Train coarse cells + median-threshold binary codes; returns an
+        *empty* index (``add()`` the corpus afterwards)."""
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        coarse = cls._fit_coarse(embeddings, num_cells, epochs, batch_size,
+                                 seed, tol)
+        encoder = BinaryQuantizer.fit_median(embeddings)
+        return cls(coarse, encoder, nprobe=nprobe,
+                   store_embeddings=store_embeddings)
+
+    @staticmethod
+    def _fit_coarse(embeddings: np.ndarray, num_cells: int, epochs: int,
+                    batch_size: int, seed: int,
+                    tol: float) -> VectorQuantizer:
+        if embeddings.ndim != 2:
+            raise ValueError(
+                f"expected (N, dim) embeddings, got shape {embeddings.shape}"
+            )
+        coarse = VectorQuantizer(num_cells, embeddings.shape[1],
+                                 rng=derive_rng(seed, 10))
+        # Seed centroids from data rows: random off-manifold init makes
+        # a few lucky centroids capture everything on clustered corpora,
+        # and the EMA counts decay too slowly for dead-code restart to
+        # rescue short fits.  Cell balance is what makes nprobe pay.
+        n = embeddings.shape[0]
+        picks = derive_rng(seed, 12).choice(n, size=num_cells,
+                                            replace=n < num_cells)
+        seeds = embeddings[picks]
+        # Goes through the version-bumping Parameter.data setter, same
+        # sanctioned path as the EMA update in vq.py.
+        coarse.codebook.data = seeds.astype(np.float32)  # noqa: RPR002
+        coarse.set_buffer("ema_sums", seeds.astype(np.float64))
+        coarse.fit(embeddings, epochs=epochs, batch_size=batch_size,
+                   seed=seed, tol=tol)
+        return coarse
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self.coarse.dim
+
+    @property
+    def num_cells(self) -> int:
+        return self.coarse.num_codes
+
+    @property
+    def store(self) -> Optional[FloatStore]:
+        """The float32 rerank store, or None when not retained."""
+        return self._store
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._size
+
+    def cell_sizes(self) -> np.ndarray:
+        """Items per cell, ``(num_cells,)`` — balance diagnostics."""
+        with self._lock:
+            return np.array([c.size for c in self._cells], dtype=np.int64)
+
+    # -- indexing -----------------------------------------------------------
+
+    def add(self, embeddings: np.ndarray) -> np.ndarray:
+        """Encode and route embeddings to their cells; returns global ids."""
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.ndim != 2 or embeddings.shape[1] != self.dim:
+            raise ValueError(
+                f"embeddings must have shape (N, {self.dim}), got "
+                f"{embeddings.shape}"
+            )
+        if embeddings.shape[0] == 0:
+            raise ValueError("add() needs at least one embedding")
+        cells = _assign_cells(self.coarse.codebook.data, embeddings)
+        if self._binary:
+            codes = self.encoder.encode(embeddings)
+            bias = None
+        else:
+            centroids = self.coarse.codebook.data[cells].astype(np.float64)
+            codes = self.encoder.encode(embeddings - centroids)
+            bias = self._residual_bias(codes, centroids)
+        order = np.argsort(cells, kind="stable")
+        boundaries = np.flatnonzero(np.diff(cells[order])) + 1
+        groups = np.split(order, boundaries)
+        with self._lock:
+            start = self._size
+            ids = np.arange(start, start + embeddings.shape[0],
+                            dtype=np.int64)
+            for group in groups:
+                cell = int(cells[group[0]])
+                self._cells[cell].append(
+                    codes[group], ids[group],
+                    bias[group] if bias is not None else None)
+            self._size = start + embeddings.shape[0]
+            if self._store is not None:
+                # Under the index lock so code ids and float rows can
+                # never interleave across concurrent add() calls.
+                self._store.append(embeddings.astype(np.float32))
+        return ids
+
+    def _residual_bias(self, codes: np.ndarray,
+                       centroids: np.ndarray) -> np.ndarray:
+        """Per-item ADC bias (float32): ``2 <c, e> + ||e||^2`` for L2.
+
+        The inner-product decomposition ``-<q, c + e>`` has no
+        query-independent item term, so the bias is zero there.
+        """
+        if self.metric == "ip":
+            return np.zeros(codes.shape[0], dtype=np.float32)
+        recon = self.encoder.decode(codes).astype(np.float64)
+        bias = (2.0 * np.einsum("nd,nd->n", centroids, recon)
+                + np.einsum("nd,nd->n", recon, recon))
+        return bias.astype(np.float32)
+
+    # -- search -------------------------------------------------------------
+
+    def search(self, queries: np.ndarray, k: int = 10, *,
+               nprobe: Optional[int] = None,
+               rerank: Optional[int] = None
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-k over the ``nprobe`` nearest cells, ascending
+        ``(distance, id)``.
+
+        Returns ``(ids, distances)``, both ``(Q, min(k, len(self)))``.
+        PQ cells yield float32 ADC distances (``"ip"``: negated inner
+        products); binary cells yield integer Hamming distances.
+        ``rerank=R`` re-scores the top-``R`` shortlist exactly against
+        the float store (requires ``store_embeddings=True``).
+        """
+        ids, dists, _ = self._search(queries, k, nprobe, rerank)
+        return ids, dists
+
+    def search_stats(self, queries: np.ndarray, k: int = 10, *,
+                     nprobe: Optional[int] = None,
+                     rerank: Optional[int] = None
+                     ) -> Tuple[np.ndarray, np.ndarray, Dict[str, float]]:
+        """Like :meth:`search`, plus probe/timing/shortlist stats."""
+        return self._search(queries, k, nprobe, rerank)
+
+    def _check_search_args(self, queries: np.ndarray, k: int,
+                           nprobe: Optional[int],
+                           rerank: Optional[int]
+                           ) -> Tuple[np.ndarray, int, Optional[int]]:
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValueError(
+                f"queries must have shape (Q, {self.dim}), got "
+                f"{queries.shape}"
+            )
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        nprobe = self.nprobe if nprobe is None else int(nprobe)
+        if not 1 <= nprobe <= self.num_cells:
+            raise ValueError(
+                f"nprobe must be in [1, {self.num_cells}], got {nprobe}"
+            )
+        if rerank is not None:
+            rerank = int(rerank)
+            if rerank < k:
+                raise ValueError(
+                    f"rerank shortlist must be >= k, got rerank={rerank} "
+                    f"< k={k}"
+                )
+            if self._store is None:
+                raise ValueError(
+                    "rerank requires an index built with "
+                    "store_embeddings=True"
+                )
+        return queries, nprobe, rerank
+
+    def _coarse_distances(self, queries: np.ndarray) -> np.ndarray:
+        """``(Q, num_cells)`` float32 coarse terms (squared L2 or -ip).
+
+        Computed in float64 then cast, like the ADC tables, so probe
+        order and the PQ coarse term never vary with blocking.
+        """
+        centroids = self.coarse.codebook.data.astype(np.float64)
+        inner = queries @ centroids.T
+        if self.metric == "l2":
+            dists = (np.sum(queries ** 2, axis=1)[:, None]
+                     - 2.0 * inner
+                     + np.sum(centroids ** 2, axis=1)[None, :])
+        else:
+            dists = -inner
+        return dists.astype(np.float32)
+
+    def _adc_tables(self, queries: np.ndarray) -> np.ndarray:
+        """``(Q, M * K)`` float32 residual tables ``-2 <q_m, e_mk>``
+        (``"ip"``: ``-<q_m, e_mk>``), flattened so a scan can gather all
+        subspaces at once via offset codes; cell-independent by
+        construction."""
+        enc = self.encoder
+        tables = np.empty((enc.num_subspaces, queries.shape[0],
+                           enc.num_codes), dtype=np.float32)
+        scale = -2.0 if self.metric == "l2" else -1.0
+        for m, sub in enumerate(enc.quantizers):
+            part = queries[:, m * enc.subdim:(m + 1) * enc.subdim]
+            codebook = sub.codebook.data.astype(np.float64)
+            tables[m] = scale * (part @ codebook.T)
+        return np.ascontiguousarray(tables.transpose(1, 0, 2)).reshape(
+            queries.shape[0], -1)
+
+    def _probe_order(self, coarse_row: np.ndarray) -> np.ndarray:
+        """Cells by ascending ``(coarse distance, cell id)``."""
+        return np.lexsort((np.arange(coarse_row.shape[0]), coarse_row))
+
+    def _search(self, queries: np.ndarray, k: int,
+                nprobe: Optional[int], rerank: Optional[int]
+                ) -> Tuple[np.ndarray, np.ndarray, Dict[str, float]]:
+        queries, nprobe, rerank = self._check_search_args(
+            queries, k, nprobe, rerank)
+        with self._lock:
+            size = self._size
+            # (codes, ids, bias, size) snapshots: rows < size are frozen.
+            cells = [(c.codes, c.ids, c.bias, c.size) for c in self._cells]
+        if size == 0:
+            raise ValueError("search on an empty IVFIndex; add() items first")
+        shortlist_k = rerank if rerank is not None else k
+        needed = min(shortlist_k, size)
+
+        started = time.perf_counter()
+        coarse = self._coarse_distances(queries)
+        if self._binary:
+            query_codes = self.encoder.encode(queries)
+            dist_dtype = hamming_dtype(self.encoder.words)
+        else:
+            dist_dtype = np.dtype(np.float32)
+
+        out_ids = np.empty((queries.shape[0], needed), dtype=np.int64)
+        out_dists = np.empty((queries.shape[0], needed), dtype=dist_dtype)
+        cells_probed = 0
+        if not self._binary:
+            offsets = (np.arange(self.encoder.num_subspaces)
+                       * self.encoder.num_codes).astype(np.int32)
+            table_width = (self.encoder.num_subspaces
+                           * self.encoder.num_codes)
+        qb = self.query_block
+        for qstart in range(0, queries.shape[0], qb):
+            block = queries[qstart:qstart + qb]
+            nq = block.shape[0]
+            tables = None if self._binary else self._adc_tables(block)
+            # Per-query probe selection stays a Python loop (it is tiny);
+            # the distance math below batches every probed candidate in
+            # the block into single vectorized passes.
+            code_parts: List[np.ndarray] = []
+            id_parts: List[np.ndarray] = []
+            base_parts: List[np.ndarray] = []
+            seg_lens = np.empty(nq, dtype=np.int64)
+            part_counts = np.empty(nq, dtype=np.int64)
+            for qi in range(nq):
+                q = qstart + qi
+                order = self._probe_order(coarse[q])
+                total = 0
+                parts_before = len(id_parts)
+                for pos, cell in enumerate(order):
+                    # Widen past nprobe until enough candidates exist so
+                    # the result width is always min(k, len(index)).
+                    if pos >= nprobe and total >= needed:
+                        break
+                    codes, ids, bias, cell_size = cells[cell]
+                    cells_probed += 1
+                    if cell_size == 0:
+                        continue
+                    code_parts.append(codes[:cell_size])
+                    id_parts.append(ids[:cell_size])
+                    if not self._binary:
+                        base_parts.append(bias[:cell_size] + coarse[q, cell])
+                    total += cell_size
+                seg_lens[qi] = total
+                part_counts[qi] = len(id_parts) - parts_before
+            # Group queries so one batch never exceeds ~_SCAN_ROW_BUDGET
+            # candidate rows: scratch stays bounded even at full probe,
+            # and per-row arithmetic is grouping-invariant.
+            part_bounds = np.cumsum(part_counts)
+            group_edges = [0]
+            rows_in_group = 0
+            for qi in range(nq):
+                if rows_in_group and (rows_in_group + seg_lens[qi]
+                                      > _SCAN_ROW_BUDGET):
+                    group_edges.append(qi)
+                    rows_in_group = 0
+                rows_in_group += seg_lens[qi]
+            group_edges.append(nq)
+            for q_lo, q_hi in zip(group_edges[:-1], group_edges[1:]):
+                p_lo = 0 if q_lo == 0 else int(part_bounds[q_lo - 1])
+                p_hi = int(part_bounds[q_hi - 1])
+                cand_codes = np.concatenate(code_parts[p_lo:p_hi])
+                cand_ids = np.concatenate(id_parts[p_lo:p_hi])
+                lens = seg_lens[q_lo:q_hi]
+                qid = np.repeat(np.arange(q_hi - q_lo, dtype=np.int32),
+                                lens)
+                if self._binary:
+                    cand_dists = packed_hamming(
+                        query_codes[qstart + q_lo + qid], cand_codes)
+                else:
+                    # Fixed arithmetic: float32 (bias + coarse term) plus
+                    # an in-order float32 sum of the M gathered table
+                    # entries, identical per row however queries are
+                    # grouped or blocked.
+                    flat = cand_codes.astype(np.int32)
+                    flat += offsets
+                    flat += ((q_lo + qid) * table_width)[:, None]
+                    gathered = tables.reshape(-1)[flat]
+                    cand_dists = np.concatenate(base_parts[p_lo:p_hi])
+                    cand_dists += np.einsum("ij->i", gathered)
+                seg_starts = np.cumsum(lens) - lens
+                for gq in range(q_hi - q_lo):
+                    s = int(seg_starts[gq])
+                    e = s + int(lens[gq])
+                    d_seg = cand_dists[s:e]
+                    i_seg = cand_ids[s:e]
+                    sel = _segment_topk(d_seg, i_seg, needed)
+                    out_ids[qstart + q_lo + gq] = i_seg[sel]
+                    out_dists[qstart + q_lo + gq] = d_seg[sel]
+        scan_s = time.perf_counter() - started
+
+        stats: Dict[str, float] = {
+            "scan_s": scan_s,
+            "rerank_s": 0.0,
+            "shortlist": float(needed),
+            "cells_probed": float(cells_probed),
+        }
+        if rerank is None:
+            return out_ids, out_dists, stats
+        started = time.perf_counter()
+        ids, dists = rerank_exact(self._store,
+                                  queries.astype(np.float32), out_ids, k,
+                                  metric=self.metric,
+                                  query_block=self.query_block)
+        stats["rerank_s"] = time.perf_counter() - started
+        return ids, dists, stats

@@ -1,27 +1,39 @@
-"""Product-quantized index with asymmetric-distance (ADC) search.
+"""Product-quantized index with memory-bounded asymmetric-distance search.
 
 Stored items are compact per-subspace code ids from a trained
 :class:`repro.retrieval.ProductQuantizer`; queries stay *float*.  Search
-builds one lookup table per subspace — the distance from each query
-slice to every codebook entry — and accumulates per-item distances by
-gathering table entries at the stored codes, so a scan over N items
-costs ``O(Q * num_codes * dim)`` table work plus ``O(Q * N *
-num_subspaces)`` gathers and never touches a float reconstruction.
+builds one float32 lookup table per subspace — the distance from each
+query slice to every codebook entry — and accumulates per-item distances
+by gathering table entries at the stored codes.
+
+The scan is blocked along both axes: ``query_block`` queries at a time
+against ``item_block`` items at a time, accumulating into one reused
+float32 scratch pair (``np.take(..., out=..., mode="clip")`` gathers, no
+per-block allocation) and folding each block's local top-k into a
+running ``(distance, id)`` merge.  Peak memory is
+``O(query_block * item_block)`` regardless of corpus size — the dense
+``(Q, N)`` float64 matrix this replaces cost ~2 GB at the committed
+million-item bench shape.
 
 Supported metrics: ``"l2"`` (squared Euclidean to the reconstruction)
 and ``"ip"`` (negated inner product, so smaller is still better).
 Results are ranked by ascending ``(distance, id)`` like every index in
 this package, making them directly comparable to the float oracle.
+With ``store_embeddings=True`` the index retains float32 rows and
+``search(..., rerank=R)`` re-scores the top-``R`` ADC shortlist exactly
+before returning top-k (distances are then true float distances).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Tuple
+import time
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from .ranking import topk_smallest
+from .ranking import merge_topk, topk_smallest
+from .rerank import FloatStore, rerank_exact
 from .vq import ProductQuantizer
 
 __all__ = ["PQIndex"]
@@ -30,14 +42,15 @@ _METRICS = ("l2", "ip")
 
 
 class PQIndex:
-    """ADC lookup-table search over product-quantized codes.
+    """Blocked ADC lookup-table search over product-quantized codes.
 
     Item ids are assignment order.  ``add()`` is thread-safe; ``search``
     snapshots the current size, so concurrent adds never tear a query.
     """
 
     def __init__(self, quantizer: ProductQuantizer, *, metric: str = "l2",
-                 query_block: int = 32) -> None:
+                 query_block: int = 32, item_block: int = 32_768,
+                 store_embeddings: bool = False) -> None:
         if not isinstance(quantizer, ProductQuantizer):
             raise TypeError(
                 f"quantizer must be a ProductQuantizer, got "
@@ -49,17 +62,26 @@ class PQIndex:
             )
         if query_block < 1:
             raise ValueError(f"query_block must be >= 1, got {query_block}")
+        if item_block < 1:
+            raise ValueError(f"item_block must be >= 1, got {item_block}")
         self.quantizer = quantizer
         self.metric = metric
         self.query_block = int(query_block)
+        self.item_block = int(item_block)
         self._lock = threading.Lock()
         self._codes = np.zeros((0, quantizer.num_subspaces),
                                dtype=quantizer.code_dtype)
         self._size = 0
+        self._store = FloatStore(quantizer.dim) if store_embeddings else None
 
     @property
     def dim(self) -> int:
         return self.quantizer.dim
+
+    @property
+    def store(self) -> Optional[FloatStore]:
+        """The float32 rerank store, or None when not retained."""
+        return self._store
 
     def __len__(self) -> int:
         with self._lock:
@@ -81,12 +103,7 @@ class PQIndex:
         grown[:self._size] = self._codes[:self._size]
         self._codes = grown
 
-    def add(self, embeddings: np.ndarray) -> np.ndarray:
-        """Encode and store embeddings; returns their assigned ids."""
-        return self.add_codes(self.quantizer.encode(embeddings))
-
-    def add_codes(self, codes: np.ndarray) -> np.ndarray:
-        """Store pre-encoded codes; returns their assigned ids."""
+    def _check_codes(self, codes: np.ndarray) -> np.ndarray:
         codes = np.asarray(codes)
         if (codes.ndim != 2
                 or codes.shape[1] != self.quantizer.num_subspaces):
@@ -99,61 +116,172 @@ class PQIndex:
             raise ValueError(
                 f"code ids must be in [0, {self.quantizer.num_codes})"
             )
-        codes = codes.astype(self.quantizer.code_dtype, copy=False)
-        with self._lock:
-            start = self._size
-            self._grow_to(start + codes.shape[0])
-            self._codes[start:start + codes.shape[0]] = codes
-            self._size += codes.shape[0]
-            return np.arange(start, self._size, dtype=np.int64)
+        return codes.astype(self.quantizer.code_dtype, copy=False)
 
-    def _lookup_tables(self, queries: np.ndarray) -> np.ndarray:
-        """``(M, Q, num_codes)`` per-subspace query-to-code distances."""
+    def _append_locked(self, codes: np.ndarray) -> np.ndarray:
+        start = self._size
+        self._grow_to(start + codes.shape[0])
+        self._codes[start:start + codes.shape[0]] = codes
+        self._size += codes.shape[0]
+        return np.arange(start, self._size, dtype=np.int64)
+
+    def add(self, embeddings: np.ndarray) -> np.ndarray:
+        """Encode and store embeddings; returns their assigned ids."""
+        embeddings = np.asarray(embeddings)
+        codes = self._check_codes(self.quantizer.encode(embeddings))
+        with self._lock:
+            ids = self._append_locked(codes)
+            if self._store is not None:
+                # Under the index lock so code ids and float rows can
+                # never interleave across concurrent add() calls.
+                self._store.append(embeddings.astype(np.float32,
+                                                     copy=False))
+        return ids
+
+    def add_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Store pre-encoded codes; returns their assigned ids."""
+        if self._store is not None:
+            raise ValueError(
+                "add_codes() carries no float rows; an index built with "
+                "store_embeddings=True must add() raw embeddings"
+            )
+        codes = self._check_codes(codes)
+        with self._lock:
+            return self._append_locked(codes)
+
+    def _lookup_tables(self, queries: np.ndarray,
+                       out: np.ndarray) -> np.ndarray:
+        """``(M, Q, num_codes)`` float32 per-subspace query-to-code tables."""
         q = self.quantizer
-        tables = np.empty(
-            (q.num_subspaces, queries.shape[0], q.num_codes),
-            dtype=np.float64,
-        )
+        tables = out[:, :queries.shape[0]]
         for m, sub in enumerate(q.quantizers):
-            part = queries[:, m * q.subdim:(m + 1) * q.subdim]
-            codebook = sub.codebook.data
+            # Tables are tiny next to the scan, so compute them in
+            # float64 before the float32 cast: float32 gemm rounding
+            # depends on the batch shape, which would make results vary
+            # with query_block by one ulp.
+            part = queries[:, m * q.subdim:(m + 1) * q.subdim].astype(
+                np.float64)
+            codebook = sub.codebook.data.astype(np.float64)
             inner = part @ codebook.T
             if self.metric == "l2":
                 tables[m] = (np.sum(part ** 2, axis=1)[:, None]
                              - 2.0 * inner
                              + np.sum(codebook ** 2, axis=1)[None, :])
             else:
-                tables[m] = -inner
+                np.negative(inner, out=tables[m])
         return tables
 
-    def search(self, queries: np.ndarray,
-               k: int = 10) -> Tuple[np.ndarray, np.ndarray]:
+    def search(self, queries: np.ndarray, k: int = 10, *,
+               rerank: Optional[int] = None
+               ) -> Tuple[np.ndarray, np.ndarray]:
         """Top-k by asymmetric distance for ``(Q, dim)`` float queries.
 
         Returns ``(ids, distances)``, both ``(Q, min(k, len(self)))``;
         for ``metric="ip"`` the distances are negated inner products.
+        ``rerank=R`` re-scores the top-``R`` ADC shortlist exactly
+        against the float store (requires ``store_embeddings=True``) and
+        returns true float distances instead of ADC approximations.
         """
-        queries = np.asarray(queries, dtype=np.float64)
+        ids, dists, _ = self._search(queries, k, rerank)
+        return ids, dists
+
+    def search_stats(self, queries: np.ndarray, k: int = 10, *,
+                     rerank: Optional[int] = None
+                     ) -> Tuple[np.ndarray, np.ndarray, Dict[str, float]]:
+        """Like :meth:`search`, plus scan/rerank timing + shortlist stats."""
+        return self._search(queries, k, rerank)
+
+    def _check_rerank(self, k: int, rerank: Optional[int]) -> Optional[int]:
+        if rerank is None:
+            return None
+        rerank = int(rerank)
+        if rerank < k:
+            raise ValueError(
+                f"rerank shortlist must be >= k, got rerank={rerank} "
+                f"< k={k}"
+            )
+        if self._store is None:
+            raise ValueError(
+                "rerank requires an index built with store_embeddings=True"
+            )
+        return rerank
+
+    def _search(self, queries: np.ndarray, k: int,
+                rerank: Optional[int]
+                ) -> Tuple[np.ndarray, np.ndarray, Dict[str, float]]:
+        queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim != 2 or queries.shape[1] != self.dim:
             raise ValueError(
                 f"queries must have shape (Q, {self.dim}), got "
                 f"{queries.shape}"
             )
+        rerank = self._check_rerank(k, rerank)
         with self._lock:
             size = self._size
             codes = self._codes  # snapshot; rows < size are frozen
         if size == 0:
             raise ValueError("search on an empty PQIndex; add() items first")
-        stored = codes[:size].astype(np.int64, copy=False)
+        stored = codes[:size]
+        shortlist_k = rerank if rerank is not None else k
+
+        num_subspaces = self.quantizer.num_subspaces
+        qb = min(self.query_block, queries.shape[0])
+        ib = min(self.item_block, size)
+        # One scratch set per search call (search stays re-entrant),
+        # reused across every (query block, item block) pair.
+        tables_buf = np.empty((num_subspaces, qb, self.quantizer.num_codes),
+                              dtype=np.float32)
+        acc = np.empty((qb, ib), dtype=np.float32)
+        gather = np.empty((qb, ib), dtype=np.float32)
+        idx_buf = np.empty(ib, dtype=np.intp)
+
+        started = time.perf_counter()
         id_blocks = []
         dist_blocks = []
-        for start in range(0, queries.shape[0], self.query_block):
-            block = queries[start:start + self.query_block]
-            tables = self._lookup_tables(block)
-            dists = np.zeros((block.shape[0], size), dtype=np.float64)
-            for m in range(self.quantizer.num_subspaces):
-                dists += tables[m][:, stored[:, m]]
-            ids, top = topk_smallest(dists, k)
-            id_blocks.append(ids)
-            dist_blocks.append(top)
-        return np.concatenate(id_blocks), np.concatenate(dist_blocks)
+        for qstart in range(0, queries.shape[0], qb):
+            block = queries[qstart:qstart + qb]
+            b = block.shape[0]
+            tables = self._lookup_tables(block, tables_buf)
+            best_ids: Optional[np.ndarray] = None
+            best_dists: Optional[np.ndarray] = None
+            for istart in range(0, size, ib):
+                chunk = stored[istart:istart + ib]
+                count = chunk.shape[0]
+                acc_view = acc[:b, :count]
+                gather_view = gather[:b, :count]
+                idx = idx_buf[:count]
+                # mode="clip" skips numpy's bounds-check temp copy; code
+                # ids were validated < num_codes on the add() path.
+                idx[:] = chunk[:, 0]
+                np.take(tables[0], idx, axis=1, out=acc_view, mode="clip")
+                for m in range(1, num_subspaces):
+                    idx[:] = chunk[:, m]
+                    np.take(tables[m], idx, axis=1, out=gather_view,
+                            mode="clip")
+                    np.add(acc_view, gather_view, out=acc_view)
+                cols, dists = topk_smallest(acc_view, shortlist_k)
+                ids = cols.astype(np.int64) + istart
+                if best_ids is None:
+                    best_ids, best_dists = ids, dists
+                else:
+                    best_ids, best_dists = merge_topk(
+                        best_ids, best_dists, ids, dists, shortlist_k)
+            id_blocks.append(best_ids)
+            dist_blocks.append(best_dists)
+        scan_ids = np.concatenate(id_blocks)
+        scan_dists = np.concatenate(dist_blocks)
+        scan_s = time.perf_counter() - started
+
+        stats: Dict[str, float] = {
+            "scan_s": scan_s,
+            "rerank_s": 0.0,
+            "shortlist": float(scan_ids.shape[1]),
+        }
+        if rerank is None:
+            return scan_ids, scan_dists, stats
+        started = time.perf_counter()
+        ids, dists = rerank_exact(self._store, queries, scan_ids, k,
+                                  metric=self.metric,
+                                  query_block=self.query_block)
+        stats["rerank_s"] = time.perf_counter() - started
+        return ids, dists, stats

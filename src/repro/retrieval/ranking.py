@@ -19,7 +19,7 @@ from typing import Tuple
 
 import numpy as np
 
-__all__ = ["topk_smallest", "topk_largest"]
+__all__ = ["topk_smallest", "topk_largest", "merge_topk", "rowwise_topk"]
 
 
 def topk_smallest(values: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -93,3 +93,53 @@ def topk_largest(values: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
         values = values.astype(np.int64)
     indices, negated = topk_smallest(-values, k)
     return indices, -negated
+
+
+def rowwise_topk(ids: np.ndarray, values: np.ndarray,
+                 k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Top-k per row by ascending ``(value, id)`` for *explicit* id arrays.
+
+    Unlike :func:`topk_smallest`, whose ties resolve by column position,
+    the candidates here carry arbitrary item ids (a blocked scan's global
+    offsets, an IVF index's per-cell id lists), so the tie-break must use
+    the ids themselves to preserve the package-wide ``(distance, id)``
+    total order.  Both inputs are ``(Q, C)``; returns ``(ids, values)``
+    of shape ``(Q, min(k, C))``.
+    """
+    ids = np.asarray(ids)
+    values = np.asarray(values)
+    if ids.shape != values.shape or ids.ndim != 2:
+        raise ValueError(
+            f"ids and values must share a (Q, C) shape, got {ids.shape} "
+            f"and {values.shape}"
+        )
+    if ids.shape[1] == 0:
+        raise ValueError("cannot select top-k from an empty candidate set")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    k = min(int(k), ids.shape[1])
+    out_ids = np.empty((ids.shape[0], k), dtype=ids.dtype)
+    out_values = np.empty((ids.shape[0], k), dtype=values.dtype)
+    for row, (row_ids, row_values) in enumerate(zip(ids, values)):
+        order = np.lexsort((row_ids, row_values))[:k]
+        out_ids[row] = row_ids[order]
+        out_values[row] = row_values[order]
+    return out_ids, out_values
+
+
+def merge_topk(ids_a: np.ndarray, values_a: np.ndarray,
+               ids_b: np.ndarray, values_b: np.ndarray,
+               k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge two per-row candidate sets into one ``(value, id)`` top-k.
+
+    The running-merge primitive of the blocked scans: a scan keeps its
+    current best ``(ids, values)`` and folds in each item block's local
+    top-k without ever materializing a full ``(Q, N)`` distance matrix.
+    Candidate sets must be disjoint per row (blocked scans guarantee it);
+    widths may differ.  Returns ``(ids, values)`` of shape
+    ``(Q, min(k, total))``.
+    """
+    ids = np.concatenate([np.asarray(ids_a), np.asarray(ids_b)], axis=1)
+    values = np.concatenate([np.asarray(values_a), np.asarray(values_b)],
+                            axis=1)
+    return rowwise_topk(ids, values, k)

@@ -1,0 +1,130 @@
+"""Exact reranking of quantized shortlists over an optional float store.
+
+The operating point that makes coarse codes usable at scale (PAPERS.md's
+binary-quantization analysis): the quantized scan is a *candidate
+generator* — fetch the top ``R`` items by Hamming/ADC distance, then
+re-score exactly against retained float32 rows and return the true
+top-k.  Recall@k after reranking is monotone non-decreasing in ``R``:
+an oracle-top-k item in the shortlist can only be displaced by globally
+closer items, of which there are fewer than ``k`` by definition.
+
+:class:`FloatStore` is the higher-precision side store an index keeps
+when constructed with ``store_embeddings=True`` — append-only float32
+rows in id order, thread-safe under the same snapshot discipline as the
+code arrays (rows below the published size are frozen, so concurrent
+``add()`` never tears a rerank).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Tuple
+
+import numpy as np
+
+from .ranking import rowwise_topk
+
+__all__ = ["FloatStore", "rerank_exact"]
+
+_METRICS = ("l2", "ip")
+
+
+class FloatStore:
+    """Append-only float32 row store keyed by assignment-order ids."""
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self._dim = int(dim)
+        self._lock = threading.Lock()
+        self._rows = np.zeros((0, dim), dtype=np.float32)
+        self._size = 0
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._size
+
+    def append(self, embeddings: np.ndarray) -> np.ndarray:
+        """Store rows; returns their assigned ids (append order)."""
+        embeddings = np.asarray(embeddings, dtype=np.float32)
+        if embeddings.ndim != 2 or embeddings.shape[1] != self._dim:
+            raise ValueError(
+                f"embeddings must have shape (N, {self._dim}), got "
+                f"{embeddings.shape}"
+            )
+        with self._lock:
+            start = self._size
+            needed = start + embeddings.shape[0]
+            if needed > self._rows.shape[0]:
+                capacity = max(1024, self._rows.shape[0] * 2, needed)
+                grown = np.zeros((capacity, self._dim), dtype=np.float32)
+                grown[:start] = self._rows[:start]
+                self._rows = grown
+            self._rows[start:needed] = embeddings
+            self._size = needed
+            return np.arange(start, needed, dtype=np.int64)
+
+    def snapshot(self) -> Tuple[np.ndarray, int]:
+        """``(rows, size)`` — rows below ``size`` are frozen forever."""
+        with self._lock:
+            return self._rows, self._size
+
+    def gather(self, ids: np.ndarray) -> np.ndarray:
+        """Float32 rows at ``ids`` (any shape; appended leading axes kept)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        rows, size = self.snapshot()
+        if ids.size and (int(ids.min()) < 0 or int(ids.max()) >= size):
+            raise ValueError(
+                f"ids must be in [0, {size}), got range "
+                f"[{ids.min()}, {ids.max()}]"
+            )
+        return rows[ids]
+
+
+def rerank_exact(store: FloatStore, queries: np.ndarray,
+                 shortlist_ids: np.ndarray, k: int, *,
+                 metric: str = "l2",
+                 query_block: int = 32) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact top-k over a quantized shortlist, ascending ``(distance, id)``.
+
+    ``queries`` are ``(Q, dim)`` floats, ``shortlist_ids`` the scan's
+    ``(Q, R)`` candidates.  Distances are the true metric on the stored
+    float32 rows — squared L2 for ``"l2"``, negated inner product for
+    ``"ip"`` — so reranked results are directly comparable to the float
+    oracle (identical on unit-norm data when ``R`` covers the corpus).
+    """
+    if metric not in _METRICS:
+        raise ValueError(f"metric must be one of {_METRICS}, got {metric!r}")
+    queries = np.asarray(queries, dtype=np.float32)
+    shortlist_ids = np.asarray(shortlist_ids, dtype=np.int64)
+    if queries.ndim != 2 or queries.shape[1] != store.dim:
+        raise ValueError(
+            f"queries must have shape (Q, {store.dim}), got {queries.shape}"
+        )
+    if shortlist_ids.ndim != 2 or shortlist_ids.shape[0] != queries.shape[0]:
+        raise ValueError(
+            f"shortlist must have shape ({queries.shape[0]}, R), got "
+            f"{shortlist_ids.shape}"
+        )
+    out_ids = np.empty((queries.shape[0], min(k, shortlist_ids.shape[1])),
+                       dtype=np.int64)
+    out_dists = np.empty(out_ids.shape, dtype=np.float32)
+    # Blocked over queries: the (block, R, dim) gather is the only
+    # intermediate, so peak memory never depends on the query count.
+    for start in range(0, queries.shape[0], query_block):
+        block_ids = shortlist_ids[start:start + query_block]
+        block_q = queries[start:start + query_block]
+        vectors = store.gather(block_ids)  # (b, R, dim) float32
+        if metric == "l2":
+            delta = vectors - block_q[:, None, :]
+            dists = np.einsum("qrd,qrd->qr", delta, delta)
+        else:
+            dists = -np.einsum("qrd,qd->qr", vectors, block_q)
+        ids, top = rowwise_topk(block_ids, dists, k)
+        out_ids[start:start + query_block] = ids
+        out_dists[start:start + query_block] = top
+    return out_ids, out_dists

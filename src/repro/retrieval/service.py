@@ -28,12 +28,14 @@ import numpy as np
 
 from ..serving.service import EmbeddingService
 from .binary import BinaryIndex
+from .ivf import IVFIndex
 from .pq import PQIndex
 from .trainer import l2_normalize
 
 __all__ = ["RetrievalService", "StaleIndexError"]
 
-Index = Union[BinaryIndex, PQIndex]
+Index = Union[BinaryIndex, PQIndex, IVFIndex]
+_INDEX_TYPES = (BinaryIndex, PQIndex, IVFIndex)
 
 
 class StaleIndexError(RuntimeError):
@@ -49,7 +51,8 @@ class RetrievalService:
         A (started or startable) :class:`EmbeddingService`; its registry
         and model name define the embedding space.
     index:
-        A :class:`BinaryIndex` or :class:`PQIndex` receiving the codes.
+        A :class:`BinaryIndex`, :class:`PQIndex`, or :class:`IVFIndex`
+        receiving the codes.
     normalize:
         L2-normalize embeddings before indexing/searching (the paper's
         embeddings are unit-norm; quantizer thresholds assume it).
@@ -62,9 +65,9 @@ class RetrievalService:
                 f"embedder must be an EmbeddingService, got "
                 f"{type(embedder).__name__}"
             )
-        if not isinstance(index, (BinaryIndex, PQIndex)):
+        if not isinstance(index, _INDEX_TYPES):
             raise TypeError(
-                f"index must be a BinaryIndex or PQIndex, got "
+                f"index must be a BinaryIndex, PQIndex, or IVFIndex, got "
                 f"{type(index).__name__}"
             )
         self.embedder = embedder
@@ -80,6 +83,12 @@ class RetrievalService:
         self._m_searches = metrics.counter("retrieval.searches", **labels)
         self._m_stale = metrics.counter("retrieval.stale_rejections",
                                         **labels)
+        self._m_cells = metrics.counter("retrieval.cells_probed", **labels)
+        self._h_scan = metrics.histogram("retrieval.scan_seconds", **labels)
+        self._h_rerank = metrics.histogram("retrieval.rerank_seconds",
+                                           **labels)
+        self._h_shortlist = metrics.histogram("retrieval.shortlist_size",
+                                              **labels)
 
     # -- lifecycle (delegates to the embedder) -----------------------------
 
@@ -174,10 +183,42 @@ class RetrievalService:
         self._m_adds.inc(len(ids))
         return ids
 
+    def _run_search(self, index: Index, queries: np.ndarray, k: int,
+                    nprobe: Optional[int], rerank: Optional[int]
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Dispatch to the index's instrumented search and record stats."""
+        kwargs = {}
+        if rerank is not None:
+            kwargs["rerank"] = rerank
+        if nprobe is not None:
+            if not isinstance(index, IVFIndex):
+                raise ValueError(
+                    f"nprobe only applies to an IVFIndex; the service "
+                    f"holds a {type(index).__name__}"
+                )
+            kwargs["nprobe"] = nprobe
+        ids, dists, stats = index.search_stats(queries, k, **kwargs)
+        self._h_scan.observe(stats["scan_s"])
+        self._h_shortlist.observe(stats["shortlist"])
+        if rerank is not None:
+            self._h_rerank.observe(stats["rerank_s"])
+        if "cells_probed" in stats:
+            self._m_cells.inc(int(stats["cells_probed"]))
+        return ids, dists
+
     def search(self, samples: Sequence[np.ndarray], k: int = 10,
-               timeout: Optional[float] = 30.0
+               timeout: Optional[float] = 30.0, *,
+               nprobe: Optional[int] = None,
+               rerank: Optional[int] = None
                ) -> Tuple[np.ndarray, np.ndarray]:
-        """Embed raw queries and return quantized top-k ``(ids, distances)``."""
+        """Embed raw queries and return quantized top-k ``(ids, distances)``.
+
+        ``nprobe`` overrides an :class:`IVFIndex`'s probe width for this
+        call (rejected for exhaustive indexes); ``rerank=R`` re-scores
+        the top-``R`` shortlist exactly when the index retains a float
+        store.  Scan/rerank latency, shortlist width, and cells probed
+        land in the ``retrieval.*`` metrics.
+        """
         if len(samples) == 0:
             raise ValueError("search() needs at least one query sample")
         index = self.index
@@ -189,9 +230,11 @@ class RetrievalService:
         queries = self._embed(samples, timeout)
         self._check_entry("after embedding the queries")
         self._m_searches.inc(queries.shape[0])
-        return index.search(queries, k)
+        return self._run_search(index, queries, k, nprobe, rerank)
 
-    def search_embeddings(self, embeddings: np.ndarray, k: int = 10
+    def search_embeddings(self, embeddings: np.ndarray, k: int = 10, *,
+                          nprobe: Optional[int] = None,
+                          rerank: Optional[int] = None
                           ) -> Tuple[np.ndarray, np.ndarray]:
         """Search with precomputed embeddings, skipping the embedder."""
         embeddings = np.asarray(embeddings, dtype=np.float64)
@@ -208,7 +251,7 @@ class RetrievalService:
         if self.normalize:
             embeddings = l2_normalize(embeddings)
         self._m_searches.inc(embeddings.shape[0])
-        return index.search(embeddings, k)
+        return self._run_search(index, embeddings, k, nprobe, rerank)
 
     # -- maintenance -------------------------------------------------------
 
@@ -219,9 +262,9 @@ class RetrievalService:
         ``model_key`` pins the new index to a specific published version;
         omit it to re-bind on the next ``add()``.
         """
-        if not isinstance(index, (BinaryIndex, PQIndex)):
+        if not isinstance(index, _INDEX_TYPES):
             raise TypeError(
-                f"index must be a BinaryIndex or PQIndex, got "
+                f"index must be a BinaryIndex, PQIndex, or IVFIndex, got "
                 f"{type(index).__name__}"
             )
         with self._lock:

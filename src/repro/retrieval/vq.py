@@ -49,6 +49,18 @@ def _smallest_code_dtype(num_codes: int) -> np.dtype:
     return np.dtype(np.int64)
 
 
+def _check_fit_args(embeddings: np.ndarray, epochs: int, batch_size: int,
+                    tol: float) -> None:
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if tol < 0.0:
+        raise ValueError(f"tol must be >= 0, got {tol}")
+    if embeddings.shape[0] == 0:
+        raise ValueError("cannot fit on an empty sample")
+
+
 class VectorQuantizer(Module):
     """EMA-trained codebook of ``num_codes`` vectors of ``dim`` coordinates.
 
@@ -183,6 +195,34 @@ class VectorQuantizer(Module):
         self.codebook.data = codebook.astype(np.float32)
         return codes
 
+    def fit(self, embeddings: np.ndarray, *, epochs: int = 5,
+            batch_size: int = 1024, seed: int = 0,
+            tol: float = 0.0) -> "VectorQuantizer":
+        """Offline k-means-style training: shuffled minibatch EMA passes.
+
+        Deterministic by construction — the epoch shuffle derives from
+        spawn key ``(seed, 1, epoch)`` and each batch's restart RNG from
+        ``(seed, 2, epoch, batch)``.  ``tol > 0`` stops early once the
+        mean squared codebook movement over an epoch drops to ``tol`` or
+        below; :attr:`fit_epochs_` records how many epochs actually ran.
+        This is the coarse-quantizer trainer the IVF layer reuses.
+        """
+        embeddings = self._check_input(embeddings)
+        _check_fit_args(embeddings, epochs, batch_size, tol)
+        n = embeddings.shape[0]
+        for epoch in range(epochs):
+            previous = self.codebook.data.copy()
+            order = derive_rng(seed, 1, epoch).permutation(n)
+            for batch_index, start in enumerate(range(0, n, batch_size)):
+                batch = embeddings[order[start:start + batch_size]]
+                self.update(batch, rng=derive_rng(seed, 2, epoch,
+                                                  batch_index))
+            self.fit_epochs_ = epoch + 1
+            shift = float(np.mean((self.codebook.data - previous) ** 2))
+            if shift <= tol:
+                break
+        return self
+
 
 class ProductQuantizer(Module):
     """Independent EMA codebooks over ``num_subspaces`` coordinate slices."""
@@ -242,15 +282,36 @@ class ProductQuantizer(Module):
         for m in range(self.num_subspaces):
             yield x[:, m * self.subdim:(m + 1) * self.subdim]
 
-    def encode(self, x: np.ndarray) -> np.ndarray:
-        """``(N, dim)`` embeddings to ``(N, num_subspaces)`` code ids."""
+    def encode(self, x: np.ndarray,
+               row_block: int = 16_384) -> np.ndarray:
+        """``(N, dim)`` embeddings to ``(N, num_subspaces)`` code ids.
+
+        Scores are computed in float32, blocked over ``row_block`` rows
+        so the ``(rows, num_codes)`` score scratch stays cache-sized no
+        matter how large the batch — encoding a million-item corpus is
+        matmul-bound instead of allocation-bound.
+        """
         x = self._check_input(x)
-        codes = np.stack(
-            [q.assign(part) for q, part in zip(self.quantizers,
-                                               self._slices(x))],
-            axis=1,
-        )
-        return codes.astype(self.code_dtype)
+        if row_block < 1:
+            raise ValueError(f"row_block must be >= 1, got {row_block}")
+        n = x.shape[0]
+        x32 = x.astype(np.float32)
+        codes = np.empty((n, self.num_subspaces), dtype=self.code_dtype)
+        rows = min(row_block, max(n, 1))
+        scores = np.empty((rows, self.num_codes), dtype=np.float32)
+        for m, q in enumerate(self.quantizers):
+            codebook = q.codebook.data  # float32 (K, subdim)
+            norms = np.sum(codebook ** 2, axis=1)
+            part = x32[:, m * self.subdim:(m + 1) * self.subdim]
+            for start in range(0, n, rows):
+                block = part[start:start + rows]
+                view = scores[:block.shape[0]]
+                # ||x - c||^2 up to the query norm: argmin is unaffected.
+                np.matmul(block, codebook.T, out=view)
+                view *= -2.0
+                view += norms
+                codes[start:start + rows, m] = np.argmin(view, axis=1)
+        return codes
 
     def decode(self, codes: np.ndarray) -> np.ndarray:
         """``(N, num_subspaces)`` code ids back to ``(N, dim)`` vectors."""
@@ -286,28 +347,92 @@ class ProductQuantizer(Module):
         return codes.astype(self.code_dtype)
 
     def fit(self, embeddings: np.ndarray, *, epochs: int = 5,
-            batch_size: int = 1024, seed: int = 0) -> "ProductQuantizer":
+            batch_size: int = 1024, seed: int = 0,
+            tol: float = 0.0) -> "ProductQuantizer":
         """Offline codebook training: shuffled minibatch EMA passes.
 
         Deterministic by construction — the epoch shuffle derives from
         spawn key ``(seed, 1, epoch)`` and each batch's restart RNG from
         ``(seed, 2, epoch, batch)`` — so ``fit`` with the same data and
         seed always yields the same codebooks.
+
+        The EMA loop is vectorized across subspaces: assignments,
+        counts, and sums for all ``num_subspaces`` codebooks come from
+        batched matmuls and one flattened scatter-add per minibatch, and
+        the sub-quantizers' buffers/Parameters are written back *once*
+        at the end (a single version bump per codebook instead of one
+        per batch).  ``tol > 0`` adds an early stop on mean squared
+        codebook movement per epoch; :attr:`fit_epochs_` records the
+        epochs actually run.
         """
         embeddings = self._check_input(embeddings)
-        if epochs < 1:
-            raise ValueError(f"epochs must be >= 1, got {epochs}")
-        if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        _check_fit_args(embeddings, epochs, batch_size, tol)
         n = embeddings.shape[0]
-        if n == 0:
-            raise ValueError("cannot fit on an empty sample")
+        m_count, k_count, sub = (self.num_subspaces, self.num_codes,
+                                 self.subdim)
+        parts = embeddings.reshape(n, m_count, sub)
+
+        # Local float64 training state, written back after the loop.
+        ema_counts = np.stack([q.ema_counts.copy()
+                               for q in self.quantizers])
+        ema_sums = np.stack([q.ema_sums.copy() for q in self.quantizers])
+        books = np.stack([q.codebook.data.astype(np.float64)
+                          for q in self.quantizers])  # (M, K, sub)
+        decay = self.quantizers[0].decay
+        eps = self.quantizers[0].eps
+        restart = self.quantizers[0].restart_threshold
+        offsets = (np.arange(m_count) * k_count)[None, :]
+
         for epoch in range(epochs):
+            previous = books.copy()
             order = derive_rng(seed, 1, epoch).permutation(n)
             for batch_index, start in enumerate(range(0, n, batch_size)):
-                batch = embeddings[order[start:start + batch_size]]
-                self.update(batch, rng=derive_rng(seed, 2, epoch,
-                                                  batch_index))
+                batch = parts[order[start:start + batch_size]]
+                b = batch.shape[0]
+                # Round-trip through float32 to match the stored
+                # Parameter precision the online update() assigns with.
+                books_assign = books.astype(np.float32).astype(np.float64)
+                codes = np.empty((b, m_count), dtype=np.int64)
+                for m in range(m_count):
+                    scores = (np.sum(books_assign[m] ** 2, axis=1)[None, :]
+                              - 2.0 * (batch[:, m] @ books_assign[m].T))
+                    codes[:, m] = np.argmin(scores, axis=1)
+                flat = (codes + offsets).ravel()
+                counts = np.bincount(flat, minlength=m_count * k_count) \
+                    .reshape(m_count, k_count).astype(np.float64)
+                sums = np.zeros((m_count * k_count, sub), dtype=np.float64)
+                np.add.at(sums, flat, batch.reshape(b * m_count, sub))
+                sums = sums.reshape(m_count, k_count, sub)
+
+                ema_counts = decay * ema_counts + (1 - decay) * counts
+                ema_sums = decay * ema_sums + (1 - decay) * sums
+                total = ema_counts.sum(axis=1, keepdims=True)
+                smoothed = ((ema_counts + eps)
+                            / (total + k_count * eps) * total)
+                books = ema_sums / smoothed[:, :, None]
+
+                dead = ema_counts < restart
+                if dead.any():
+                    # One rng draw per subspace, in subspace order, so
+                    # restarts replay the online update() draw sequence.
+                    rng = derive_rng(seed, 2, epoch, batch_index)
+                    for m in range(m_count):
+                        dead_m = dead[m]
+                        if not dead_m.any():
+                            continue
+                        picks = rng.integers(0, b, size=int(dead_m.sum()))
+                        books[m, dead_m] = batch[picks, m]
+                        ema_sums[m, dead_m] = batch[picks, m]
+                        ema_counts[m, dead_m] = 1.0
+            self.fit_epochs_ = epoch + 1
+            shift = float(np.mean((books - previous) ** 2))
+            if shift <= tol:
+                break
+
+        for m, q in enumerate(self.quantizers):
+            q.set_buffer("ema_counts", ema_counts[m])
+            q.set_buffer("ema_sums", ema_sums[m])
+            q.codebook.data = books[m].astype(np.float32)
         return self
 
 

@@ -5,7 +5,16 @@ import threading
 import numpy as np
 import pytest
 
-from repro.retrieval import BinaryIndex, BinaryQuantizer, l2_normalize
+import repro.retrieval.binary as binary_module
+from repro.retrieval import (
+    BinaryIndex,
+    BinaryQuantizer,
+    exact_search,
+    hamming_dtype,
+    l2_normalize,
+    packed_hamming,
+    topk_smallest,
+)
 
 
 def make_index(rng, n=100, dim=24, **kwargs):
@@ -117,3 +126,88 @@ class TestBinaryIndex:
             t.join()
         assert not errors
         assert len(index) > 200
+
+
+class TestScanScratchReuse:
+    """ISSUE 10 satellite 6: the scratch-reusing scan must be
+    byte-identical to the naive full-matrix path on both popcounts."""
+
+    def _reference(self, index, queries, k):
+        query_codes = index.quantizer.encode(queries)
+        dists = packed_hamming(query_codes[:, None], index.codes())
+        cols, top = topk_smallest(dists, k)
+        return cols.astype(np.int64), top
+
+    def test_byte_identity_against_full_matrix(self, rng):
+        index, _ = make_index(rng, n=300, query_block=6)
+        queries = l2_normalize(rng.normal(size=(19, 24)))
+        ids, dists = index.search(queries, k=8)
+        ref_ids, ref_d = self._reference(index, queries, 8)
+        np.testing.assert_array_equal(ids, ref_ids)
+        np.testing.assert_array_equal(dists, ref_d)
+        assert dists.dtype == ref_d.dtype
+
+    def test_distances_are_uint16_for_short_codes(self, rng):
+        index, items = make_index(rng, n=40)
+        _, dists = index.search(items[:3], k=4)
+        assert dists.dtype == np.uint16
+        assert hamming_dtype(index.quantizer.words) == np.uint16
+        # 2000 words * 64 bits overflows uint16 -> widen to int64.
+        assert hamming_dtype(2000) == np.int64
+
+    def test_fallback_popcount_path_matches(self, rng, monkeypatch):
+        index, _ = make_index(rng, n=150, query_block=4)
+        queries = l2_normalize(rng.normal(size=(9, 24)))
+        fast_ids, fast_d = index.search(queries, k=6)
+        monkeypatch.setattr(binary_module, "_HAS_BITWISE_COUNT", False)
+        slow_ids, slow_d = index.search(queries, k=6)
+        np.testing.assert_array_equal(fast_ids, slow_ids)
+        np.testing.assert_array_equal(fast_d, slow_d)
+        assert slow_d.dtype == fast_d.dtype
+
+
+class TestBinaryRerank:
+    def test_full_corpus_rerank_matches_float_oracle(self, rng):
+        items = l2_normalize(rng.normal(size=(120, 24)))
+        quantizer = BinaryQuantizer.fit_median(items)
+        index = BinaryIndex(quantizer, store_embeddings=True)
+        index.add(items)
+        queries = l2_normalize(rng.normal(size=(7, 24)))
+        ids, dists = index.search(queries, k=5, rerank=items.shape[0])
+        oracle_ids, _ = exact_search(queries, items, 5)
+        np.testing.assert_array_equal(ids, oracle_ids)
+        assert dists.dtype == np.float32
+
+    def test_rerank_recall_monotone_in_shortlist(self, rng):
+        items = l2_normalize(rng.normal(size=(200, 24)))
+        quantizer = BinaryQuantizer.fit_median(items)
+        index = BinaryIndex(quantizer, store_embeddings=True)
+        index.add(items)
+        queries = l2_normalize(rng.normal(size=(11, 24)))
+        oracle_ids, _ = exact_search(queries, items, 5)
+        previous = -1.0
+        for width in (5, 20, 80, items.shape[0]):
+            ids, _ = index.search(queries, k=5, rerank=width)
+            score = np.mean([len(set(row) & set(ref)) / 5
+                             for row, ref in zip(ids, oracle_ids)])
+            assert score >= previous
+            previous = score
+        assert previous == 1.0
+
+    def test_search_stats_and_validation(self, rng):
+        items = l2_normalize(rng.normal(size=(60, 24)))
+        quantizer = BinaryQuantizer.fit_median(items)
+        index = BinaryIndex(quantizer, store_embeddings=True)
+        index.add(items)
+        queries = l2_normalize(rng.normal(size=(2, 24)))
+        _, _, stats = index.search_stats(queries, k=2, rerank=10)
+        assert stats["scan_s"] >= 0.0 and stats["rerank_s"] >= 0.0
+        assert stats["shortlist"] == 10.0
+        with pytest.raises(ValueError, match=">= k"):
+            index.search(queries, k=10, rerank=3)
+        with pytest.raises(ValueError, match="add_codes"):
+            index.add_codes(quantizer.encode(items[:2]))
+        plain = BinaryIndex(quantizer)
+        plain.add(items)
+        with pytest.raises(ValueError, match="store_embeddings"):
+            plain.search(queries, k=2, rerank=10)

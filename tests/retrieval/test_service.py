@@ -13,6 +13,7 @@ import pytest
 from repro import nn
 from repro.retrieval import (
     BinaryIndex,
+    IVFIndex,
     BinaryQuantizer,
     PQIndex,
     ProductQuantizer,
@@ -219,3 +220,65 @@ class TestConcurrency:
                 t.join()
         assert not errors
         assert len(svc) == 20 + 2 * 5 * 4
+
+
+class TestIVFPlumbing:
+    """ISSUE 10: nprobe/rerank flow through the service with telemetry."""
+
+    def _make_ivf_service(self, rng, store_embeddings=True):
+        reg = make_registry()
+        model = reg.get("enc").model
+        corpus = np.stack([
+            l2_normalize(np.asarray(model(
+                nn.Tensor(x[None], dtype=np.float64)).data))[0]
+            for x in samples(rng, 80)
+        ])
+        ivf = IVFIndex.fit(corpus, num_cells=4, num_subspaces=2,
+                           num_codes=8, nprobe=2, epochs=2, seed=3,
+                           store_embeddings=store_embeddings)
+        svc, _ = make_service(reg, index=ivf)
+        return svc, reg
+
+    def test_ivf_index_accepted_and_searchable(self, rng):
+        svc, _ = self._make_ivf_service(rng)
+        with svc:
+            items = samples(rng, 30)
+            svc.add(items)
+            ids, dists = svc.search(items[:3], k=5, nprobe=4, rerank=20)
+        assert ids.shape == (3, 5)
+        assert dists.dtype == np.float32
+
+    def test_nprobe_rejected_for_exhaustive_index(self, rng):
+        svc, _ = make_service()
+        svc.index.add(l2_normalize(rng.normal(size=(12, EMB_DIM))))
+        with pytest.raises(ValueError, match="nprobe"):
+            svc.search_embeddings(rng.normal(size=(2, EMB_DIM)), k=3,
+                                  nprobe=2)
+
+    def test_search_telemetry_lands_in_metrics(self, rng):
+        svc, _ = self._make_ivf_service(rng)
+        metrics = svc.embedder.metrics
+        with svc:
+            svc.add(samples(rng, 30))
+            svc.search(samples(rng, 4), k=3, rerank=10)
+            svc.search(samples(rng, 2), k=3)
+        scan = metrics.histogram("retrieval.scan_seconds", model="enc")
+        rerank = metrics.histogram("retrieval.rerank_seconds", model="enc")
+        shortlist = metrics.histogram("retrieval.shortlist_size",
+                                      model="enc")
+        cells = metrics.counter("retrieval.cells_probed", model="enc")
+        assert scan.count == 2          # every search observes a scan
+        assert rerank.count == 1        # only the reranked one
+        assert shortlist.count == 2
+        assert cells.value >= 2 * (4 + 2)  # >= nprobe * queries per call
+
+    def test_swap_to_ivf_index(self, rng):
+        svc, reg = make_service()
+        svc.index.add(l2_normalize(rng.normal(size=(10, EMB_DIM))))
+        corpus = l2_normalize(rng.normal(size=(60, EMB_DIM)))
+        ivf = IVFIndex.fit_binary(corpus, num_cells=4, nprobe=4,
+                                  epochs=2, seed=8)
+        svc.swap_index(ivf)
+        ivf.add(corpus)
+        ids, _ = svc.search_embeddings(corpus[:2], k=3, nprobe=2)
+        assert ids.shape == (2, 3)

@@ -133,6 +133,53 @@ class TestProductQuantizer:
         with pytest.raises(ValueError, match="divisible"):
             ProductQuantizer(DIM, 5, 16)
 
+    def test_fit_early_stop_records_epochs(self):
+        data = l2_normalize(derive_rng(30).normal(size=(200, DIM)))
+        pq = ProductQuantizer(DIM, 4, 16, rng=derive_rng(31))
+        # An absurd tolerance stops after the first epoch's shift check.
+        pq.fit(data, epochs=5, batch_size=64, seed=32, tol=1e9)
+        assert pq.fit_epochs_ == 1
+        full = ProductQuantizer(DIM, 4, 16, rng=derive_rng(31))
+        full.fit(data, epochs=5, batch_size=64, seed=32)
+        assert full.fit_epochs_ == 5
+
+    def test_coarse_fit_early_stop_records_epochs(self):
+        data = l2_normalize(derive_rng(33).normal(size=(200, DIM)))
+        vq = VectorQuantizer(8, DIM, rng=derive_rng(34))
+        vq.fit(data, epochs=6, batch_size=64, seed=35, tol=1e9)
+        assert vq.fit_epochs_ == 1
+        full = VectorQuantizer(8, DIM, rng=derive_rng(34))
+        full.fit(data, epochs=6, batch_size=64, seed=35)
+        assert full.fit_epochs_ == 6
+
+    def test_coarse_fit_is_deterministic(self):
+        data = l2_normalize(derive_rng(36).normal(size=(250, DIM)))
+        books = []
+        for _ in range(2):
+            vq = VectorQuantizer(8, DIM, rng=derive_rng(37))
+            vq.fit(data, epochs=3, batch_size=50, seed=38)
+            books.append(vq.codebook.data.copy())
+        np.testing.assert_array_equal(books[0], books[1])
+
+    def test_encode_is_row_block_invariant(self):
+        # The vectorized float32 encode path must not depend on its
+        # internal blocking (ISSUE 10 satellite 2).
+        data = l2_normalize(derive_rng(39).normal(size=(300, DIM)))
+        pq = ProductQuantizer(DIM, 4, 16, rng=derive_rng(40))
+        pq.fit(data, epochs=2, batch_size=64, seed=41)
+        np.testing.assert_array_equal(pq.encode(data, row_block=7),
+                                      pq.encode(data, row_block=10 ** 6))
+
+    def test_fit_validation(self):
+        data = l2_normalize(derive_rng(42).normal(size=(50, DIM)))
+        pq = ProductQuantizer(DIM, 4, 16, rng=derive_rng(43))
+        with pytest.raises(ValueError, match="epochs"):
+            pq.fit(data, epochs=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            pq.fit(data, batch_size=0)
+        with pytest.raises(ValueError, match="tol"):
+            pq.fit(data, tol=-1.0)
+
 
 class TestCodeMemory:
     def test_fifo_wraparound(self):
